@@ -1,0 +1,665 @@
+//! The AND-Inverter graph container.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{Lit, NodeId};
+
+/// Kind of a node in the graph.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum NodeKind {
+    /// The constant-false node (always node 0).
+    Const0,
+    /// Primary input.
+    Input {
+        /// Position in [`Aig::inputs`].
+        index: u32,
+    },
+    /// Latch (register) output.
+    Latch {
+        /// Position in [`Aig::latches`].
+        index: u32,
+    },
+    /// Two-input AND of the given edge literals.
+    And {
+        /// First fanin edge.
+        a: Lit,
+        /// Second fanin edge.
+        b: Lit,
+    },
+}
+
+impl NodeKind {
+    /// True for AND nodes.
+    #[inline]
+    pub fn is_and(&self) -> bool {
+        matches!(self, NodeKind::And { .. })
+    }
+
+    /// True for primary inputs.
+    #[inline]
+    pub fn is_input(&self) -> bool {
+        matches!(self, NodeKind::Input { .. })
+    }
+
+    /// True for latch outputs.
+    #[inline]
+    pub fn is_latch(&self) -> bool {
+        matches!(self, NodeKind::Latch { .. })
+    }
+
+    /// True for inputs and latches — the "combinational inputs" of the graph.
+    #[inline]
+    pub fn is_ci(&self) -> bool {
+        self.is_input() || self.is_latch()
+    }
+}
+
+/// A named primary output driving literal.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Output {
+    /// Port name.
+    pub name: String,
+    /// Driving edge.
+    pub lit: Lit,
+}
+
+/// A latch (synchronous storage element) in a sequential AIG.
+///
+/// In the xSFQ flow every latch eventually becomes a pair of DROC cells; the
+/// `init` value participates in the paper's preloading strategy (§3.2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Latch {
+    /// Node whose value is the latch's current state.
+    pub output: NodeId,
+    /// Next-state function (may reference any node, including later ones).
+    pub next: Lit,
+    /// Power-on value.
+    pub init: bool,
+    /// Latch name.
+    pub name: String,
+}
+
+/// Summary statistics of an AIG.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct AigStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of latches.
+    pub latches: usize,
+    /// Number of two-input AND nodes.
+    pub ands: usize,
+    /// Logic depth in AND levels (combinational inputs are level 0).
+    pub depth: usize,
+}
+
+impl fmt::Display for AigStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "i/o = {}/{}  latches = {}  ands = {}  depth = {}",
+            self.inputs, self.outputs, self.latches, self.ands, self.depth
+        )
+    }
+}
+
+/// An AND-Inverter graph: the tech-independent logic representation used by
+/// the whole flow (ABC's internal representation, per paper §3.1.3).
+///
+/// Nodes are stored in topological order (AND fanins always precede the node)
+/// and new ANDs are structurally hashed, so building `a & b` twice returns
+/// the same literal:
+///
+/// ```
+/// use xsfq_aig::Aig;
+/// let mut aig = Aig::new("example");
+/// let a = aig.input("a");
+/// let b = aig.input("b");
+/// let x = aig.and(a, b);
+/// let y = aig.and(b, a);
+/// assert_eq!(x, y);
+/// assert_eq!(aig.num_ands(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Aig {
+    name: String,
+    nodes: Vec<NodeKind>,
+    inputs: Vec<NodeId>,
+    input_names: Vec<String>,
+    latches: Vec<Latch>,
+    outputs: Vec<Output>,
+    strash: HashMap<(u32, u32), u32>,
+}
+
+impl Aig {
+    /// Create an empty AIG containing only the constant node.
+    pub fn new(name: impl Into<String>) -> Self {
+        Aig {
+            name: name.into(),
+            nodes: vec![NodeKind::Const0],
+            inputs: Vec::new(),
+            input_names: Vec::new(),
+            latches: Vec::new(),
+            outputs: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the design.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Total number of nodes including the constant, inputs and latches.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of two-input AND nodes.
+    pub fn num_ands(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_and()).count()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of latches.
+    pub fn num_latches(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// Kind of the given node.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.index()]
+    }
+
+    /// All node kinds in topological (id) order.
+    pub fn nodes(&self) -> &[NodeKind] {
+        &self.nodes
+    }
+
+    /// Ids of the primary inputs, in declaration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Name of primary input `index`.
+    pub fn input_name(&self, index: usize) -> &str {
+        &self.input_names[index]
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn outputs(&self) -> &[Output] {
+        &self.outputs
+    }
+
+    /// Latches in declaration order.
+    pub fn latches(&self) -> &[Latch] {
+        &self.latches
+    }
+
+    /// Iterate over the ids of all AND nodes in topological order.
+    pub fn and_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_and())
+            .map(|(i, _)| NodeId::from_index(i))
+    }
+
+    /// Ids of all combinational inputs (primary inputs then latch outputs).
+    pub fn ci_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.inputs
+            .iter()
+            .copied()
+            .chain(self.latches.iter().map(|l| l.output))
+    }
+
+    /// Add a primary input and return its (positive) literal.
+    pub fn input(&mut self, name: impl Into<String>) -> Lit {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(NodeKind::Input {
+            index: self.inputs.len() as u32,
+        });
+        self.inputs.push(id);
+        self.input_names.push(name.into());
+        id.lit()
+    }
+
+    /// Add `count` inputs named `prefix[0..count]`, returning their literals.
+    pub fn input_word(&mut self, prefix: &str, count: usize) -> Vec<Lit> {
+        (0..count)
+            .map(|i| self.input(format!("{prefix}[{i}]")))
+            .collect()
+    }
+
+    /// Add a latch with the given power-on value; its next-state function
+    /// must be set later with [`Aig::set_latch_next`]. Returns the literal of
+    /// the latch's current-state output.
+    pub fn latch(&mut self, name: impl Into<String>, init: bool) -> Lit {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(NodeKind::Latch {
+            index: self.latches.len() as u32,
+        });
+        self.latches.push(Latch {
+            output: id,
+            next: Lit::FALSE,
+            init,
+            name: name.into(),
+        });
+        id.lit()
+    }
+
+    /// Set the next-state function of the latch whose output node is
+    /// `latch_output`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latch_output` is not a latch node.
+    pub fn set_latch_next(&mut self, latch_output: Lit, next: Lit) {
+        let id = latch_output.node();
+        let NodeKind::Latch { index } = self.nodes[id.index()] else {
+            panic!("{id:?} is not a latch output");
+        };
+        // A complemented latch reference means the complement of the state;
+        // store the next function complemented instead so the latch output
+        // stays positive.
+        let next = next.complement_if(latch_output.is_complement());
+        self.latches[index as usize].next = next;
+    }
+
+    /// Declare a named primary output.
+    pub fn output(&mut self, name: impl Into<String>, lit: Lit) {
+        self.outputs.push(Output {
+            name: name.into(),
+            lit,
+        });
+    }
+
+    /// Declare outputs `prefix[i]` for each literal in `word`.
+    pub fn output_word(&mut self, prefix: &str, word: &[Lit]) {
+        for (i, &lit) in word.iter().enumerate() {
+            self.output(format!("{prefix}[{i}]"), lit);
+        }
+    }
+
+    /// Replace output `index` with a new driving literal.
+    pub fn set_output(&mut self, index: usize, lit: Lit) {
+        self.outputs[index].lit = lit;
+    }
+
+    /// The two fanin literals of an AND node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an AND node.
+    #[inline]
+    pub fn and_fanins(&self, id: NodeId) -> (Lit, Lit) {
+        match self.nodes[id.index()] {
+            NodeKind::And { a, b } => (a, b),
+            other => panic!("{id:?} is not an AND node (kind {other:?})"),
+        }
+    }
+
+    /// Create (or look up) the AND of two literals.
+    ///
+    /// Performs constant folding, unit/idempotence/complement simplification
+    /// and structural hashing, so the graph never contains two identical AND
+    /// nodes.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Trivial cases.
+        if a == Lit::FALSE || b == Lit::FALSE || a == !b {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE || a == b {
+            return a;
+        }
+        let (a, b) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        let key = (a.raw(), b.raw());
+        if let Some(&idx) = self.strash.get(&key) {
+            return Lit(idx << 1);
+        }
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(NodeKind::And { a, b });
+        self.strash.insert(key, id.0);
+        id.lit()
+    }
+
+    /// OR of two literals (`!(!a & !b)`).
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// NAND of two literals.
+    pub fn nand(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(a, b)
+    }
+
+    /// NOR of two literals.
+    pub fn nor(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(!a, !b)
+    }
+
+    /// XOR of two literals, built from three ANDs (or fewer with constants).
+    ///
+    /// Uses the `(a|b) & !(a&b)` structure, whose `a&b` product is shared
+    /// with carry logic — this is what makes [`crate::build::full_adder`]
+    /// come out at the 7-node minimum of the paper's Figure 4.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        // Canonicalize to positive-polarity inputs so `xor(a, !b)` produces
+        // the same internal nodes as `!xor(a, b)` — maximizing sharing.
+        let flip = a.is_complement() ^ b.is_complement();
+        let (a, b) = (a.positive(), b.positive());
+        let both = self.and(a, b);
+        let neither = self.and(!a, !b);
+        let x = self.and(!both, !neither);
+        x.complement_if(flip)
+    }
+
+    /// XNOR of two literals.
+    pub fn xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor(a, b)
+    }
+
+    /// 2:1 multiplexer: `sel ? t : e`.
+    pub fn mux(&mut self, sel: Lit, t: Lit, e: Lit) -> Lit {
+        let pt = self.and(sel, t);
+        let pe = self.and(!sel, e);
+        self.or(pt, pe)
+    }
+
+    /// Conjunction of many literals, built as a balanced tree.
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        self.reduce_balanced(lits, Lit::TRUE, Self::and)
+    }
+
+    /// Disjunction of many literals, built as a balanced tree.
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        self.reduce_balanced(lits, Lit::FALSE, Self::or)
+    }
+
+    /// XOR of many literals, built as a balanced tree.
+    pub fn xor_many(&mut self, lits: &[Lit]) -> Lit {
+        self.reduce_balanced(lits, Lit::FALSE, Self::xor)
+    }
+
+    fn reduce_balanced(
+        &mut self,
+        lits: &[Lit],
+        empty: Lit,
+        mut op: impl FnMut(&mut Self, Lit, Lit) -> Lit + Copy,
+    ) -> Lit {
+        match lits.len() {
+            0 => empty,
+            1 => lits[0],
+            n => {
+                let (lo, hi) = lits.split_at(n / 2);
+                let l = self.reduce_balanced(lo, empty, op);
+                let r = self.reduce_balanced(hi, empty, op);
+                op(self, l, r)
+            }
+        }
+    }
+
+    /// Per-node logic level (`0` for constants/CIs, `1 + max(fanins)` for
+    /// ANDs). Latch boundaries reset levels: next-state cones are measured
+    /// from the combinational inputs.
+    pub fn levels(&self) -> Vec<u32> {
+        let mut level = vec![0u32; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let NodeKind::And { a, b } = n {
+                level[i] = 1 + level[a.node().index()].max(level[b.node().index()]);
+            }
+        }
+        level
+    }
+
+    /// Maximum logic level over all outputs and latch next-state functions.
+    pub fn depth(&self) -> usize {
+        let levels = self.levels();
+        self.combinational_roots()
+            .map(|l| levels[l.node().index()] as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// All combinational root literals: primary outputs plus latch
+    /// next-state functions.
+    pub fn combinational_roots(&self) -> impl Iterator<Item = Lit> + '_ {
+        self.outputs
+            .iter()
+            .map(|o| o.lit)
+            .chain(self.latches.iter().map(|l| l.next))
+    }
+
+    /// Number of fanout references per node (AND fanins plus, when
+    /// `include_roots`, output and latch next references).
+    pub fn fanout_counts(&self, include_roots: bool) -> Vec<u32> {
+        let mut counts = vec![0u32; self.nodes.len()];
+        for n in &self.nodes {
+            if let NodeKind::And { a, b } = n {
+                counts[a.node().index()] += 1;
+                counts[b.node().index()] += 1;
+            }
+        }
+        if include_roots {
+            for root in self.combinational_roots() {
+                counts[root.node().index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> AigStats {
+        AigStats {
+            inputs: self.num_inputs(),
+            outputs: self.num_outputs(),
+            latches: self.num_latches(),
+            ands: self.num_ands(),
+            depth: self.depth(),
+        }
+    }
+
+    /// Remove all nodes with index `>= watermark`, undoing their structural
+    /// hash entries. Only valid when nothing below the watermark references
+    /// them (true for freshly appended nodes), which is how the optimization
+    /// passes evaluate candidate implementations without committing.
+    pub(crate) fn truncate_nodes(&mut self, watermark: usize) {
+        while self.nodes.len() > watermark {
+            let idx = self.nodes.len() - 1;
+            match self.nodes.pop().expect("non-empty") {
+                NodeKind::And { a, b } => {
+                    let key = (a.raw(), b.raw());
+                    debug_assert_eq!(self.strash.get(&key), Some(&(idx as u32)));
+                    self.strash.remove(&key);
+                }
+                other => panic!("cannot truncate non-AND node {other:?} at {idx}"),
+            }
+        }
+    }
+
+    /// Rebuild the graph keeping only nodes reachable from the outputs and
+    /// latch next-state functions. The PI/PO/latch interface is preserved
+    /// (all declared inputs and latches survive even if dangling).
+    ///
+    /// Returns the compacted graph; node ids are renumbered.
+    pub fn compact(&self) -> Aig {
+        let mut out = Aig::new(self.name.clone());
+        let mut map: Vec<Option<Lit>> = vec![None; self.nodes.len()];
+        map[0] = Some(Lit::FALSE);
+        for (i, &id) in self.inputs.iter().enumerate() {
+            let l = out.input(self.input_names[i].clone());
+            map[id.index()] = Some(l);
+        }
+        for latch in &self.latches {
+            let l = out.latch(latch.name.clone(), latch.init);
+            map[latch.output.index()] = Some(l);
+        }
+        // Mark reachable AND nodes.
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = self.combinational_roots().map(|l| l.node()).collect();
+        while let Some(id) = stack.pop() {
+            if live[id.index()] {
+                continue;
+            }
+            live[id.index()] = true;
+            if let NodeKind::And { a, b } = self.nodes[id.index()] {
+                stack.push(a.node());
+                stack.push(b.node());
+            }
+        }
+        // Rebuild live ANDs in topological (id) order.
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let NodeKind::And { a, b } = n {
+                if live[i] {
+                    let fa = map[a.node().index()].expect("fanin built").complement_if(a.is_complement());
+                    let fb = map[b.node().index()].expect("fanin built").complement_if(b.is_complement());
+                    map[i] = Some(out.and(fa, fb));
+                }
+            }
+        }
+        let resolve = |map: &[Option<Lit>], l: Lit| -> Lit {
+            map[l.node().index()]
+                .expect("root points at live node")
+                .complement_if(l.is_complement())
+        };
+        for o in &self.outputs {
+            let lit = resolve(&map, o.lit);
+            out.output(o.name.clone(), lit);
+        }
+        for (i, latch) in self.latches.iter().enumerate() {
+            let next = resolve(&map, latch.next);
+            let output = out.latches[i].output.lit();
+            out.set_latch_next(output, next);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Aig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "aig '{}': {}", self.name, self.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_simplifications() {
+        let mut g = Aig::new("t");
+        let a = g.input("a");
+        let b = g.input("b");
+        assert_eq!(g.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(g.and(Lit::TRUE, b), b);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, !a), Lit::FALSE);
+        assert_eq!(g.num_ands(), 0);
+    }
+
+    #[test]
+    fn strash_dedup() {
+        let mut g = Aig::new("t");
+        let a = g.input("a");
+        let b = g.input("b");
+        let x = g.and(a, b);
+        assert_eq!(g.and(b, a), x);
+        assert_eq!(g.or(!a, !b), !x); // !(a & b) shares the node
+        assert_eq!(g.num_ands(), 1);
+    }
+
+    #[test]
+    fn xor_uses_three_nodes() {
+        let mut g = Aig::new("t");
+        let a = g.input("a");
+        let b = g.input("b");
+        let _ = g.xor(a, b);
+        assert_eq!(g.num_ands(), 3);
+    }
+
+    #[test]
+    fn mux_constant_folds() {
+        let mut g = Aig::new("t");
+        let s = g.input("s");
+        let t = g.input("t");
+        let m = g.mux(s, t, Lit::FALSE);
+        // sel ? t : 0 == sel & t
+        assert_eq!(m, g.and(s, t));
+    }
+
+    #[test]
+    fn depth_and_levels() {
+        let mut g = Aig::new("t");
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("c");
+        let ab = g.and(a, b);
+        let abc = g.and(ab, c);
+        g.output("o", abc);
+        assert_eq!(g.depth(), 2);
+        let lv = g.levels();
+        assert_eq!(lv[ab.node().index()], 1);
+        assert_eq!(lv[abc.node().index()], 2);
+    }
+
+    #[test]
+    fn latch_roundtrip() {
+        let mut g = Aig::new("t");
+        let d = g.input("d");
+        let q = g.latch("q", true);
+        let nq = g.and(d, q);
+        g.set_latch_next(q, nq);
+        g.output("o", q);
+        assert_eq!(g.num_latches(), 1);
+        assert_eq!(g.latches()[0].init, true);
+        assert_eq!(g.latches()[0].next, nq);
+    }
+
+    #[test]
+    fn compact_drops_dangling() {
+        let mut g = Aig::new("t");
+        let a = g.input("a");
+        let b = g.input("b");
+        let keep = g.and(a, b);
+        let _dead = g.and(a, !b);
+        g.output("o", !keep);
+        let c = g.compact();
+        assert_eq!(c.num_ands(), 1);
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(c.outputs()[0].name, "o");
+        assert!(c.outputs()[0].lit.is_complement());
+    }
+
+    #[test]
+    fn compact_preserves_latch_interface() {
+        let mut g = Aig::new("t");
+        let d = g.input("d");
+        let q = g.latch("q", false);
+        let n = g.xor(d, q);
+        g.set_latch_next(q, n);
+        g.output("o", q);
+        let c = g.compact();
+        assert_eq!(c.num_latches(), 1);
+        assert_eq!(c.num_ands(), 3);
+    }
+}

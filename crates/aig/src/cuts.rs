@@ -1,0 +1,412 @@
+//! Cut computation: k-feasible cut enumeration, reconvergence-driven cuts,
+//! cone extraction and cut-function evaluation.
+//!
+//! Cuts are the windows through which the rewriting passes look at the
+//! graph; the paper's point (§3.1.3) is that xSFQ needs exactly this stock
+//! machinery and nothing more.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::tt::TruthTable;
+use crate::{Aig, NodeId, NodeKind};
+
+/// A cut: a set of leaf nodes (sorted by id) that together cover every path
+/// from the combinational inputs to the cut's root.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Cut {
+    leaves: Vec<NodeId>,
+}
+
+impl Cut {
+    /// The trivial cut `{node}`.
+    pub fn trivial(node: NodeId) -> Self {
+        Cut {
+            leaves: vec![node],
+        }
+    }
+
+    /// Leaf nodes, sorted by id.
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// True if the cut has no leaves (never produced by enumeration).
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Merge two cuts; `None` if the union exceeds `k` leaves.
+    pub fn merge(&self, other: &Cut, k: usize) -> Option<Cut> {
+        let mut leaves = Vec::with_capacity(k);
+        let (mut i, mut j) = (0, 0);
+        while i < self.leaves.len() || j < other.leaves.len() {
+            let next = match (self.leaves.get(i), other.leaves.get(j)) {
+                (Some(&a), Some(&b)) if a == b => {
+                    i += 1;
+                    j += 1;
+                    a
+                }
+                (Some(&a), Some(&b)) if a < b => {
+                    i += 1;
+                    a
+                }
+                (Some(_), Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (Some(&a), None) => {
+                    i += 1;
+                    a
+                }
+                (None, Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (None, None) => unreachable!(),
+            };
+            if leaves.len() == k {
+                return None;
+            }
+            leaves.push(next);
+        }
+        Some(Cut { leaves })
+    }
+
+    /// True if `self`'s leaves are a subset of `other`'s (i.e. `self`
+    /// dominates `other`).
+    pub fn dominates(&self, other: &Cut) -> bool {
+        if self.leaves.len() > other.leaves.len() {
+            return false;
+        }
+        let mut j = 0;
+        for &l in &self.leaves {
+            while j < other.leaves.len() && other.leaves[j] < l {
+                j += 1;
+            }
+            if j == other.leaves.len() || other.leaves[j] != l {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Enumerate up to `max_cuts` k-feasible cuts per node (the trivial cut is
+/// always included and not counted against the budget).
+///
+/// Returns one cut list per node id.
+pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
+    let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); aig.num_nodes()];
+    for (i, kind) in aig.nodes().iter().enumerate() {
+        let id = NodeId::from_index(i);
+        match *kind {
+            NodeKind::Const0 | NodeKind::Input { .. } | NodeKind::Latch { .. } => {
+                cuts[i] = vec![Cut::trivial(id)];
+            }
+            NodeKind::And { a, b } => {
+                let mut list: Vec<Cut> = Vec::new();
+                let (ca, cb) = (&cuts[a.node().index()], &cuts[b.node().index()]);
+                for cut_a in ca {
+                    for cut_b in cb {
+                        let Some(merged) = cut_a.merge(cut_b, k) else {
+                            continue;
+                        };
+                        if list.iter().any(|c| c.dominates(&merged)) {
+                            continue;
+                        }
+                        list.retain(|c| !merged.dominates(c));
+                        list.push(merged);
+                    }
+                }
+                list.sort_by_key(Cut::len);
+                list.truncate(max_cuts);
+                list.push(Cut::trivial(id));
+                cuts[i] = list;
+            }
+        }
+    }
+    cuts
+}
+
+/// Compute a reconvergence-driven cut of at most `k` leaves for `root`
+/// (ABC's `abc_NodeFindCut` strategy): greedily expand the leaf whose
+/// expansion adds the fewest new leaves.
+pub fn reconvergence_cut(aig: &Aig, root: NodeId, k: usize) -> Cut {
+    let mut leaves: HashSet<NodeId> = HashSet::new();
+    let mut visited: HashSet<NodeId> = HashSet::new();
+    visited.insert(root);
+    match aig.node(root) {
+        NodeKind::And { a, b } => {
+            leaves.insert(a.node());
+            leaves.insert(b.node());
+        }
+        _ => {
+            leaves.insert(root);
+        }
+    }
+    loop {
+        // Cost of expanding a leaf = new leaves introduced - 1.
+        let mut best: Option<(i32, NodeId)> = None;
+        for &leaf in &leaves {
+            let NodeKind::And { a, b } = aig.node(leaf) else {
+                continue;
+            };
+            let mut added = 0;
+            for f in [a.node(), b.node()] {
+                if !leaves.contains(&f) && !visited.contains(&f) {
+                    added += 1;
+                }
+            }
+            let cost = added - 1;
+            if leaves.len() + added as usize - 1 > k {
+                continue;
+            }
+            if best.is_none_or(|(c, _)| cost < c) {
+                best = Some((cost, leaf));
+            }
+        }
+        let Some((_, leaf)) = best else { break };
+        leaves.remove(&leaf);
+        visited.insert(leaf);
+        let NodeKind::And { a, b } = aig.node(leaf) else {
+            unreachable!()
+        };
+        for f in [a.node(), b.node()] {
+            if !visited.contains(&f) {
+                leaves.insert(f);
+            }
+        }
+        if leaves.len() >= k {
+            break;
+        }
+    }
+    let mut sorted: Vec<NodeId> = leaves.into_iter().collect();
+    sorted.sort();
+    Cut { leaves: sorted }
+}
+
+/// Interior nodes of the cone of `root` above the cut leaves, in topological
+/// order (root last). Leaves are excluded; the root is included.
+pub fn cone_nodes(aig: &Aig, root: NodeId, leaves: &[NodeId]) -> Vec<NodeId> {
+    let leaf_set: HashSet<NodeId> = leaves.iter().copied().collect();
+    let mut cone = Vec::new();
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    // Iterative post-order DFS.
+    let mut stack = vec![(root, false)];
+    while let Some((id, expanded)) = stack.pop() {
+        if leaf_set.contains(&id) || seen.contains(&id) && !expanded {
+            continue;
+        }
+        if expanded {
+            cone.push(id);
+            continue;
+        }
+        seen.insert(id);
+        stack.push((id, true));
+        if let NodeKind::And { a, b } = aig.node(id) {
+            stack.push((a.node(), false));
+            stack.push((b.node(), false));
+        }
+    }
+    cone
+}
+
+/// Truth table of `root` as a function of the cut leaves.
+///
+/// # Panics
+///
+/// Panics if some path from `root` reaches a combinational input that is not
+/// a cut leaf (i.e. `leaves` is not a valid cut for `root`).
+pub fn cut_function(aig: &Aig, root: NodeId, leaves: &[NodeId]) -> TruthTable {
+    let vars = leaves.len();
+    let mut tables: HashMap<NodeId, TruthTable> = HashMap::new();
+    for (i, &leaf) in leaves.iter().enumerate() {
+        tables.insert(leaf, TruthTable::variable(vars, i));
+    }
+    tables
+        .entry(NodeId::CONST0)
+        .or_insert_with(|| TruthTable::zeros(vars));
+    for id in cone_nodes(aig, root, leaves) {
+        let NodeKind::And { a, b } = aig.node(id) else {
+            panic!("cone reached non-AND node {id:?} that is not a cut leaf");
+        };
+        let ta = {
+            let t = tables.get(&a.node()).expect("fanin table computed");
+            if a.is_complement() {
+                t.not()
+            } else {
+                t.clone()
+            }
+        };
+        let tb = {
+            let t = tables.get(&b.node()).expect("fanin table computed");
+            if b.is_complement() {
+                t.not()
+            } else {
+                t.clone()
+            }
+        };
+        tables.insert(id, ta.and(&tb));
+    }
+    tables.remove(&root).expect("root evaluated")
+}
+
+/// Size of the maximum fanout-free cone of `root` with respect to the cut:
+/// the number of cone nodes (including the root) that would become dangling
+/// if `root` were replaced by a new implementation over the cut leaves.
+///
+/// `fanouts` must come from [`Aig::fanout_counts`] with roots included.
+pub fn mffc_size(aig: &Aig, root: NodeId, leaves: &[NodeId], fanouts: &[u32]) -> usize {
+    let leaf_set: HashSet<NodeId> = leaves.iter().copied().collect();
+    let mut local: HashMap<NodeId, u32> = HashMap::new();
+    let mut size = 0usize;
+    // Deref the root unconditionally (it is being replaced).
+    let mut stack = vec![root];
+    let mut first = true;
+    while let Some(id) = stack.pop() {
+        if leaf_set.contains(&id) {
+            continue;
+        }
+        let NodeKind::And { a, b } = aig.node(id) else {
+            continue;
+        };
+        size += 1;
+        for f in [a.node(), b.node()] {
+            if leaf_set.contains(&f) || !aig.node(f).is_and() {
+                continue;
+            }
+            let remaining = local
+                .entry(f)
+                .or_insert_with(|| fanouts[f.index()])
+                .saturating_sub(1);
+            local.insert(f, remaining);
+            if remaining == 0 {
+                stack.push(f);
+            }
+        }
+        if first {
+            first = false;
+        }
+    }
+    size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build;
+    use crate::Lit;
+
+    fn full_adder_aig() -> (Aig, Lit, Lit) {
+        let mut g = Aig::new("fa");
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("cin");
+        let (s, co) = build::full_adder(&mut g, a, b, c);
+        g.output("s", s);
+        g.output("cout", co);
+        (g, s, co)
+    }
+
+    #[test]
+    fn merge_respects_k() {
+        let a = Cut::trivial(NodeId::from_index(1));
+        let b = Cut::trivial(NodeId::from_index(2));
+        let ab = a.merge(&b, 2).unwrap();
+        assert_eq!(ab.len(), 2);
+        let c = Cut::trivial(NodeId::from_index(3));
+        assert!(ab.merge(&c, 2).is_none());
+        assert!(ab.merge(&c, 3).is_some());
+    }
+
+    #[test]
+    fn dominance() {
+        let small = Cut {
+            leaves: vec![NodeId::from_index(1), NodeId::from_index(3)],
+        };
+        let big = Cut {
+            leaves: vec![
+                NodeId::from_index(1),
+                NodeId::from_index(2),
+                NodeId::from_index(3),
+            ],
+        };
+        assert!(small.dominates(&big));
+        assert!(!big.dominates(&small));
+    }
+
+    #[test]
+    fn enumerate_full_adder() {
+        let (g, s, co) = full_adder_aig();
+        let cuts = enumerate_cuts(&g, 4, 8);
+        // The sum output node must have a cut consisting of the three PIs.
+        let pi_cut: Vec<NodeId> = g.inputs().to_vec();
+        let s_cuts = &cuts[s.node().index()];
+        assert!(
+            s_cuts.iter().any(|c| c.leaves() == pi_cut.as_slice()),
+            "sum node should have the PI cut, got {s_cuts:?}"
+        );
+        let co_cuts = &cuts[co.node().index()];
+        assert!(co_cuts.iter().any(|c| c.leaves() == pi_cut.as_slice()));
+    }
+
+    #[test]
+    fn cut_function_matches_semantics() {
+        let (g, s, co) = full_adder_aig();
+        let pis: Vec<NodeId> = g.inputs().to_vec();
+        let ts = cut_function(&g, s.node(), &pis);
+        let tc = cut_function(&g, co.node(), &pis);
+        for p in 0..8usize {
+            let ones = (p & 1) + (p >> 1 & 1) + (p >> 2 & 1);
+            // s output literal may be complemented relative to its node.
+            let node_s = ts.bit(p);
+            let expect_s = (ones & 1) == 1;
+            assert_eq!(node_s ^ s.is_complement(), expect_s, "sum pattern {p}");
+            let node_c = tc.bit(p);
+            let expect_c = ones >= 2;
+            assert_eq!(node_c ^ co.is_complement(), expect_c, "cout pattern {p}");
+        }
+    }
+
+    #[test]
+    fn reconvergence_cut_covers_root() {
+        let (g, s, _) = full_adder_aig();
+        let cut = reconvergence_cut(&g, s.node(), 4);
+        assert!(cut.len() <= 4);
+        // Evaluating the cut function must succeed (i.e. it is a real cut).
+        let _ = cut_function(&g, s.node(), cut.leaves());
+    }
+
+    #[test]
+    fn mffc_of_exclusive_cone() {
+        // x = a&b feeding only y = x&c: replacing y frees both.
+        let mut g = Aig::new("t");
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("c");
+        let x = g.and(a, b);
+        let y = g.and(x, c);
+        g.output("o", y);
+        let fanouts = g.fanout_counts(true);
+        let leaves: Vec<NodeId> = g.inputs().to_vec();
+        assert_eq!(mffc_size(&g, y.node(), &leaves, &fanouts), 2);
+
+        // If x is also an output, it survives the replacement.
+        let mut g2 = Aig::new("t2");
+        let a = g2.input("a");
+        let b = g2.input("b");
+        let c = g2.input("c");
+        let x = g2.and(a, b);
+        let y = g2.and(x, c);
+        g2.output("o", y);
+        g2.output("x", x);
+        let fanouts = g2.fanout_counts(true);
+        let leaves: Vec<NodeId> = g2.inputs().to_vec();
+        assert_eq!(mffc_size(&g2, y.node(), &leaves, &fanouts), 1);
+    }
+}

@@ -1,0 +1,461 @@
+//! BLIF import/export.
+//!
+//! The Berkeley Logic Interchange Format is the lingua franca of academic
+//! synthesis tools (and of the ISCAS/EPFL benchmark distributions). The
+//! reader covers the combinational + latch subset the benchmarks use:
+//! `.model`, `.inputs`, `.outputs`, `.names` (SOP tables), `.latch`, `.end`.
+//! Users who have the original benchmark files can load them here; the
+//! in-repo suite uses the generators in `xsfq-benchmarks`.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::{Aig, Lit};
+
+/// Error parsing a BLIF file.
+#[derive(Debug)]
+pub struct ParseBlifError {
+    line: usize,
+    message: String,
+}
+
+impl ParseBlifError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseBlifError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number where parsing failed.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseBlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blif parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseBlifError {}
+
+/// Read a BLIF model into an AIG. `.names` tables become SOP logic over
+/// AND/INV; `.latch` statements become latches (init values `0`, `1`;
+/// `2`/`3`/missing default to `0`).
+///
+/// # Errors
+///
+/// Returns [`ParseBlifError`] on malformed input, undriven signals or
+/// unsupported constructs (`.subckt`, multiple models).
+pub fn read_blif<R: BufRead>(reader: R) -> Result<Aig, ParseBlifError> {
+    // Collect logical lines (joining `\` continuations).
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_start = 0usize;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| ParseBlifError::new(idx + 1, e.to_string()))?;
+        let content = match line.find('#') {
+            Some(p) => &line[..p],
+            None => &line[..],
+        };
+        let trimmed = content.trim_end();
+        if pending.is_empty() {
+            pending_start = idx + 1;
+        }
+        if let Some(stripped) = trimmed.strip_suffix('\\') {
+            pending.push_str(stripped);
+            pending.push(' ');
+            continue;
+        }
+        pending.push_str(trimmed);
+        if !pending.trim().is_empty() {
+            lines.push((pending_start, std::mem::take(&mut pending)));
+        } else {
+            pending.clear();
+        }
+    }
+
+    #[derive(Debug)]
+    struct NamesBlock {
+        line: usize,
+        signals: Vec<String>, // inputs then the output
+        cubes: Vec<(String, char)>,
+    }
+
+    let mut model_name = String::from("top");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut latches: Vec<(usize, String, String, bool)> = Vec::new(); // (line, input, output, init)
+    let mut names: Vec<NamesBlock> = Vec::new();
+
+    let mut i = 0;
+    while i < lines.len() {
+        let (lineno, line) = &lines[i];
+        let mut tokens = line.split_whitespace();
+        let Some(head) = tokens.next() else {
+            i += 1;
+            continue;
+        };
+        match head {
+            ".model" => {
+                if let Some(n) = tokens.next() {
+                    model_name = n.to_string();
+                }
+            }
+            ".inputs" => inputs.extend(tokens.map(str::to_string)),
+            ".outputs" => outputs.extend(tokens.map(str::to_string)),
+            ".latch" => {
+                let args: Vec<&str> = tokens.collect();
+                if args.len() < 2 {
+                    return Err(ParseBlifError::new(*lineno, ".latch needs input and output"));
+                }
+                // .latch <input> <output> [<type> <control>] [<init>]
+                let init = match args.last() {
+                    Some(&"1") => true,
+                    _ => false,
+                };
+                latches.push((*lineno, args[0].to_string(), args[1].to_string(), init));
+            }
+            ".names" => {
+                let signals: Vec<String> = tokens.map(str::to_string).collect();
+                if signals.is_empty() {
+                    return Err(ParseBlifError::new(*lineno, ".names needs at least an output"));
+                }
+                let mut cubes = Vec::new();
+                while i + 1 < lines.len() {
+                    let (cl, cline) = &lines[i + 1];
+                    if cline.trim_start().starts_with('.') {
+                        break;
+                    }
+                    let parts: Vec<&str> = cline.split_whitespace().collect();
+                    match parts.as_slice() {
+                        [out] if signals.len() == 1 => {
+                            let v = out.chars().next().unwrap_or('0');
+                            cubes.push((String::new(), v));
+                        }
+                        [mask, out] => {
+                            if mask.len() != signals.len() - 1 {
+                                return Err(ParseBlifError::new(
+                                    *cl,
+                                    format!(
+                                        "cube width {} does not match {} inputs",
+                                        mask.len(),
+                                        signals.len() - 1
+                                    ),
+                                ));
+                            }
+                            let v = out.chars().next().unwrap_or('0');
+                            cubes.push((mask.to_string(), v));
+                        }
+                        _ => {
+                            return Err(ParseBlifError::new(*cl, "malformed cube line"));
+                        }
+                    }
+                    i += 1;
+                }
+                names.push(NamesBlock {
+                    line: *lineno,
+                    signals,
+                    cubes,
+                });
+            }
+            ".end" => break,
+            ".exdc" | ".subckt" | ".gate" => {
+                return Err(ParseBlifError::new(
+                    *lineno,
+                    format!("unsupported construct {head}"),
+                ));
+            }
+            _ => { /* ignore unknown dot-commands */ }
+        }
+        i += 1;
+    }
+
+    // Build the AIG: create PIs and latch outputs, then elaborate `.names`
+    // blocks in dependency order.
+    let mut aig = Aig::new(model_name);
+    let mut env: HashMap<String, Lit> = HashMap::new();
+    for name in &inputs {
+        let l = aig.input(name.clone());
+        env.insert(name.clone(), l);
+    }
+    for (_, _, out, init) in &latches {
+        let l = aig.latch(out.clone(), *init);
+        env.insert(out.clone(), l);
+    }
+
+    // Iteratively elaborate blocks whose inputs are all available.
+    let mut remaining: Vec<NamesBlock> = names;
+    loop {
+        let before = remaining.len();
+        remaining.retain(|block| {
+            let (out_name, in_names) = block.signals.split_last().expect("non-empty");
+            if !in_names.iter().all(|n| env.contains_key(n)) {
+                return true; // keep for a later round
+            }
+            let in_lits: Vec<Lit> = in_names.iter().map(|n| env[n]).collect();
+            let lit = build_sop(&mut aig, &in_lits, &block.cubes);
+            env.insert(out_name.clone(), lit);
+            false
+        });
+        if remaining.is_empty() {
+            break;
+        }
+        if remaining.len() == before {
+            let block = &remaining[0];
+            return Err(ParseBlifError::new(
+                block.line,
+                format!(
+                    "combinational cycle or undriven signal feeding '{}'",
+                    block.signals.last().unwrap()
+                ),
+            ));
+        }
+    }
+
+    for (lineno, input, output, _) in &latches {
+        let Some(&next) = env.get(input) else {
+            return Err(ParseBlifError::new(
+                *lineno,
+                format!("latch input '{input}' is undriven"),
+            ));
+        };
+        let q = env[output];
+        aig.set_latch_next(q, next);
+    }
+    for name in &outputs {
+        let Some(&lit) = env.get(name) else {
+            return Err(ParseBlifError::new(0, format!("output '{name}' is undriven")));
+        };
+        aig.output(name.clone(), lit);
+    }
+    Ok(aig)
+}
+
+/// Elaborate one `.names` SOP block (ON-set or OFF-set convention).
+fn build_sop(aig: &mut Aig, inputs: &[Lit], cubes: &[(String, char)]) -> Lit {
+    if cubes.is_empty() {
+        return Lit::FALSE; // empty table = constant 0
+    }
+    let on_set = cubes[0].1 != '0';
+    let mut terms = Vec::with_capacity(cubes.len());
+    for (mask, _) in cubes {
+        let mut lits = Vec::new();
+        for (i, ch) in mask.chars().enumerate() {
+            match ch {
+                '1' => lits.push(inputs[i]),
+                '0' => lits.push(!inputs[i]),
+                _ => {}
+            }
+        }
+        terms.push(aig.and_many(&lits));
+    }
+    let cover = aig.or_many(&terms);
+    if on_set {
+        cover
+    } else {
+        !cover
+    }
+}
+
+/// Write an AIG as BLIF. Every AND node becomes a two-input `.names` block;
+/// complemented edges are expressed in the cube masks, so no extra inverter
+/// nodes are emitted.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_blif<W: Write>(aig: &Aig, mut w: W) -> std::io::Result<()> {
+    writeln!(w, ".model {}", aig.name())?;
+    if aig.num_inputs() > 0 {
+        write!(w, ".inputs")?;
+        for i in 0..aig.num_inputs() {
+            write!(w, " {}", sanitize(aig.input_name(i)))?;
+        }
+        writeln!(w)?;
+    }
+    if aig.num_outputs() > 0 {
+        write!(w, ".outputs")?;
+        for o in aig.outputs() {
+            write!(w, " {}", sanitize(&o.name))?;
+        }
+        writeln!(w)?;
+    }
+    // Internal nodes get synthetic names; PI nodes must resolve to their
+    // declared port names so the reader can reconnect them.
+    let node_name = |id: crate::NodeId| -> String {
+        match aig.node(id) {
+            crate::NodeKind::Input { index } => sanitize(aig.input_name(index as usize)),
+            _ => format!("nd{}", id.index()),
+        }
+    };
+    for latch in aig.latches() {
+        writeln!(
+            w,
+            ".latch ln_{} {} re clk {}",
+            latch.output.index(),
+            node_name(latch.output),
+            if latch.init { 1 } else { 0 }
+        )?;
+    }
+    // Constant node, if referenced.
+    writeln!(w, ".names nd0")?; // constant 0: empty table
+
+    for id in aig.and_ids() {
+        let (a, b) = aig.and_fanins(id);
+        writeln!(
+            w,
+            ".names {} {} {}",
+            node_name(a.node()),
+            node_name(b.node()),
+            node_name(id)
+        )?;
+        writeln!(
+            w,
+            "{}{} 1",
+            if a.is_complement() { '0' } else { '1' },
+            if b.is_complement() { '0' } else { '1' }
+        )?;
+    }
+    // Output buffers / inverters.
+    for o in aig.outputs() {
+        writeln!(w, ".names {} {}", node_name(o.lit.node()), sanitize(&o.name))?;
+        writeln!(w, "{} 1", if o.lit.is_complement() { '0' } else { '1' })?;
+    }
+    for latch in aig.latches() {
+        writeln!(
+            w,
+            ".names {} ln_{}",
+            node_name(latch.next.node()),
+            latch.output.index()
+        )?;
+        writeln!(w, "{} 1", if latch.next.is_complement() { '0' } else { '1' })?;
+    }
+    writeln!(w, ".end")
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+
+    #[test]
+    fn parse_simple_model() {
+        let text = "\
+# a full adder
+.model fa
+.inputs a b cin
+.outputs s cout
+.names a b cin s
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+";
+        let aig = read_blif(text.as_bytes()).unwrap();
+        assert_eq!(aig.name(), "fa");
+        assert_eq!(aig.num_inputs(), 3);
+        assert_eq!(aig.num_outputs(), 2);
+        for p in 0..8usize {
+            let inputs: Vec<bool> = (0..3).map(|i| p >> i & 1 == 1).collect();
+            let ones = inputs.iter().filter(|&&b| b).count();
+            let out = sim::eval_outputs(&aig, &inputs);
+            assert_eq!(out[0], ones % 2 == 1, "sum for {p:03b}");
+            assert_eq!(out[1], ones >= 2, "cout for {p:03b}");
+        }
+    }
+
+    #[test]
+    fn parse_offset_table_and_constants() {
+        let text = "\
+.model t
+.inputs a b
+.outputs nor one
+.names a b nor
+00 1
+.names one
+1
+.end
+";
+        let aig = read_blif(text.as_bytes()).unwrap();
+        let out = sim::eval_outputs(&aig, &[false, false]);
+        assert_eq!(out, [true, true]);
+        let out = sim::eval_outputs(&aig, &[true, false]);
+        assert_eq!(out, [false, true]);
+    }
+
+    #[test]
+    fn parse_latches() {
+        let text = "\
+.model cnt
+.inputs en
+.outputs q
+.latch nq q re clk 1
+.names en q nq
+10 1
+01 1
+.end
+";
+        let aig = read_blif(text.as_bytes()).unwrap();
+        assert_eq!(aig.num_latches(), 1);
+        assert!(aig.latches()[0].init);
+        let mut s = sim::SeqSim::new(&aig);
+        assert_eq!(s.step(&[true]), [true]); // q=1, toggles
+        assert_eq!(s.step(&[true]), [false]);
+        assert_eq!(s.step(&[false]), [true]);
+        assert_eq!(s.step(&[true]), [true]);
+    }
+
+    #[test]
+    fn roundtrip_through_blif() {
+        let mut g = Aig::new("rt");
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("c");
+        let (s, co) = crate::build::full_adder(&mut g, a, b, c);
+        g.output("s", s);
+        g.output("cout", co);
+        let mut buf = Vec::new();
+        write_blif(&g, &mut buf).unwrap();
+        let back = read_blif(buf.as_slice()).unwrap();
+        assert!(sim::random_equiv(&g, &back, 8, 1));
+    }
+
+    #[test]
+    fn error_on_undriven_output() {
+        let text = ".model t\n.inputs a\n.outputs z\n.end\n";
+        let err = read_blif(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("undriven"));
+    }
+
+    #[test]
+    fn error_on_cycle() {
+        let text = "\
+.model t
+.inputs a
+.outputs x
+.names a y x
+11 1
+.names a x y
+11 1
+.end
+";
+        let err = read_blif(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+    }
+}

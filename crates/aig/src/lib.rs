@@ -1,0 +1,42 @@
+//! # xsfq-aig — AND-Inverter graphs for the xSFQ synthesis flow
+//!
+//! This crate is the tech-independent logic substrate of the workspace: a
+//! structurally hashed [`Aig`] with word-level construction helpers
+//! ([`build`]), bit-parallel and sequential simulation ([`sim`]),
+//! cut computation ([`cuts`]), truth-table manipulation ([`tt`], [`isop`],
+//! [`synth`]) and the optimization passes ([`opt`]) the paper applies
+//! off-the-shelf (§3.1.3: *"xSFQ netlists exhibit seamless compatibility
+//! with ABC's internal AIG representation"*).
+//!
+//! ```
+//! use xsfq_aig::{Aig, build, opt, sim};
+//!
+//! // Build a 4-bit adder, optimize it, and check equivalence.
+//! let mut aig = Aig::new("adder4");
+//! let a = aig.input_word("a", 4);
+//! let b = aig.input_word("b", 4);
+//! let (sum, carry) = build::ripple_add(&mut aig, &a, &b, xsfq_aig::Lit::FALSE);
+//! aig.output_word("sum", &sum);
+//! aig.output("carry", carry);
+//!
+//! let optimized = opt::optimize(&aig, opt::Effort::Standard);
+//! assert!(optimized.num_ands() <= aig.num_ands());
+//! assert!(sim::random_equiv(&aig, &optimized, 16, 42));
+//! ```
+
+#![warn(missing_docs)]
+
+mod aig;
+mod lit;
+
+pub mod build;
+pub mod cuts;
+pub mod io;
+pub mod isop;
+pub mod opt;
+pub mod sim;
+pub mod synth;
+pub mod tt;
+
+pub use aig::{Aig, AigStats, Latch, NodeKind, Output};
+pub use lit::{Lit, NodeId};

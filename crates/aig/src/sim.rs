@@ -1,0 +1,279 @@
+//! Bit-parallel simulation of AIGs.
+//!
+//! Combinational simulation packs 64 patterns per word; sequential simulation
+//! steps latches cycle by cycle. These are the golden models against which
+//! mapped xSFQ netlists (and the pulse-level simulator) are verified.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Aig, Lit, NodeKind};
+
+/// Evaluate all nodes for 64 parallel input patterns.
+///
+/// `input_words[i]` supplies 64 values for primary input `i`;
+/// `latch_words[i]` likewise for latch `i` (pass all-zeros for combinational
+/// designs). Returns one word per node.
+///
+/// # Panics
+///
+/// Panics if the word slices do not match the input/latch counts.
+pub fn simulate_words(aig: &Aig, input_words: &[u64], latch_words: &[u64]) -> Vec<u64> {
+    assert_eq!(input_words.len(), aig.num_inputs(), "input word count");
+    assert_eq!(latch_words.len(), aig.num_latches(), "latch word count");
+    let mut words = vec![0u64; aig.num_nodes()];
+    for (i, kind) in aig.nodes().iter().enumerate() {
+        words[i] = match *kind {
+            NodeKind::Const0 => 0,
+            NodeKind::Input { index } => input_words[index as usize],
+            NodeKind::Latch { index } => latch_words[index as usize],
+            NodeKind::And { a, b } => lit_word(&words, a) & lit_word(&words, b),
+        };
+    }
+    words
+}
+
+#[inline]
+fn lit_word(words: &[u64], lit: Lit) -> u64 {
+    let w = words[lit.node().index()];
+    if lit.is_complement() {
+        !w
+    } else {
+        w
+    }
+}
+
+/// Value of an edge literal given the node words from [`simulate_words`].
+pub fn lit_value(words: &[u64], lit: Lit) -> u64 {
+    lit_word(words, lit)
+}
+
+/// Evaluate the primary outputs for a single input pattern.
+pub fn eval_outputs(aig: &Aig, inputs: &[bool]) -> Vec<bool> {
+    let input_words: Vec<u64> = inputs.iter().map(|&b| if b { !0 } else { 0 }).collect();
+    let latch_words = vec![0u64; aig.num_latches()];
+    let words = simulate_words(aig, &input_words, &latch_words);
+    aig.outputs()
+        .iter()
+        .map(|o| lit_word(&words, o.lit) & 1 != 0)
+        .collect()
+}
+
+/// Compute the full truth table of every output, for designs with at most 16
+/// inputs. Output `o`'s table has bit `p` set iff the output is 1 under input
+/// pattern `p` (input `i` = bit `i` of `p`).
+///
+/// # Panics
+///
+/// Panics if the design has more than 16 inputs or any latches.
+pub fn exhaustive_truth_tables(aig: &Aig) -> Vec<Vec<u64>> {
+    let n = aig.num_inputs();
+    assert!(n <= 16, "exhaustive simulation limited to 16 inputs");
+    assert_eq!(aig.num_latches(), 0, "combinational designs only");
+    let patterns = 1usize << n;
+    let words = patterns.div_ceil(64);
+    let mut tables = vec![vec![0u64; words]; aig.num_outputs()];
+    for base in (0..patterns).step_by(64) {
+        let mut input_words = vec![0u64; n];
+        for offset in 0..64.min(patterns - base) {
+            let p = base + offset;
+            for (i, w) in input_words.iter_mut().enumerate() {
+                if p >> i & 1 == 1 {
+                    *w |= 1u64 << offset;
+                }
+            }
+        }
+        let node_words = simulate_words(aig, &input_words, &[]);
+        for (o, out) in aig.outputs().iter().enumerate() {
+            tables[o][base / 64] = lit_word(&node_words, out.lit);
+            if patterns - base < 64 {
+                tables[o][base / 64] &= (1u64 << (patterns - base)) - 1;
+            }
+        }
+    }
+    tables
+}
+
+/// Random-simulation equivalence check between two combinational AIGs with
+/// identical interfaces. Returns `false` as soon as any of `rounds × 64`
+/// random patterns distinguishes them. A `true` result is evidence, not
+/// proof — use `xsfq-sat`'s CEC for a decision procedure.
+///
+/// # Panics
+///
+/// Panics if the interfaces (input/output counts) differ.
+pub fn random_equiv(a: &Aig, b: &Aig, rounds: usize, seed: u64) -> bool {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
+    assert_eq!(a.num_latches(), 0, "combinational only");
+    assert_eq!(b.num_latches(), 0, "combinational only");
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..rounds {
+        let input_words: Vec<u64> = (0..a.num_inputs()).map(|_| rng.gen()).collect();
+        let wa = simulate_words(a, &input_words, &[]);
+        let wb = simulate_words(b, &input_words, &[]);
+        for (oa, ob) in a.outputs().iter().zip(b.outputs()) {
+            if lit_word(&wa, oa.lit) != lit_word(&wb, ob.lit) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Cycle-accurate sequential simulator.
+///
+/// ```
+/// use xsfq_aig::{Aig, sim::SeqSim};
+/// // 1-bit toggle counter.
+/// let mut aig = Aig::new("toggle");
+/// let q = aig.latch("q", false);
+/// aig.set_latch_next(q, !q);
+/// aig.output("o", q);
+/// let mut sim = SeqSim::new(&aig);
+/// let mut trace = Vec::new();
+/// for _ in 0..4 {
+///     trace.push(sim.step(&[])[0]);
+/// }
+/// assert_eq!(trace, [false, true, false, true]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SeqSim<'a> {
+    aig: &'a Aig,
+    state: Vec<bool>,
+}
+
+impl<'a> SeqSim<'a> {
+    /// Create a simulator with all latches at their declared init values.
+    pub fn new(aig: &'a Aig) -> Self {
+        SeqSim {
+            aig,
+            state: aig.latches().iter().map(|l| l.init).collect(),
+        }
+    }
+
+    /// Current latch state.
+    pub fn state(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// Force the latch state (for exploring initialization scenarios).
+    pub fn set_state(&mut self, state: Vec<bool>) {
+        assert_eq!(state.len(), self.aig.num_latches());
+        self.state = state;
+    }
+
+    /// Apply one input vector, return the outputs sampled *before* the clock
+    /// edge, then advance the latches.
+    pub fn step(&mut self, inputs: &[bool]) -> Vec<bool> {
+        let input_words: Vec<u64> = inputs.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        let latch_words: Vec<u64> = self.state.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        let words = simulate_words(self.aig, &input_words, &latch_words);
+        let outputs = self
+            .aig
+            .outputs()
+            .iter()
+            .map(|o| lit_word(&words, o.lit) & 1 != 0)
+            .collect();
+        self.state = self
+            .aig
+            .latches()
+            .iter()
+            .map(|l| lit_word(&words, l.next) & 1 != 0)
+            .collect();
+        outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build;
+
+    #[test]
+    fn words_and_bools_agree() {
+        let mut g = Aig::new("t");
+        let a = g.input("a");
+        let b = g.input("b");
+        let x = g.xor(a, b);
+        g.output("x", x);
+        assert_eq!(eval_outputs(&g, &[false, false]), [false]);
+        assert_eq!(eval_outputs(&g, &[true, false]), [true]);
+        assert_eq!(eval_outputs(&g, &[false, true]), [true]);
+        assert_eq!(eval_outputs(&g, &[true, true]), [false]);
+    }
+
+    #[test]
+    fn exhaustive_xor3() {
+        let mut g = Aig::new("x3");
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("c");
+        let x = g.xor_many(&[a, b, c]);
+        g.output("x", x);
+        let tts = exhaustive_truth_tables(&g);
+        // XOR3 truth table over p = c b a: parity of bits.
+        let mut expect = 0u64;
+        for p in 0..8u64 {
+            if (p.count_ones() & 1) == 1 {
+                expect |= 1 << p;
+            }
+        }
+        assert_eq!(tts[0][0], expect);
+    }
+
+    #[test]
+    fn random_equiv_detects_difference() {
+        let mut g1 = Aig::new("g1");
+        let a = g1.input("a");
+        let b = g1.input("b");
+        let o = g1.and(a, b);
+        g1.output("o", o);
+
+        let mut g2 = Aig::new("g2");
+        let a = g2.input("a");
+        let b = g2.input("b");
+        let o = g2.or(a, b);
+        g2.output("o", o);
+
+        assert!(!random_equiv(&g1, &g2, 4, 42));
+        assert!(random_equiv(&g1, &g1.clone(), 4, 42));
+    }
+
+    #[test]
+    fn sequential_counter() {
+        // 2-bit counter: q0' = !q0, q1' = q1 ^ q0.
+        let mut g = Aig::new("cnt2");
+        let q0 = g.latch("q0", false);
+        let q1 = g.latch("q1", false);
+        g.set_latch_next(q0, !q0);
+        let n1 = g.xor(q1, q0);
+        g.set_latch_next(q1, n1);
+        g.output("o0", q0);
+        g.output("o1", q1);
+        let mut sim = SeqSim::new(&g);
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            let o = sim.step(&[]);
+            seen.push((o[1] as u8) << 1 | o[0] as u8);
+        }
+        assert_eq!(seen, [0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn full_adder_exhaustive() {
+        let mut g = Aig::new("fa");
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("c");
+        let (s, co) = build::full_adder(&mut g, a, b, c);
+        g.output("s", s);
+        g.output("co", co);
+        let tts = exhaustive_truth_tables(&g);
+        for p in 0..8usize {
+            let bits = (p & 1) + (p >> 1 & 1) + (p >> 2 & 1);
+            assert_eq!(tts[0][0] >> p & 1 == 1, bits & 1 == 1);
+            assert_eq!(tts[1][0] >> p & 1 == 1, bits >= 2);
+        }
+    }
+}

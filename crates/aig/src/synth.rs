@@ -1,0 +1,436 @@
+//! Resynthesis of a truth table into AIG structure.
+//!
+//! [`synthesize`] turns a cut function back into AND/INV logic using a
+//! combination of:
+//!
+//! * simple decomposition rules (constant/unate/XOR cofactor patterns),
+//! * Shannon expansion (MUX) on the most binate variable, and
+//! * ISOP extraction ([`crate::isop`]) followed by algebraic literal
+//!   factoring (the SIS `quick_factor` recipe).
+//!
+//! The cheapest alternative (in freshly created AND nodes) wins; costs are
+//! memoized per truth table so large cones stay cheap to evaluate. This is
+//! the engine behind both the `rewrite` (4-input cuts) and `refactor`
+//! (reconvergence-driven cuts) passes.
+
+use std::collections::HashMap;
+
+use crate::isop::{isop, Cube};
+use crate::tt::TruthTable;
+use crate::{Aig, Lit};
+
+/// Rebuild `tt` over the literals `leaves` inside `aig`.
+///
+/// `leaves[i]` supplies variable `i` of the table. Returns the output
+/// literal. New nodes are structurally hashed into `aig`, so logic shared
+/// with the existing graph is free.
+///
+/// # Panics
+///
+/// Panics if `leaves.len() != tt.num_vars()`.
+pub fn synthesize(aig: &mut Aig, tt: &TruthTable, leaves: &[Lit]) -> Lit {
+    Synthesizer::new().build(aig, tt, leaves)
+}
+
+/// Count how many AND nodes [`synthesize`] would create in isolation
+/// (conservative: ignores sharing with the surrounding graph).
+pub fn synthesis_cost(tt: &TruthTable, num_leaves: usize) -> usize {
+    let mut s = Synthesizer::new();
+    let mut scratch = Aig::new("scratch");
+    let leaves: Vec<Lit> = (0..num_leaves)
+        .map(|i| scratch.input(format!("x{i}")))
+        .collect();
+    s.build(&mut scratch, tt, &leaves);
+    scratch.num_ands()
+}
+
+/// Reusable resynthesis engine with cross-call cost memoization.
+///
+/// Optimization passes that resynthesize many cuts should reuse one
+/// `Synthesizer` so repeated cut functions (buffers, carry chains…) are
+/// costed once.
+#[derive(Default, Debug)]
+pub struct Synthesizer {
+    cost_memo: HashMap<Vec<u64>, usize>,
+}
+
+/// How a function will be decomposed at the top level.
+#[derive(Clone, Debug)]
+enum Plan {
+    Const(bool),
+    Literal { var: usize, complement: bool },
+    /// `f = (v ^ v_complement) op rest-cofactor`
+    Rule { var: usize, rule: Rule },
+    Mux { var: usize },
+    Sop { cover: Vec<Cube>, complement: bool },
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Rule {
+    /// `f = v & f1`
+    AndPos,
+    /// `f = !v & f0`
+    AndNeg,
+    /// `f = !v | f1`
+    OrNeg,
+    /// `f = v | f0`
+    OrPos,
+    /// `f = v ^ f0`
+    Xor,
+}
+
+impl Synthesizer {
+    /// Create a fresh engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build `tt` over `leaves` in `aig`; see [`synthesize`].
+    pub fn build(&mut self, aig: &mut Aig, tt: &TruthTable, leaves: &[Lit]) -> Lit {
+        assert_eq!(leaves.len(), tt.num_vars(), "leaf count must match table");
+        let mut build_memo = HashMap::new();
+        self.build_rec(aig, tt, leaves, &mut build_memo)
+    }
+
+    /// Memoized AND-node cost of building `tt` (isolation estimate).
+    pub fn cost(&mut self, tt: &TruthTable) -> usize {
+        if let Some(&c) = self.cost_memo.get(tt.words()) {
+            return c;
+        }
+        let c = match self.plan(tt) {
+            Plan::Const(_) | Plan::Literal { .. } => 0,
+            Plan::Rule { var, rule } => {
+                let (step, rest) = match rule {
+                    Rule::AndPos => (1, tt.cofactor1(var)),
+                    Rule::AndNeg => (1, tt.cofactor0(var)),
+                    Rule::OrNeg => (1, tt.cofactor1(var)),
+                    Rule::OrPos => (1, tt.cofactor0(var)),
+                    Rule::Xor => (3, tt.cofactor0(var)),
+                };
+                step + self.cost(&rest)
+            }
+            Plan::Mux { var } => 3 + self.cost(&tt.cofactor0(var)) + self.cost(&tt.cofactor1(var)),
+            Plan::Sop { cover, .. } => factored_cost(&cover, tt.num_vars()),
+        };
+        self.cost_memo.insert(tt.words().to_vec(), c);
+        c
+    }
+
+    fn plan(&mut self, tt: &TruthTable) -> Plan {
+        if tt.is_zero() {
+            return Plan::Const(false);
+        }
+        if tt.is_ones() {
+            return Plan::Const(true);
+        }
+        let support = tt.support();
+        if support.len() == 1 {
+            let var = support[0];
+            return Plan::Literal {
+                var,
+                complement: !tt.cofactor1(var).is_ones(),
+            };
+        }
+        for &v in &support {
+            let c0 = tt.cofactor0(v);
+            let c1 = tt.cofactor1(v);
+            let rule = if c0.is_zero() {
+                Some(Rule::AndPos)
+            } else if c1.is_zero() {
+                Some(Rule::AndNeg)
+            } else if c0.is_ones() {
+                Some(Rule::OrNeg)
+            } else if c1.is_ones() {
+                Some(Rule::OrPos)
+            } else if c1 == c0.not() {
+                Some(Rule::Xor)
+            } else {
+                None
+            };
+            if let Some(rule) = rule {
+                return Plan::Rule { var: v, rule };
+            }
+        }
+        // No free rule: compare MUX expansion against factored SOP covers.
+        let var = most_binate_var(tt, &support);
+        let mux_cost = 3 + self.cost(&tt.cofactor0(var)) + self.cost(&tt.cofactor1(var));
+        let cover = isop(tt, tt);
+        let neg = tt.not();
+        let cover_neg = isop(&neg, &neg);
+        let sop_cost = factored_cost(&cover, tt.num_vars());
+        let sop_neg_cost = factored_cost(&cover_neg, tt.num_vars());
+        if mux_cost < sop_cost.min(sop_neg_cost) {
+            Plan::Mux { var }
+        } else if sop_cost <= sop_neg_cost {
+            Plan::Sop {
+                cover,
+                complement: false,
+            }
+        } else {
+            Plan::Sop {
+                cover: cover_neg,
+                complement: true,
+            }
+        }
+    }
+
+    fn build_rec(
+        &mut self,
+        aig: &mut Aig,
+        tt: &TruthTable,
+        leaves: &[Lit],
+        memo: &mut HashMap<Vec<u64>, Lit>,
+    ) -> Lit {
+        if let Some(&hit) = memo.get(tt.words()) {
+            return hit;
+        }
+        let complement = tt.not();
+        if let Some(&hit) = memo.get(complement.words()) {
+            return !hit;
+        }
+        let lit = match self.plan(tt) {
+            Plan::Const(value) => {
+                if value {
+                    Lit::TRUE
+                } else {
+                    Lit::FALSE
+                }
+            }
+            Plan::Literal { var, complement } => leaves[var].complement_if(complement),
+            Plan::Rule { var, rule } => match rule {
+                Rule::AndPos => {
+                    let f1 = self.build_rec(aig, &tt.cofactor1(var), leaves, memo);
+                    aig.and(leaves[var], f1)
+                }
+                Rule::AndNeg => {
+                    let f0 = self.build_rec(aig, &tt.cofactor0(var), leaves, memo);
+                    aig.and(!leaves[var], f0)
+                }
+                Rule::OrNeg => {
+                    let f1 = self.build_rec(aig, &tt.cofactor1(var), leaves, memo);
+                    aig.or(!leaves[var], f1)
+                }
+                Rule::OrPos => {
+                    let f0 = self.build_rec(aig, &tt.cofactor0(var), leaves, memo);
+                    aig.or(leaves[var], f0)
+                }
+                Rule::Xor => {
+                    let f0 = self.build_rec(aig, &tt.cofactor0(var), leaves, memo);
+                    aig.xor(leaves[var], f0)
+                }
+            },
+            Plan::Mux { var } => {
+                let f0 = self.build_rec(aig, &tt.cofactor0(var), leaves, memo);
+                let f1 = self.build_rec(aig, &tt.cofactor1(var), leaves, memo);
+                aig.mux(leaves[var], f1, f0)
+            }
+            Plan::Sop { cover, complement } => {
+                let lit = build_factored(aig, &cover, leaves);
+                lit.complement_if(complement)
+            }
+        };
+        memo.insert(tt.words().to_vec(), lit);
+        lit
+    }
+}
+
+/// Variable that splits the ON-set most evenly — the classic choice for
+/// Shannon expansion.
+fn most_binate_var(tt: &TruthTable, support: &[usize]) -> usize {
+    let mut best = support[0];
+    let mut best_score = usize::MAX;
+    for &v in support {
+        let ones0 = tt.cofactor0(v).count_ones();
+        let ones1 = tt.cofactor1(v).count_ones();
+        let score = ones0.abs_diff(ones1);
+        if score < best_score {
+            best_score = score;
+            best = v;
+        }
+    }
+    best
+}
+
+fn factored_cost(cover: &[Cube], num_leaves: usize) -> usize {
+    let mut scratch = Aig::new("cost");
+    let leaves: Vec<Lit> = (0..num_leaves)
+        .map(|i| scratch.input(format!("x{i}")))
+        .collect();
+    build_factored(&mut scratch, cover, &leaves);
+    scratch.num_ands()
+}
+
+/// Build a factored form of an SOP cover (SIS-style literal factoring):
+/// recursively divide the cover by its most frequent literal.
+pub fn build_factored(aig: &mut Aig, cover: &[Cube], leaves: &[Lit]) -> Lit {
+    if cover.is_empty() {
+        return Lit::FALSE;
+    }
+    if cover.iter().any(|c| *c == Cube::UNIVERSE) {
+        return Lit::TRUE;
+    }
+    if cover.len() == 1 {
+        return build_cube(aig, cover[0], leaves);
+    }
+    // Pick the literal appearing in the most cubes.
+    let mut best: Option<(bool, usize, usize)> = None; // (positive, var, count)
+    for v in 0..leaves.len() {
+        let pos_count = cover.iter().filter(|c| c.pos >> v & 1 == 1).count();
+        let neg_count = cover.iter().filter(|c| c.neg >> v & 1 == 1).count();
+        if pos_count > 0 && best.is_none_or(|(_, _, c)| pos_count > c) {
+            best = Some((true, v, pos_count));
+        }
+        if neg_count > 0 && best.is_none_or(|(_, _, c)| neg_count > c) {
+            best = Some((false, v, neg_count));
+        }
+    }
+    let (positive, var, count) = best.expect("non-trivial cover has literals");
+    if count <= 1 {
+        // No sharing opportunity: OR the cubes directly.
+        let terms: Vec<Lit> = cover.iter().map(|&c| build_cube(aig, c, leaves)).collect();
+        return aig.or_many(&terms);
+    }
+    let bit = 1u32 << var;
+    let mut quotient = Vec::new();
+    let mut remainder = Vec::new();
+    for &c in cover {
+        let has = if positive {
+            c.pos & bit != 0
+        } else {
+            c.neg & bit != 0
+        };
+        if has {
+            let stripped = if positive {
+                Cube {
+                    pos: c.pos & !bit,
+                    neg: c.neg,
+                }
+            } else {
+                Cube {
+                    pos: c.pos,
+                    neg: c.neg & !bit,
+                }
+            };
+            quotient.push(stripped);
+        } else {
+            remainder.push(c);
+        }
+    }
+    let lit = leaves[var].complement_if(!positive);
+    let q = build_factored(aig, &quotient, leaves);
+    let lq = aig.and(lit, q);
+    if remainder.is_empty() {
+        lq
+    } else {
+        let r = build_factored(aig, &remainder, leaves);
+        aig.or(lq, r)
+    }
+}
+
+fn build_cube(aig: &mut Aig, cube: Cube, leaves: &[Lit]) -> Lit {
+    let mut lits = Vec::new();
+    for (v, &leaf) in leaves.iter().enumerate() {
+        if cube.pos >> v & 1 == 1 {
+            lits.push(leaf);
+        }
+        if cube.neg >> v & 1 == 1 {
+            lits.push(!leaf);
+        }
+    }
+    aig.and_many(&lits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+
+    fn check_roundtrip(vars: usize, word_fn: impl Fn(usize) -> bool) {
+        let mut tt = TruthTable::zeros(vars);
+        for p in 0..(1usize << vars) {
+            tt.set_bit(p, word_fn(p));
+        }
+        let mut aig = Aig::new("t");
+        let leaves: Vec<Lit> = (0..vars).map(|i| aig.input(format!("x{i}"))).collect();
+        let out = synthesize(&mut aig, &tt, &leaves);
+        aig.output("f", out);
+        for p in 0..(1usize << vars) {
+            let inputs: Vec<bool> = (0..vars).map(|i| p >> i & 1 == 1).collect();
+            let got = sim::eval_outputs(&aig, &inputs)[0];
+            assert_eq!(got, word_fn(p), "pattern {p:b}");
+        }
+    }
+
+    #[test]
+    fn synthesizes_basic_functions() {
+        check_roundtrip(2, |p| p == 3); // AND
+        check_roundtrip(2, |p| p != 0); // OR
+        check_roundtrip(2, |p| (p.count_ones() & 1) == 1); // XOR
+        check_roundtrip(3, |p| p.count_ones() >= 2); // MAJ
+        check_roundtrip(4, |p| (p.count_ones() & 1) == 0); // XNOR4
+    }
+
+    #[test]
+    fn xor_chain_is_linear_size() {
+        // Parity of 6 variables must synthesize as an XOR chain
+        // (5 XORs = 15 ANDs), not an exponential SOP.
+        let vars = 6;
+        let mut tt = TruthTable::zeros(vars);
+        for p in 0..(1usize << vars) {
+            if (p as u32).count_ones() & 1 == 1 {
+                tt.set_bit(p, true);
+            }
+        }
+        let cost = synthesis_cost(&tt, vars);
+        assert_eq!(cost, 15, "parity6 should cost 5 XORs");
+    }
+
+    #[test]
+    fn maj3_is_four_ands() {
+        let a = TruthTable::variable(3, 0);
+        let b = TruthTable::variable(3, 1);
+        let c = TruthTable::variable(3, 2);
+        let f = a.and(&b).or(&a.and(&c)).or(&b.and(&c));
+        assert!(synthesis_cost(&f, 3) <= 4, "maj3 should cost at most 4 ANDs");
+    }
+
+    #[test]
+    fn random_functions_roundtrip() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..40 {
+            let word: u64 = rng.gen();
+            check_roundtrip(5, |p| word >> (p % 64) & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn constants_and_literals() {
+        let mut aig = Aig::new("t");
+        let leaves: Vec<Lit> = (0..3).map(|i| aig.input(format!("x{i}"))).collect();
+        assert_eq!(
+            synthesize(&mut aig, &TruthTable::zeros(3), &leaves),
+            Lit::FALSE
+        );
+        assert_eq!(
+            synthesize(&mut aig, &TruthTable::ones(3), &leaves),
+            Lit::TRUE
+        );
+        let v1 = TruthTable::variable(3, 1);
+        assert_eq!(synthesize(&mut aig, &v1, &leaves), leaves[1]);
+        assert_eq!(synthesize(&mut aig, &v1.not(), &leaves), !leaves[1]);
+        assert_eq!(aig.num_ands(), 0);
+    }
+
+    #[test]
+    fn cost_memo_is_consistent() {
+        let mut s = Synthesizer::new();
+        let a = TruthTable::variable(4, 0);
+        let b = TruthTable::variable(4, 1);
+        let f = a.xor(&b);
+        let c1 = s.cost(&f);
+        let c2 = s.cost(&f);
+        assert_eq!(c1, c2);
+        assert_eq!(c1, 3);
+    }
+}

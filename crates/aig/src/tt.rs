@@ -1,0 +1,486 @@
+//! Truth-table manipulation for cut functions.
+//!
+//! Tables over up to 6 variables fit in one `u64`; larger tables use a word
+//! vector. [`TruthTable`] supports the operations the optimizer needs:
+//! cofactoring, variable support, NPN canonicalization (for the rewriting
+//! library) and ISOP extraction (in [`crate::isop`]).
+
+use std::fmt;
+
+/// A complete truth table over `vars` variables (`2^vars` bits, LSB = the
+/// all-zero input pattern, variable `i` toggles with period `2^i`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TruthTable {
+    vars: usize,
+    words: Vec<u64>,
+}
+
+/// Bit masks of the six "packed" variables within one 64-bit word.
+pub const VAR_MASKS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+impl TruthTable {
+    /// Constant-false table over `vars` variables.
+    pub fn zeros(vars: usize) -> Self {
+        TruthTable {
+            vars,
+            words: vec![0; Self::word_count(vars)],
+        }
+    }
+
+    /// Constant-true table over `vars` variables.
+    pub fn ones(vars: usize) -> Self {
+        let mut t = Self::zeros(vars);
+        for w in &mut t.words {
+            *w = !0;
+        }
+        t.mask_tail();
+        t
+    }
+
+    /// Projection table of variable `var` over `vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= vars`.
+    pub fn variable(vars: usize, var: usize) -> Self {
+        assert!(var < vars, "variable index out of range");
+        let mut t = Self::zeros(vars);
+        if var < 6 {
+            for w in &mut t.words {
+                *w = VAR_MASKS[var];
+            }
+        } else {
+            let period = 1usize << (var - 6);
+            for (i, w) in t.words.iter_mut().enumerate() {
+                if i / period % 2 == 1 {
+                    *w = !0;
+                }
+            }
+        }
+        t.mask_tail();
+        t
+    }
+
+    /// Build from the low `2^vars` bits of a single word (`vars <= 6`).
+    pub fn from_word(vars: usize, word: u64) -> Self {
+        assert!(vars <= 6, "from_word limited to 6 variables");
+        let mut t = Self::zeros(vars);
+        t.words[0] = word;
+        t.mask_tail();
+        t
+    }
+
+    /// The table as a single word (`vars <= 6` only).
+    pub fn as_word(&self) -> u64 {
+        assert!(self.vars <= 6, "as_word limited to 6 variables");
+        self.words[0]
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars
+    }
+
+    /// Raw words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    fn word_count(vars: usize) -> usize {
+        if vars <= 6 {
+            1
+        } else {
+            1usize << (vars - 6)
+        }
+    }
+
+    fn tail_mask(vars: usize) -> u64 {
+        if vars >= 6 {
+            !0
+        } else {
+            (1u64 << (1usize << vars)) - 1
+        }
+    }
+
+    fn mask_tail(&mut self) {
+        let mask = Self::tail_mask(self.vars);
+        if let Some(last) = self.words.last_mut() {
+            *last &= mask;
+        }
+        if self.vars < 6 {
+            self.words[0] &= mask;
+        }
+    }
+
+    /// Bit `index` of the table.
+    pub fn bit(&self, index: usize) -> bool {
+        self.words[index / 64] >> (index % 64) & 1 == 1
+    }
+
+    /// Set bit `index`.
+    pub fn set_bit(&mut self, index: usize, value: bool) {
+        if value {
+            self.words[index / 64] |= 1u64 << (index % 64);
+        } else {
+            self.words[index / 64] &= !(1u64 << (index % 64));
+        }
+    }
+
+    /// Number of ON-set minterms.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if the table is constant false.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True if the table is constant true.
+    pub fn is_ones(&self) -> bool {
+        self.clone().not_ref().is_zero()
+    }
+
+    fn not_ref(mut self) -> Self {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+        self
+    }
+
+    /// Complement.
+    #[must_use]
+    pub fn not(&self) -> Self {
+        self.clone().not_ref()
+    }
+
+    /// Conjunction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if variable counts differ.
+    #[must_use]
+    pub fn and(&self, other: &Self) -> Self {
+        assert_eq!(self.vars, other.vars);
+        let mut out = self.clone();
+        for (w, o) in out.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+        out
+    }
+
+    /// Disjunction.
+    #[must_use]
+    pub fn or(&self, other: &Self) -> Self {
+        assert_eq!(self.vars, other.vars);
+        let mut out = self.clone();
+        for (w, o) in out.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+        out
+    }
+
+    /// Exclusive or.
+    #[must_use]
+    pub fn xor(&self, other: &Self) -> Self {
+        assert_eq!(self.vars, other.vars);
+        let mut out = self.clone();
+        for (w, o) in out.words.iter_mut().zip(&other.words) {
+            *w ^= o;
+        }
+        out
+    }
+
+    /// Negative cofactor with respect to variable `var` (the half where
+    /// `var = 0`, replicated).
+    #[must_use]
+    pub fn cofactor0(&self, var: usize) -> Self {
+        let mut out = self.clone();
+        if var < 6 {
+            let shift = 1u32 << var;
+            let mask = !VAR_MASKS[var];
+            for w in &mut out.words {
+                let lo = *w & mask;
+                *w = lo | lo << shift;
+            }
+        } else {
+            let period = 1usize << (var - 6);
+            let n = out.words.len();
+            for i in 0..n {
+                if i / period % 2 == 1 {
+                    out.words[i] = out.words[i - period];
+                }
+            }
+        }
+        out
+    }
+
+    /// Positive cofactor with respect to variable `var`.
+    #[must_use]
+    pub fn cofactor1(&self, var: usize) -> Self {
+        let mut out = self.clone();
+        if var < 6 {
+            let shift = 1u32 << var;
+            let mask = VAR_MASKS[var];
+            for w in &mut out.words {
+                let hi = *w & mask;
+                *w = hi | hi >> shift;
+            }
+        } else {
+            let period = 1usize << (var - 6);
+            let n = out.words.len();
+            for i in 0..n {
+                if i / period % 2 == 0 {
+                    out.words[i] = out.words[i + period];
+                }
+            }
+        }
+        out
+    }
+
+    /// True if the function depends on variable `var`.
+    pub fn depends_on(&self, var: usize) -> bool {
+        self.cofactor0(var) != self.cofactor1(var)
+    }
+
+    /// Indices of variables the function actually depends on.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.vars).filter(|&v| self.depends_on(v)).collect()
+    }
+
+    /// Swap adjacent variables `var` and `var + 1`.
+    #[must_use]
+    pub fn swap_adjacent(&self, var: usize) -> Self {
+        assert!(var + 1 < self.vars);
+        let c00 = self.cofactor0(var).cofactor0(var + 1);
+        let c01 = self.cofactor1(var).cofactor0(var + 1); // var=1, var+1=0
+        let c10 = self.cofactor0(var).cofactor1(var + 1);
+        let c11 = self.cofactor1(var).cofactor1(var + 1);
+        let va = Self::variable(self.vars, var);
+        let vb = Self::variable(self.vars, var + 1);
+        // After the swap, old var plays var+1's role and vice versa.
+        let t00 = va.not().and(&vb.not()).and(&c00);
+        let t01 = va.clone().and(&vb.not()).and(&c10);
+        let t10 = va.not().and(&vb).and(&c01);
+        let t11 = va.and(&vb).and(&c11);
+        t00.or(&t01).or(&t10).or(&t11)
+    }
+
+    /// Flip (complement) variable `var`.
+    #[must_use]
+    pub fn flip_var(&self, var: usize) -> Self {
+        let c0 = self.cofactor0(var);
+        let c1 = self.cofactor1(var);
+        let v = Self::variable(self.vars, var);
+        v.not().and(&c1).or(&v.and(&c0))
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tt{}[", self.vars)?;
+        for w in self.words.iter().rev() {
+            write!(f, "{w:016x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// NPN canonical form of a 4-variable function given as a 16-bit table.
+///
+/// Returns `(canonical_table, transform)` where the transform records how to
+/// map the original function onto the canonical one (see [`NpnTransform`]).
+pub fn npn_canon4(tt: u16) -> (u16, NpnTransform) {
+    let mut best = u16::MAX;
+    let mut best_tf = NpnTransform::default();
+    for out_neg in [false, true] {
+        let base = if out_neg { !tt } else { tt };
+        for perm_idx in 0..24u8 {
+            let perm = PERMS4[perm_idx as usize];
+            let permuted = permute4(base, perm);
+            for flips in 0..16u8 {
+                let candidate = flip4(permuted, flips);
+                if candidate < best {
+                    best = candidate;
+                    best_tf = NpnTransform {
+                        perm_idx,
+                        flips,
+                        out_neg,
+                    };
+                }
+            }
+        }
+    }
+    (best, best_tf)
+}
+
+/// Transform mapping an original 4-input function to its NPN canonical form:
+/// first permute inputs by `perm`, then complement inputs in `flips`, then
+/// complement the output if `out_neg`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct NpnTransform {
+    /// Index into [`PERMS4`].
+    pub perm_idx: u8,
+    /// Bit `i` set = canonical input `i` is the complement of the permuted
+    /// original input.
+    pub flips: u8,
+    /// Whether the output is complemented.
+    pub out_neg: bool,
+}
+
+/// All 24 permutations of 4 elements. `PERMS4[p][new_var] = old_var`.
+pub const PERMS4: [[u8; 4]; 24] = [
+    [0, 1, 2, 3],
+    [0, 1, 3, 2],
+    [0, 2, 1, 3],
+    [0, 2, 3, 1],
+    [0, 3, 1, 2],
+    [0, 3, 2, 1],
+    [1, 0, 2, 3],
+    [1, 0, 3, 2],
+    [1, 2, 0, 3],
+    [1, 2, 3, 0],
+    [1, 3, 0, 2],
+    [1, 3, 2, 0],
+    [2, 0, 1, 3],
+    [2, 0, 3, 1],
+    [2, 1, 0, 3],
+    [2, 1, 3, 0],
+    [2, 3, 0, 1],
+    [2, 3, 1, 0],
+    [3, 0, 1, 2],
+    [3, 0, 2, 1],
+    [3, 1, 0, 2],
+    [3, 1, 2, 0],
+    [3, 2, 0, 1],
+    [3, 2, 1, 0],
+];
+
+/// Apply an input permutation to a 16-bit truth table:
+/// `out(pattern) = in(pattern mapped through perm)`.
+pub fn permute4(tt: u16, perm: [u8; 4]) -> u16 {
+    let mut out = 0u16;
+    for pattern in 0..16u16 {
+        // canonical pattern bit i = original variable perm[i]
+        let mut orig = 0u16;
+        for (new_var, &old_var) in perm.iter().enumerate() {
+            if pattern >> new_var & 1 == 1 {
+                orig |= 1 << old_var;
+            }
+        }
+        if tt >> orig & 1 == 1 {
+            out |= 1 << pattern;
+        }
+    }
+    out
+}
+
+/// Complement the inputs selected by `flips` in a 16-bit truth table.
+pub fn flip4(tt: u16, flips: u8) -> u16 {
+    let mut out = 0u16;
+    for pattern in 0..16u16 {
+        let src = pattern ^ flips as u16;
+        if tt >> src & 1 == 1 {
+            out |= 1 << pattern;
+        }
+    }
+    out
+}
+
+/// Apply an [`NpnTransform`] to a table (original → canonical direction).
+pub fn apply_npn4(tt: u16, tf: NpnTransform) -> u16 {
+    let base = if tf.out_neg { !tt } else { tt };
+    flip4(permute4(base, PERMS4[tf.perm_idx as usize]), tf.flips)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variable_projection() {
+        let t = TruthTable::variable(3, 1);
+        // var 1 toggles with period 2.
+        for p in 0..8usize {
+            assert_eq!(t.bit(p), p >> 1 & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn cofactors() {
+        // f = a & b over 2 vars: table 1000 = 0x8
+        let f = TruthTable::from_word(2, 0x8);
+        assert!(f.cofactor0(0).is_zero());
+        let c1 = f.cofactor1(0);
+        // f|a=1 = b
+        assert_eq!(c1, TruthTable::variable(2, 1));
+        assert_eq!(f.support(), vec![0, 1]);
+    }
+
+    #[test]
+    fn large_variable_and_cofactor() {
+        let t = TruthTable::variable(8, 7);
+        assert!(t.depends_on(7));
+        assert!(!t.depends_on(3));
+        assert!(t.cofactor1(7).is_ones());
+        assert!(t.cofactor0(7).is_zero());
+    }
+
+    #[test]
+    fn swap_and_flip() {
+        // f = a (var 0) over 3 vars
+        let f = TruthTable::variable(3, 0);
+        let g = f.swap_adjacent(0);
+        assert_eq!(g, TruthTable::variable(3, 1));
+        let h = f.flip_var(0);
+        assert_eq!(h, f.not());
+    }
+
+    #[test]
+    fn npn_canon_classes() {
+        // All NPN-equivalent variants of AND2 (as 4-var tables) share a
+        // canonical form.
+        let and2: u16 = 0x8888; // a & b, vars 0,1
+        let or2: u16 = 0xEEEE; // a | b = NPN-equivalent to AND
+        let nand2: u16 = !and2;
+        let (c1, _) = npn_canon4(and2);
+        let (c2, _) = npn_canon4(or2);
+        let (c3, _) = npn_canon4(nand2);
+        assert_eq!(c1, c2);
+        assert_eq!(c1, c3);
+        // XOR is in a different class.
+        let xor2: u16 = 0x6666;
+        let (c4, _) = npn_canon4(xor2);
+        assert_ne!(c1, c4);
+    }
+
+    #[test]
+    fn npn_transform_applies() {
+        for tt in [0x8888u16, 0x6666, 0x1234, 0xCAFE, 0x0001] {
+            let (canon, tf) = npn_canon4(tt);
+            assert_eq!(apply_npn4(tt, tf), canon);
+        }
+    }
+
+    #[test]
+    fn permute_roundtrip() {
+        let tt = 0xD1A5u16;
+        for p in 0..24 {
+            let perm = PERMS4[p];
+            // Find inverse permutation.
+            let mut inv = [0u8; 4];
+            for (i, &v) in perm.iter().enumerate() {
+                inv[v as usize] = i as u8;
+            }
+            assert_eq!(permute4(permute4(tt, perm), inv), tt);
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! Clocked-RSFQ technology mapping with full path balancing — the cost
+//! model of the PBMap / qSeq baselines the paper compares against (§4.2).
+//!
+//! Conventional RSFQ clocks *every* logic gate, which imposes:
+//!
+//! 1. gate-level pipelining: every gate is a synchronous stage,
+//! 2. **path balancing**: any reconvergent edge skipping `k` levels needs
+//!    `k` DRO (DFF) cells so operands meet in the same clock cycle,
+//! 3. a clock splitter tree reaching every clocked cell.
+//!
+//! The mapper is demand-driven on signal polarity (a shared NOT cell per
+//! complemented node), recognizes the XOR structure the AIG builders emit,
+//! and maps `(¬a ∧ ¬b)` nodes to OR cells via De Morgan when the complement
+//! is what consumers want.
+
+use std::collections::HashMap;
+
+use xsfq_aig::{Aig, Lit, NodeKind};
+use xsfq_cells::{CellKind, CellLibrary};
+use xsfq_netlist::{NetId, Netlist};
+
+/// Result of the RSFQ baseline flow.
+#[derive(Clone, Debug)]
+pub struct RsfqDesign {
+    /// Physical netlist (path-balanced, splitter trees inserted).
+    pub netlist: Netlist,
+    /// Logic gates (AND/OR/XOR/NOT).
+    pub gates: usize,
+    /// Path-balancing DFF (DRO) cells.
+    pub balancing_dffs: usize,
+    /// State-holding DFF cells (one per latch).
+    pub state_dffs: usize,
+}
+
+impl RsfqDesign {
+    /// Total JJs excluding the clock tree (what PBMap/qSeq report).
+    pub fn jj_total(&self) -> u64 {
+        self.netlist.stats().jj_total
+    }
+
+    /// Total JJs including the clock splitter tree (the paper's "+30%"
+    /// correction, computed exactly here).
+    pub fn jj_with_clock_tree(&self) -> u64 {
+        let stats = self.netlist.stats();
+        let split = u64::from(self.netlist.library().jj(CellKind::RsfqSplitter));
+        stats.jj_with_clock_tree(split)
+    }
+}
+
+#[derive(Default, Clone, Copy)]
+struct Wires {
+    pos: Option<NetId>,
+    neg: Option<NetId>,
+}
+
+/// Map an AIG to a clocked RSFQ netlist with full path balancing.
+///
+/// The AIG should already be optimized (the baselines enjoy the same AIG
+/// optimization as the xSFQ flow, so the comparison isolates the
+/// architectural overheads).
+pub fn map_rsfq(aig: &Aig) -> RsfqDesign {
+    let n = aig.num_nodes();
+    // ---- Pattern analysis ----
+    // XOR pattern: r = AND(!x, !y) with x = AND(a,b), y = AND(!a,!b) and
+    // x/y single-fanout. r computes XOR(a,b).
+    let fanouts = aig.fanout_counts(true);
+    let mut xor_root: Vec<Option<(Lit, Lit)>> = vec![None; n];
+    let mut absorbed = vec![false; n];
+    for (i, kind) in aig.nodes().iter().enumerate() {
+        let NodeKind::And { a, b } = *kind else {
+            continue;
+        };
+        if !(a.is_complement() && b.is_complement()) {
+            continue;
+        }
+        let (xa, xb) = (a.node(), b.node());
+        let (NodeKind::And { a: p, b: q }, NodeKind::And { a: r, b: s }) =
+            (aig.node(xa), aig.node(xb))
+        else {
+            continue;
+        };
+        if fanouts[xa.index()] != 1 || fanouts[xb.index()] != 1 {
+            continue;
+        }
+        // (p,q) and (r,s) over the same nodes with opposite polarities.
+        let same = |u: Lit, v: Lit| u.node() == v.node() && u.is_complement() != v.is_complement();
+        let is_xor = (same(p, r) && same(q, s)) || (same(p, s) && same(q, r));
+        if is_xor {
+            // r_node = !(p&q) & !(!p&!q) = p XOR q (for the right phases).
+            // Determine the XOR operand literals: node value = XOR(p, q)
+            // exactly when the two inner ANDs cover opposite phase pairs.
+            xor_root[i] = Some((p, q));
+            absorbed[xa.index()] = true;
+            absorbed[xb.index()] = true;
+        }
+    }
+
+    // ---- Polarity demand ----
+    let mut need_pos = vec![false; n];
+    let mut need_neg = vec![false; n];
+    let want = |lit: Lit, positive: bool, need_pos: &mut Vec<bool>, need_neg: &mut Vec<bool>| {
+        if positive ^ lit.is_complement() {
+            need_pos[lit.node().index()] = true;
+        } else {
+            need_neg[lit.node().index()] = true;
+        }
+    };
+    for o in aig.outputs() {
+        want(o.lit, true, &mut need_pos, &mut need_neg);
+    }
+    for l in aig.latches() {
+        want(l.next, true, &mut need_pos, &mut need_neg);
+    }
+    for i in (1..n).rev() {
+        if absorbed[i] || !(need_pos[i] || need_neg[i]) {
+            continue;
+        }
+        match (aig.nodes()[i], xor_root[i]) {
+            (_, Some((p, q))) => {
+                // XOR consumes the positive sense of its operand edges.
+                want(p, true, &mut need_pos, &mut need_neg);
+                want(q, true, &mut need_pos, &mut need_neg);
+            }
+            (NodeKind::And { a, b }, None) => {
+                if a.is_complement() && b.is_complement() && need_neg[i] {
+                    // Mapped as OR(a, b) producing the complement directly.
+                    want(a, false, &mut need_pos, &mut need_neg);
+                    want(b, false, &mut need_pos, &mut need_neg);
+                    // A positive consumer will add a NOT on our output.
+                } else {
+                    want(a, true, &mut need_pos, &mut need_neg);
+                    want(b, true, &mut need_pos, &mut need_neg);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ---- Emission ----
+    let mut netlist = Netlist::new(aig.name().to_string(), CellLibrary::rsfq());
+    let mut wires: Vec<Wires> = vec![Wires::default(); n];
+    let mut gates = 0usize;
+    // Constant outputs (possible after optimization) come from a dedicated
+    // constant-source port, mirroring the xSFQ mapper's convention.
+    if need_pos[0] || need_neg[0] {
+        let net = netlist.add_input("const0");
+        wires[0].pos = Some(net);
+    }
+    // Primary inputs.
+    for (idx, &id) in aig.inputs().iter().enumerate() {
+        let net = netlist.add_input(aig.input_name(idx).to_string());
+        wires[id.index()].pos = Some(net);
+    }
+    // Latches become DFF cells; their data is wired after logic emission.
+    let mut latch_dffs = Vec::new();
+    for latch in aig.latches() {
+        let (dff, outs) = netlist.add_cell_deferred(CellKind::RsfqDff);
+        wires[latch.output.index()].pos = Some(outs[0]);
+        latch_dffs.push(dff);
+    }
+
+    fn wire(
+        netlist: &mut Netlist,
+        wires: &mut [Wires],
+        gates: &mut usize,
+        node: usize,
+        positive: bool,
+    ) -> NetId {
+        let w = wires[node];
+        if positive {
+            if let Some(net) = w.pos {
+                return net;
+            }
+            let src = w.neg.expect("some wire for node");
+            let net = netlist.add_cell(CellKind::RsfqNot, &[src])[0];
+            *gates += 1;
+            wires[node].pos = Some(net);
+            net
+        } else {
+            if let Some(net) = w.neg {
+                return net;
+            }
+            let src = w.pos.expect("some wire for node");
+            let net = netlist.add_cell(CellKind::RsfqNot, &[src])[0];
+            *gates += 1;
+            wires[node].neg = Some(net);
+            net
+        }
+    }
+
+    for i in 1..n {
+        if absorbed[i] || !(need_pos[i] || need_neg[i]) {
+            continue;
+        }
+        let NodeKind::And { a, b } = aig.nodes()[i] else {
+            continue;
+        };
+        if let Some((p, q)) = xor_root[i] {
+            // The node computes XOR or XNOR of (p,q) depending on phases;
+            // recover the phase by evaluating the pattern at p=q=0:
+            // value = (!p&!q term present) — with our builder the node is
+            // always the XOR of the two operand edges' positive senses.
+            let ia = wire(&mut netlist, &mut wires, &mut gates, p.node().index(), !p.is_complement());
+            let ib = wire(&mut netlist, &mut wires, &mut gates, q.node().index(), !q.is_complement());
+            let net = netlist.add_cell(CellKind::RsfqXor, &[ia, ib])[0];
+            gates += 1;
+            wires[i].pos = Some(net);
+            continue;
+        }
+        if a.is_complement() && b.is_complement() && need_neg[i] {
+            // node = ¬x ∧ ¬y, so an OR over the children's positive wires
+            // produces the complement (De Morgan) that consumers want.
+            let ia = wire(&mut netlist, &mut wires, &mut gates, a.node().index(), true);
+            let ib = wire(&mut netlist, &mut wires, &mut gates, b.node().index(), true);
+            let net = netlist.add_cell(CellKind::RsfqOr, &[ia, ib])[0];
+            gates += 1;
+            wires[i].neg = Some(net);
+        } else {
+            let ia = wire(&mut netlist, &mut wires, &mut gates, a.node().index(), !a.is_complement());
+            let ib = wire(&mut netlist, &mut wires, &mut gates, b.node().index(), !b.is_complement());
+            let net = netlist.add_cell(CellKind::RsfqAnd, &[ia, ib])[0];
+            gates += 1;
+            wires[i].pos = Some(net);
+        }
+        // The opposite polarity, if demanded, comes from a shared NOT at
+        // first use (see `wire`).
+    }
+
+    // Outputs and latch data (positive polarity).
+    let mut root_nets = Vec::new();
+    for o in aig.outputs() {
+        let net = wire(
+            &mut netlist,
+            &mut wires,
+            &mut gates,
+            o.lit.node().index(),
+            !o.lit.is_complement(),
+        );
+        root_nets.push((o.name.clone(), net, false));
+    }
+    for (latch, &dff) in aig.latches().iter().zip(&latch_dffs) {
+        let net = wire(
+            &mut netlist,
+            &mut wires,
+            &mut gates,
+            latch.next.node().index(),
+            !latch.next.is_complement(),
+        );
+        root_nets.push((String::new(), net, true));
+        // Temporarily connect; path balancing rewires below.
+        netlist.connect_input(dff, 0, net);
+    }
+
+    // ---- Path balancing ----
+    let balanced = balance_paths(&netlist, &root_nets, &latch_dffs);
+    let physical = balanced.netlist.insert_splitters();
+    RsfqDesign {
+        netlist: physical,
+        gates,
+        balancing_dffs: balanced.balancing_dffs,
+        state_dffs: latch_dffs.len(),
+        }
+}
+
+struct Balanced {
+    netlist: Netlist,
+    balancing_dffs: usize,
+}
+
+/// Insert DFF chains so every cell's inputs arrive at the same clock level
+/// and every root (PO / latch data) sits at the global maximum level.
+fn balance_paths(
+    netlist: &Netlist,
+    roots: &[(String, NetId, bool)],
+    latch_dffs: &[xsfq_netlist::CellId],
+) -> Balanced {
+    // Level of each net: PIs and DFF outputs are 0 (DFFs retime state);
+    // clocked logic cell output = 1 + max(input levels).
+    let mut level: HashMap<usize, u32> = HashMap::new();
+    for p in netlist.inputs() {
+        level.insert(p.net.index(), 0);
+    }
+    let latch_set: std::collections::HashSet<usize> =
+        latch_dffs.iter().map(|c| c.index()).collect();
+    for (ci, cell) in netlist.cells().iter().enumerate() {
+        if latch_set.contains(&ci) {
+            for &o in &cell.outputs {
+                level.insert(o.index(), 0);
+            }
+        }
+    }
+    // Resolve levels with a worklist (cells except state DFFs).
+    let mut remaining: Vec<usize> = (0..netlist.cells().len())
+        .filter(|ci| !latch_set.contains(ci))
+        .collect();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|&ci| {
+            let cell = &netlist.cells()[ci];
+            if !cell.inputs.iter().all(|i| level.contains_key(&i.index())) {
+                return true;
+            }
+            let lv = 1 + cell
+                .inputs
+                .iter()
+                .map(|i| level[&i.index()])
+                .max()
+                .unwrap_or(0);
+            for &o in &cell.outputs {
+                level.insert(o.index(), lv);
+            }
+            false
+        });
+        assert!(remaining.len() < before, "combinational cycle in RSFQ netlist");
+    }
+    let max_root_level = roots
+        .iter()
+        .map(|(_, net, _)| level[&net.index()])
+        .max()
+        .unwrap_or(0);
+
+    // Rebuild with DFF chains. Chains are shared per net: one chain per
+    // net, consumers tap the depth they need.
+    let mut out = Netlist::new(netlist.name().to_string(), netlist.library().clone());
+    let mut net_map: HashMap<usize, NetId> = HashMap::new();
+    for p in netlist.inputs() {
+        net_map.insert(p.net.index(), out.add_input(p.name.clone()));
+    }
+    let mut cell_map: Vec<Option<xsfq_netlist::CellId>> = vec![None; netlist.cells().len()];
+    // Create all cells (deferred inputs), preserving kinds.
+    for (ci, cell) in netlist.cells().iter().enumerate() {
+        let (new_cell, outs) = out.add_cell_deferred(cell.kind);
+        cell_map[ci] = Some(new_cell);
+        for (o, n) in cell.outputs.iter().zip(outs) {
+            net_map.insert(o.index(), n);
+        }
+    }
+    // DFF chain cache: (net, depth) → tapped net.
+    let mut chains: HashMap<(usize, u32), NetId> = HashMap::new();
+    let mut balancing_dffs = 0usize;
+    let tap = |out: &mut Netlist,
+                   chains: &mut HashMap<(usize, u32), NetId>,
+                   balancing_dffs: &mut usize,
+                   net_map: &HashMap<usize, NetId>,
+                   net: usize,
+                   depth: u32|
+     -> NetId {
+        let mut current = net_map[&net];
+        let mut have = 0u32;
+        // Find the deepest existing tap.
+        while have < depth {
+            if let Some(&cached) = chains.get(&(net, have + 1)) {
+                current = cached;
+                have += 1;
+                continue;
+            }
+            let next = out.add_cell(CellKind::RsfqDff, &[current])[0];
+            *balancing_dffs += 1;
+            chains.insert((net, have + 1), next);
+            current = next;
+            have += 1;
+        }
+        current
+    };
+    for (ci, cell) in netlist.cells().iter().enumerate() {
+        let new_cell = cell_map[ci].expect("created");
+        let target_level = if latch_set.contains(&ci) {
+            // State DFF data is balanced to the global root level.
+            max_root_level
+        } else {
+            cell.outputs
+                .first()
+                .map(|o| level[&o.index()].saturating_sub(1))
+                .unwrap_or(0)
+        };
+        for (pin, &inp) in cell.inputs.iter().enumerate() {
+            let in_level = level[&inp.index()];
+            let depth = target_level.saturating_sub(in_level);
+            let net = tap(
+                &mut out,
+                &mut chains,
+                &mut balancing_dffs,
+                &net_map,
+                inp.index(),
+                depth,
+            );
+            out.connect_input(new_cell, pin, net);
+        }
+    }
+    for (name, net, is_latch) in roots {
+        if *is_latch {
+            continue; // handled as DFF data above
+        }
+        let depth = max_root_level - level[&net.index()];
+        let tapped = tap(
+            &mut out,
+            &mut chains,
+            &mut balancing_dffs,
+            &net_map,
+            net.index(),
+            depth,
+        );
+        out.add_output(name.clone(), tapped);
+    }
+    out.assert_connected();
+    Balanced {
+        netlist: out,
+        balancing_dffs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsfq_aig::build;
+
+    fn full_adder() -> Aig {
+        let mut g = Aig::new("fa");
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("cin");
+        let (s, co) = build::full_adder(&mut g, a, b, c);
+        g.output("s", s);
+        g.output("cout", co);
+        g
+    }
+
+    #[test]
+    fn xor_pattern_is_recognized() {
+        let mut g = Aig::new("x");
+        let a = g.input("a");
+        let b = g.input("b");
+        let x = g.xor(a, b);
+        g.output("o", x);
+        let d = map_rsfq(&g);
+        let stats = d.netlist.stats();
+        assert_eq!(
+            d.netlist.count_kind(CellKind::RsfqXor),
+            1,
+            "parity maps to one XOR cell, stats: {stats}"
+        );
+        assert_eq!(d.netlist.count_kind(CellKind::RsfqAnd), 0);
+    }
+
+    #[test]
+    fn full_adder_maps_and_balances() {
+        let g = full_adder();
+        let d = map_rsfq(&g);
+        let stats = d.netlist.stats();
+        assert!(d.gates >= 3, "at least 2 XOR + carry logic: {}", d.gates);
+        assert!(stats.jj_total > 0);
+        // Every clocked cell's inputs must arrive at the same level —
+        // checked indirectly: balancing inserted at least one DFF (the
+        // carry path is shorter than the sum path).
+        assert!(d.balancing_dffs > 0, "FA needs path balancing");
+        // Clock tree covers all clocked cells.
+        assert!(stats.clocked_cells > d.gates / 2);
+    }
+
+    #[test]
+    fn balancing_makes_all_pi_po_paths_equal() {
+        // Verify the invariant structurally: recompute levels on the
+        // balanced netlist; every cell's inputs must be at level(cell)-1.
+        let g = full_adder();
+        let d = map_rsfq(&g);
+        let nl = &d.netlist;
+        let mut level: HashMap<usize, u32> = HashMap::new();
+        for p in nl.inputs() {
+            level.insert(p.net.index(), 0);
+        }
+        let mut remaining: Vec<usize> = (0..nl.cells().len()).collect();
+        while !remaining.is_empty() {
+            let before = remaining.len();
+            remaining.retain(|&ci| {
+                let cell = &nl.cells()[ci];
+                if !cell.inputs.iter().all(|i| level.contains_key(&i.index())) {
+                    return true;
+                }
+                let ins: Vec<u32> = cell.inputs.iter().map(|i| level[&i.index()]).collect();
+                let clocked = cell.kind.is_clocked();
+                let lv = if cell.kind == CellKind::RsfqSplitter {
+                    ins[0] // splitters are transparent
+                } else {
+                    1 + ins.iter().copied().max().unwrap_or(0)
+                };
+                if clocked && ins.len() > 1 {
+                    assert!(
+                        ins.iter().all(|&l| l == ins[0]),
+                        "unbalanced inputs at cell {ci}: {ins:?}"
+                    );
+                }
+                let store = if cell.kind == CellKind::RsfqSplitter { ins[0] } else { lv };
+                for &o in &cell.outputs {
+                    level.insert(o.index(), store);
+                }
+                false
+            });
+            assert!(remaining.len() < before);
+        }
+        // All outputs at the same level.
+        let out_levels: Vec<u32> = nl.outputs().iter().map(|p| level[&p.net.index()]).collect();
+        assert!(
+            out_levels.windows(2).all(|w| w[0] == w[1]),
+            "outputs unbalanced: {out_levels:?}"
+        );
+    }
+
+    #[test]
+    fn sequential_design_gets_state_dffs() {
+        let mut g = Aig::new("cnt");
+        let q0 = g.latch("q0", false);
+        let q1 = g.latch("q1", false);
+        g.set_latch_next(q0, !q0);
+        let n1 = g.xor(q1, q0);
+        g.set_latch_next(q1, n1);
+        g.output("o", q1);
+        let d = map_rsfq(&g);
+        assert_eq!(d.state_dffs, 2);
+        assert!(d.jj_with_clock_tree() > d.jj_total());
+    }
+
+    #[test]
+    fn rsfq_costs_exceed_xsfq_on_full_adder() {
+        // The headline comparison at miniature scale: clocked RSFQ with
+        // path balancing and clock splitting vs clock-free xSFQ.
+        let g = full_adder();
+        let rsfq = map_rsfq(&g);
+        let xsfq = xsfq_core::map_xsfq(&g, &xsfq_core::MapOptions::default());
+        let rsfq_jj = rsfq.jj_with_clock_tree();
+        let xsfq_jj = xsfq.physical.stats().jj_total;
+        assert!(
+            rsfq_jj as f64 / xsfq_jj as f64 > 2.0,
+            "expected ≥2× savings, rsfq={rsfq_jj} xsfq={xsfq_jj}"
+        );
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's ablation polarity artifact. Run with `--release`.
+
+fn main() {
+    print!("{}", xsfq_bench::ablation_polarity());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig2 artifact. Run with `--release`.
+
+fn main() {
+    print!("{}", xsfq_bench::fig2());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig4 5 artifact. Run with `--release`.
+
+fn main() {
+    print!("{}", xsfq_bench::fig4_5());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig7 artifact. Run with `--release`.
+
+fn main() {
+    print!("{}", xsfq_bench::fig7());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table1 artifact. Run with `--release`.
+
+fn main() {
+    print!("{}", xsfq_bench::table1());
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper's Table 4 (ISCAS85 + EPFL vs the PBMap-style
+//! baseline). Run with `--release`.
+
+fn main() {
+    let rows = xsfq_bench::table4();
+    print!(
+        "{}",
+        xsfq_bench::render_eval(
+            "Table 4 — ISCAS85 & EPFL combinational circuits vs PBMap-style RSFQ",
+            &rows
+        )
+    );
+}

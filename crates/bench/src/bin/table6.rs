@@ -1,0 +1,13 @@
+//! Regenerates the paper's Table 6 (ISCAS89 vs the qSeq-style baseline).
+//! Run with `--release`.
+
+fn main() {
+    let rows = xsfq_bench::table6();
+    print!(
+        "{}",
+        xsfq_bench::render_eval(
+            "Table 6 — ISCAS89 sequential circuits vs qSeq-style RSFQ",
+            &rows
+        )
+    );
+}

@@ -1,0 +1,179 @@
+//! # xsfq-benchmarks — ISCAS85 / EPFL / ISCAS89 benchmark equivalents
+//!
+//! The paper evaluates on the ISCAS85, EPFL and ISCAS89 suites. Those
+//! netlists are distribution-restricted artifacts, so this crate rebuilds
+//! each circuit's *documented function* as an AIG generator (see the module
+//! docs for the fidelity notes per circuit; `s27` is the exact published
+//! netlist). Users with the original files can load them via
+//! [`xsfq_aig::io::read_blif`] and run the identical flow.
+//!
+//! ```
+//! use xsfq_benchmarks as benchmarks;
+//!
+//! let aig = benchmarks::by_name("c6288").expect("known benchmark");
+//! assert_eq!(aig.num_inputs(), 32); // 16×16 multiplier
+//!
+//! // Iterate a whole suite:
+//! for bench in benchmarks::table4_circuits() {
+//!     let aig = (bench.build)();
+//!     assert!(aig.num_ands() > 0, "{}", bench.name);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod epfl;
+pub mod iscas85;
+pub mod iscas89;
+
+use xsfq_aig::Aig;
+
+/// Which suite a benchmark belongs to.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Suite {
+    /// ISCAS85 combinational circuits.
+    Iscas85,
+    /// EPFL combinational circuits.
+    Epfl,
+    /// ISCAS89 sequential circuits.
+    Iscas89,
+}
+
+/// A registered benchmark generator.
+#[derive(Copy, Clone, Debug)]
+pub struct Benchmark {
+    /// Canonical name (as used in the paper's tables).
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    /// Generator function.
+    pub build: fn() -> Aig,
+}
+
+/// Every registered benchmark.
+pub fn all() -> Vec<Benchmark> {
+    use Suite::*;
+    vec![
+        Benchmark { name: "c432", suite: Iscas85, build: iscas85::c432 },
+        Benchmark { name: "c499", suite: Iscas85, build: iscas85::c499 },
+        Benchmark { name: "c880", suite: Iscas85, build: iscas85::c880 },
+        Benchmark { name: "c1908", suite: Iscas85, build: iscas85::c1908 },
+        Benchmark { name: "c3540", suite: Iscas85, build: iscas85::c3540 },
+        Benchmark { name: "c5315", suite: Iscas85, build: iscas85::c5315 },
+        Benchmark { name: "c6288", suite: Iscas85, build: iscas85::c6288 },
+        Benchmark { name: "c7552", suite: Iscas85, build: iscas85::c7552 },
+        Benchmark { name: "arbiter", suite: Epfl, build: epfl::arbiter },
+        Benchmark { name: "cavlc", suite: Epfl, build: epfl::cavlc },
+        Benchmark { name: "ctrl", suite: Epfl, build: epfl::ctrl },
+        Benchmark { name: "dec", suite: Epfl, build: epfl::dec },
+        Benchmark { name: "i2c", suite: Epfl, build: epfl::i2c },
+        Benchmark { name: "int2float", suite: Epfl, build: epfl::int2float },
+        Benchmark { name: "mem_ctrl", suite: Epfl, build: epfl::mem_ctrl },
+        Benchmark { name: "priority", suite: Epfl, build: epfl::priority },
+        Benchmark { name: "router", suite: Epfl, build: epfl::router },
+        Benchmark { name: "voter", suite: Epfl, build: epfl::voter },
+        Benchmark { name: "sin", suite: Epfl, build: epfl::sin },
+        Benchmark { name: "s27", suite: Iscas89, build: iscas89::s27 },
+        Benchmark { name: "s298", suite: Iscas89, build: iscas89::s298 },
+        Benchmark { name: "s344", suite: Iscas89, build: iscas89::s344 },
+        Benchmark { name: "s349", suite: Iscas89, build: iscas89::s349 },
+        Benchmark { name: "s382", suite: Iscas89, build: iscas89::s382 },
+        Benchmark { name: "s386", suite: Iscas89, build: iscas89::s386 },
+        Benchmark { name: "s400", suite: Iscas89, build: iscas89::s400 },
+        Benchmark { name: "s420.1", suite: Iscas89, build: iscas89::s420_1 },
+        Benchmark { name: "s444", suite: Iscas89, build: iscas89::s444 },
+        Benchmark { name: "s510", suite: Iscas89, build: iscas89::s510 },
+        Benchmark { name: "s526", suite: Iscas89, build: iscas89::s526 },
+        Benchmark { name: "s641", suite: Iscas89, build: iscas89::s641 },
+        Benchmark { name: "s713", suite: Iscas89, build: iscas89::s713 },
+        Benchmark { name: "s820", suite: Iscas89, build: iscas89::s820 },
+        Benchmark { name: "s832", suite: Iscas89, build: iscas89::s832 },
+        Benchmark { name: "s838.1", suite: Iscas89, build: iscas89::s838_1 },
+    ]
+}
+
+/// Look a benchmark up by its canonical name.
+pub fn by_name(name: &str) -> Option<Aig> {
+    all()
+        .into_iter()
+        .find(|b| b.name == name)
+        .map(|b| (b.build)())
+}
+
+/// The combinational circuits of the paper's Table 4, in row order.
+pub fn table4_circuits() -> Vec<Benchmark> {
+    let rows = [
+        "c880", "c1908", "c499", "c3540", "c5315", "c7552", "int2float", "dec", "priority",
+        "sin", "cavlc",
+    ];
+    rows.iter()
+        .map(|n| {
+            all()
+                .into_iter()
+                .find(|b| b.name == *n)
+                .expect("registered")
+        })
+        .collect()
+}
+
+/// The EPFL control circuits of the paper's Table 3, in column order.
+pub fn table3_circuits() -> Vec<Benchmark> {
+    let cols = [
+        "arbiter", "cavlc", "ctrl", "dec", "i2c", "int2float", "mem_ctrl", "priority",
+        "router", "voter",
+    ];
+    cols.iter()
+        .map(|n| {
+            all()
+                .into_iter()
+                .find(|b| b.name == *n)
+                .expect("registered")
+        })
+        .collect()
+}
+
+/// The sequential circuits of the paper's Table 6, in row order.
+pub fn table6_circuits() -> Vec<Benchmark> {
+    all()
+        .into_iter()
+        .filter(|b| b.suite == Suite::Iscas89)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let benches = all();
+        let mut names: Vec<&str> = benches.iter().map(|b| b.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), benches.len(), "duplicate names");
+        assert!(by_name("c6288").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn table_selections_match_the_paper() {
+        assert_eq!(table4_circuits().len(), 11);
+        assert_eq!(table3_circuits().len(), 10);
+        assert_eq!(table6_circuits().len(), 16);
+    }
+
+    #[test]
+    fn suites_are_consistent() {
+        for b in all() {
+            let aig = (b.build)();
+            match b.suite {
+                Suite::Iscas85 | Suite::Epfl => {
+                    assert_eq!(aig.num_latches(), 0, "{} must be combinational", b.name)
+                }
+                Suite::Iscas89 => {
+                    assert!(aig.num_latches() > 0, "{} must be sequential", b.name)
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # xsfq-cells — superconducting standard-cell libraries
+//!
+//! The characterized cell data of the paper's Table 2 (xSFQ family:
+//! LA, FA, DROC, JTL, splitter, merger, DC-to-SFQ) for both interconnect
+//! styles, plus the clocked RSFQ library the baseline flows map to, and a
+//! Liberty (`.lib`) exporter with the 1×1 timing LUTs described in §2.3.
+//!
+//! ```
+//! use xsfq_cells::{CellKind, CellLibrary, liberty};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = CellLibrary::xsfq_abutted();
+//! // The paper's full-adder example: 18 LA/FA cells + 16 splitters = 120 JJ.
+//! let jj = 18 * lib.jj(CellKind::La) + 16 * lib.jj(CellKind::Splitter);
+//! assert_eq!(jj, 120);
+//!
+//! let mut text = Vec::new();
+//! liberty::write_liberty(&lib, &mut text)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod kinds;
+mod library;
+
+pub mod liberty;
+
+pub use kinds::CellKind;
+pub use library::{CellLibrary, CellParams, InterconnectStyle};

@@ -1,0 +1,130 @@
+//! Liberty (`.lib`) export of a characterized cell library.
+//!
+//! Paper §2.3: because PTL routing collapses timing arcs to single values,
+//! the Liberty tables are 1×1 look-up tables. The output here is accepted by
+//! conventional timing-driven tools and carries the JJ count as the cell
+//! `area` attribute (the standard trick in superconducting PDKs).
+
+use std::io::Write;
+
+use crate::{CellKind, CellLibrary};
+
+/// Write `library` as a Liberty file.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_liberty<W: Write>(library: &CellLibrary, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "library ({}) {{", library.name())?;
+    writeln!(w, "  delay_model : table_lookup;")?;
+    writeln!(w, "  time_unit : \"1ps\";")?;
+    writeln!(w, "  /* area encodes the Josephson junction count */")?;
+    writeln!(w, "  lu_table_template (single_value) {{")?;
+    writeln!(w, "    variable_1 : input_net_transition;")?;
+    writeln!(w, "    index_1 (\"1.0\");")?;
+    writeln!(w, "  }}")?;
+
+    for kind in library.cells() {
+        write_cell(library, kind, &mut w)?;
+    }
+    writeln!(w, "}}")
+}
+
+fn write_cell<W: Write>(lib: &CellLibrary, kind: CellKind, w: &mut W) -> std::io::Result<()> {
+    let p = lib.params(kind);
+    writeln!(w, "  cell ({}) {{", kind.name())?;
+    writeln!(w, "    area : {};", p.jj)?;
+    match kind {
+        CellKind::La | CellKind::Fa => {
+            let function = if kind == CellKind::La { "(a & b)" } else { "(a | b)" };
+            writeln!(w, "    pin (a) {{ direction : input; }}")?;
+            writeln!(w, "    pin (b) {{ direction : input; }}")?;
+            writeln!(w, "    pin (q) {{")?;
+            writeln!(w, "      direction : output;")?;
+            writeln!(w, "      function : \"{function}\";")?;
+            write_arc(w, "a b", p.delay_ps)?;
+            writeln!(w, "    }}")?;
+        }
+        CellKind::Jtl | CellKind::Splitter | CellKind::Merger => {
+            writeln!(w, "    pin (a) {{ direction : input; }}")?;
+            if kind == CellKind::Merger {
+                writeln!(w, "    pin (b) {{ direction : input; }}")?;
+            }
+            let outs: &[&str] = if kind == CellKind::Splitter {
+                &["q0", "q1"]
+            } else {
+                &["q"]
+            };
+            for out in outs {
+                writeln!(w, "    pin ({out}) {{")?;
+                writeln!(w, "      direction : output;")?;
+                writeln!(w, "      function : \"a\";")?;
+                write_arc(w, "a", p.delay_ps)?;
+                writeln!(w, "    }}")?;
+            }
+        }
+        CellKind::DcToSfq => {
+            writeln!(w, "    pin (q) {{ direction : output; }}")?;
+        }
+        CellKind::Droc { .. } => {
+            writeln!(w, "    ff (IQ, IQN) {{ clocked_on : \"clk\"; next_state : \"d\"; }}")?;
+            writeln!(w, "    pin (d) {{ direction : input; }}")?;
+            writeln!(w, "    pin (clk) {{ direction : input; clock : true; }}")?;
+            for (pin, qn) in [("qp", false), ("qn", true)] {
+                writeln!(w, "    pin ({pin}) {{")?;
+                writeln!(w, "      direction : output;")?;
+                writeln!(
+                    w,
+                    "      function : \"{}\";",
+                    if qn { "IQN" } else { "IQ" }
+                )?;
+                write_arc(w, "clk", lib.droc_delay(qn))?;
+                writeln!(w, "    }}")?;
+            }
+        }
+        // RSFQ cells are not part of the xSFQ deliverable library.
+        _ => {}
+    }
+    writeln!(w, "  }}")
+}
+
+fn write_arc<W: Write>(w: &mut W, related: &str, delay_ps: f64) -> std::io::Result<()> {
+    writeln!(w, "      timing () {{")?;
+    writeln!(w, "        related_pin : \"{related}\";")?;
+    writeln!(w, "        cell_rise (single_value) {{ values (\"{delay_ps:.1}\"); }}")?;
+    writeln!(w, "        cell_fall (single_value) {{ values (\"{delay_ps:.1}\"); }}")?;
+    writeln!(w, "      }}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn liberty_contains_all_cells_and_values() {
+        let lib = CellLibrary::xsfq_abutted();
+        let mut buf = Vec::new();
+        write_liberty(&lib, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for cell in ["JTL", "LA", "FA", "DROC", "DROC_P", "SPLIT", "MERGE", "DC2SFQ"] {
+            assert!(text.contains(&format!("cell ({cell})")), "missing {cell}");
+        }
+        // Table 2 spot checks.
+        assert!(text.contains("area : 4;"), "LA/FA area");
+        assert!(text.contains("values (\"7.2\")"), "LA delay");
+        assert!(text.contains("values (\"9.5\")"), "FA / DROC Qn delay");
+        assert!(text.contains("values (\"6.7\")"), "DROC Qp delay");
+        assert!(text.contains("area : 22;"), "preloaded DROC area");
+    }
+
+    #[test]
+    fn liberty_is_balanced() {
+        let lib = CellLibrary::xsfq_ptl();
+        let mut buf = Vec::new();
+        write_liberty(&lib, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let open = text.matches('{').count();
+        let close = text.matches('}').count();
+        assert_eq!(open, close, "unbalanced braces");
+    }
+}

@@ -1,0 +1,374 @@
+//! The end-to-end synthesis flow (the paper's §3 + §4 methodology):
+//! optimize the AIG with stock passes, choose output polarities, map to
+//! clock-free dual-rail xSFQ cells, insert pipeline ranks and splitters,
+//! and report the numbers the evaluation tables are built from.
+
+use std::error::Error;
+use std::fmt;
+
+use xsfq_aig::opt::{self, Effort};
+use xsfq_aig::Aig;
+use xsfq_cells::{CellKind, InterconnectStyle};
+use xsfq_netlist::Netlist;
+
+use crate::map::{map_xsfq, MapOptions, MappedDesign};
+use crate::pipeline::choose_rank_levels;
+use crate::polarity::PolarityMode;
+use crate::verify::verify_mapping;
+
+/// Flow configuration (builder-style).
+#[derive(Clone, Debug)]
+pub struct FlowOptions {
+    /// AIG optimization effort.
+    pub effort: Effort,
+    /// Output polarity strategy.
+    pub polarity: PolarityMode,
+    /// Interconnect style / library variant.
+    pub style: InterconnectStyle,
+    /// Architectural pipeline stages to insert (combinational designs only).
+    pub pipeline_stages: usize,
+    /// Window (in levels) for the min-width rank placement search.
+    pub rank_window: u32,
+    /// Prove the mapped netlist equivalent to the source (combinational
+    /// designs; sequential designs are validated by the pulse simulator).
+    pub verify: bool,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            effort: Effort::Standard,
+            polarity: PolarityMode::Heuristic,
+            style: InterconnectStyle::Abutted,
+            pipeline_stages: 0,
+            rank_window: 3,
+            verify: false,
+        }
+    }
+}
+
+/// Error raised by [`SynthesisFlow::run`].
+#[derive(Debug)]
+pub enum FlowError {
+    /// Pipelining was requested for a sequential design.
+    PipelineOnSequential,
+    /// Post-mapping verification failed.
+    Verification(crate::verify::VerifyMappingError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::PipelineOnSequential => {
+                write!(f, "pipeline stages require a combinational design")
+            }
+            FlowError::Verification(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+/// Per-design report — the row format of the paper's Tables 3–6.
+#[derive(Clone, Debug)]
+pub struct FlowReport {
+    /// Design name.
+    pub name: String,
+    /// AND nodes after optimization.
+    pub aig_nodes: usize,
+    /// AIG depth after optimization.
+    pub aig_depth: usize,
+    /// LA/FA cell count.
+    pub la_fa: usize,
+    /// Duplication penalty in percent.
+    pub duplication_percent: f64,
+    /// Splitter count.
+    pub splitters: usize,
+    /// DROC cells without preloading hardware.
+    pub drocs_plain: usize,
+    /// DROC cells with preloading hardware.
+    pub drocs_preload: usize,
+    /// Total JJ count (cells + trigger merger; no clock tree).
+    pub jj_total: u64,
+    /// JJ cost of the DROC clock tree (zero for combinational designs).
+    pub jj_clock_tree: u64,
+    /// Logic depth (LA/FA on the critical path).
+    pub depth_logic: usize,
+    /// Logic depth including splitters.
+    pub depth_with_splitters: usize,
+    /// Critical path delay in ps (storage-to-storage).
+    pub critical_delay_ps: f64,
+    /// Circuit clock frequency (GHz).
+    pub circuit_ghz: f64,
+    /// Architectural clock frequency (GHz) — half the circuit clock, since
+    /// a logical cycle spans the excite and relax phases (§4.2.2).
+    pub arch_ghz: f64,
+}
+
+impl fmt::Display for FlowReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} LA/FA ({:.0}% dupl), {} splitters, {}/{} DROC, {} JJ, depth {}/{}, {:.1}/{:.1} GHz",
+            self.name,
+            self.la_fa,
+            self.duplication_percent,
+            self.splitters,
+            self.drocs_plain,
+            self.drocs_preload,
+            self.jj_total,
+            self.depth_logic,
+            self.depth_with_splitters,
+            self.circuit_ghz,
+            self.arch_ghz,
+        )
+    }
+}
+
+/// Result of a flow run.
+#[derive(Clone, Debug)]
+pub struct FlowResult {
+    /// The optimized AIG the mapping consumed.
+    pub optimized: Aig,
+    /// Full mapping artifacts (logical + physical netlists, polarity data).
+    pub mapped: MappedDesign,
+    /// Convenience alias of `mapped.physical`.
+    pub netlist: Netlist,
+    /// The table-row report.
+    pub report: FlowReport,
+}
+
+/// The xSFQ synthesis flow.
+///
+/// ```
+/// use xsfq_aig::{Aig, build};
+/// use xsfq_core::SynthesisFlow;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut aig = Aig::new("fa");
+/// let a = aig.input("a");
+/// let b = aig.input("b");
+/// let cin = aig.input("cin");
+/// let (s, c) = build::full_adder(&mut aig, a, b, cin);
+/// aig.output("sum", s);
+/// aig.output("cout", c);
+///
+/// let result = SynthesisFlow::new().verify(true).run(&aig)?;
+/// // Figure 5ii: the flow lands on 10 LA/FA cells and 58 JJs.
+/// assert_eq!(result.report.la_fa, 10);
+/// assert_eq!(result.report.jj_total, 58);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SynthesisFlow {
+    options: FlowOptions,
+}
+
+impl SynthesisFlow {
+    /// Flow with default options (standard effort, heuristic polarity,
+    /// abutted interconnect, no pipelining, no verification).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flow with explicit options.
+    pub fn with_options(options: FlowOptions) -> Self {
+        SynthesisFlow { options }
+    }
+
+    /// Set the optimization effort.
+    #[must_use]
+    pub fn effort(mut self, effort: Effort) -> Self {
+        self.options.effort = effort;
+        self
+    }
+
+    /// Set the polarity mode.
+    #[must_use]
+    pub fn polarity(mut self, mode: PolarityMode) -> Self {
+        self.options.polarity = mode;
+        self
+    }
+
+    /// Set the interconnect style.
+    #[must_use]
+    pub fn style(mut self, style: InterconnectStyle) -> Self {
+        self.options.style = style;
+        self
+    }
+
+    /// Set the number of architectural pipeline stages.
+    #[must_use]
+    pub fn pipeline_stages(mut self, stages: usize) -> Self {
+        self.options.pipeline_stages = stages;
+        self
+    }
+
+    /// Enable or disable post-mapping verification.
+    #[must_use]
+    pub fn verify(mut self, verify: bool) -> Self {
+        self.options.verify = verify;
+        self
+    }
+
+    /// Current options.
+    pub fn options(&self) -> &FlowOptions {
+        &self.options
+    }
+
+    /// Run the flow on a design.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::PipelineOnSequential`] when pipeline stages are
+    /// requested for a design with latches; [`FlowError::Verification`]
+    /// when the mapped netlist fails the equivalence proof.
+    pub fn run(&self, aig: &Aig) -> Result<FlowResult, FlowError> {
+        let o = &self.options;
+        if o.pipeline_stages > 0 && aig.num_latches() > 0 {
+            return Err(FlowError::PipelineOnSequential);
+        }
+        let optimized = opt::optimize(aig, o.effort);
+        let rank_levels = choose_rank_levels(&optimized, o.pipeline_stages, o.rank_window);
+        let mapped = map_xsfq(
+            &optimized,
+            &MapOptions {
+                polarity: o.polarity,
+                style: o.style,
+                rank_levels,
+            },
+        );
+        if o.verify && aig.num_latches() == 0 {
+            verify_mapping(&optimized, &mapped, o.polarity).map_err(FlowError::Verification)?;
+        }
+        let stats = mapped.physical.stats();
+        let splitter_jj = u64::from(mapped.physical.library().jj(CellKind::Splitter));
+        let circuit_ghz = stats.circuit_clock_ghz();
+        let report = FlowReport {
+            name: aig.name().to_string(),
+            aig_nodes: optimized.num_ands(),
+            aig_depth: optimized.depth(),
+            la_fa: stats.la_fa,
+            duplication_percent: mapped.duplication_percent(),
+            splitters: stats.splitters,
+            drocs_plain: stats.drocs_plain,
+            drocs_preload: stats.drocs_preload,
+            jj_total: stats.jj_total + mapped.trigger_merger_jj,
+            jj_clock_tree: stats.clock_tree_jj(splitter_jj),
+            depth_logic: stats.depth_logic,
+            depth_with_splitters: stats.depth_with_splitters,
+            critical_delay_ps: stats.critical_delay_ps,
+            circuit_ghz,
+            arch_ghz: circuit_ghz / 2.0,
+        };
+        let netlist = mapped.physical.clone();
+        Ok(FlowResult {
+            optimized,
+            mapped,
+            netlist,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsfq_aig::{build, Lit};
+
+    #[test]
+    fn flow_on_full_adder_hits_paper_numbers() {
+        let mut g = Aig::new("fa");
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("cin");
+        let (s, co) = build::full_adder(&mut g, a, b, c);
+        g.output("s", s);
+        g.output("cout", co);
+        let r = SynthesisFlow::new().verify(true).run(&g).unwrap();
+        assert_eq!(r.report.la_fa, 10);
+        assert_eq!(r.report.splitters, 6);
+        assert_eq!(r.report.jj_total, 58);
+        assert_eq!(r.report.jj_clock_tree, 0);
+        assert_eq!(r.report.drocs_plain + r.report.drocs_preload, 0);
+    }
+
+    #[test]
+    fn pipelined_flow_reduces_depth_and_adds_drocs() {
+        let mut g = Aig::new("mul6");
+        let a = g.input_word("a", 6);
+        let b = g.input_word("b", 6);
+        let p = build::array_multiplier(&mut g, &a, &b);
+        g.output_word("p", &p);
+        let base = SynthesisFlow::new().run(&g).unwrap();
+        let piped = SynthesisFlow::new()
+            .pipeline_stages(1)
+            .verify(true)
+            .run(&g)
+            .unwrap();
+        assert_eq!(base.report.drocs_plain + base.report.drocs_preload, 0);
+        assert!(piped.report.drocs_preload > 0);
+        assert!(
+            piped.report.depth_logic < base.report.depth_logic,
+            "pipelining must shorten stages: {} vs {}",
+            piped.report.depth_logic,
+            base.report.depth_logic
+        );
+        assert!(piped.report.circuit_ghz > base.report.circuit_ghz);
+        assert!(piped.report.jj_clock_tree > 0, "DROCs need a clock tree");
+    }
+
+    #[test]
+    fn pipeline_on_sequential_is_rejected() {
+        let mut g = Aig::new("seq");
+        let q = g.latch("q", false);
+        g.set_latch_next(q, !q);
+        g.output("o", q);
+        let err = SynthesisFlow::new().pipeline_stages(1).run(&g).unwrap_err();
+        assert!(matches!(err, FlowError::PipelineOnSequential));
+    }
+
+    #[test]
+    fn sequential_flow_reports_drocs_and_trigger() {
+        let mut g = Aig::new("cnt2");
+        let q0 = g.latch("q0", false);
+        let q1 = g.latch("q1", false);
+        g.set_latch_next(q0, !q0);
+        let n1 = g.xor(q1, q0);
+        g.set_latch_next(q1, n1);
+        g.output("o0", q0);
+        g.output("o1", q1);
+        let r = SynthesisFlow::new().run(&g).unwrap();
+        assert_eq!(r.report.drocs_plain + r.report.drocs_preload, 4);
+        assert!(r.report.jj_total > 0);
+        assert!(r.report.jj_clock_tree > 0);
+        // Trigger merger is counted once (5 JJ).
+        let stats = r.netlist.stats();
+        assert_eq!(r.report.jj_total, stats.jj_total + 5);
+    }
+
+    #[test]
+    fn verification_catches_nothing_on_good_flow() {
+        let mut g = Aig::new("alu");
+        let a = g.input_word("a", 4);
+        let b = g.input_word("b", 4);
+        let sel = g.input("sel");
+        let (sum, _) = build::ripple_add(&mut g, &a, &b, Lit::FALSE);
+        let ands: Vec<Lit> = a.iter().zip(&b).map(|(&x, &y)| g.and(x, y)).collect();
+        let out = build::mux_word(&mut g, sel, &sum, &ands);
+        g.output_word("o", &out);
+        for mode in [
+            PolarityMode::DualRail,
+            PolarityMode::AllPositive,
+            PolarityMode::Heuristic,
+        ] {
+            let r = SynthesisFlow::new()
+                .polarity(mode)
+                .verify(true)
+                .run(&g)
+                .unwrap();
+            assert!(r.report.jj_total > 0);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Pipeline rank placement (paper §4.2.2, Table 5).
+//!
+//! Every architectural pipeline stage needs *two* DROC ranks because of
+//! xSFQ's alternating encoding (excite + relax phases per logical cycle).
+//! Rather than leaving both DROCs of a pair adjacent — which wastes a
+//! synchronous stage with no logic in it — the ranks are spread through the
+//! combinational fabric, which is what the paper achieves with ABC's
+//! retiming. Placement searches a window around the equal-depth positions
+//! for the cut with the fewest crossing signals (fewest DROCs).
+
+use xsfq_aig::{Aig, NodeKind};
+
+/// Choose the rank levels for `arch_stages` architectural pipeline stages.
+///
+/// Returns `2 × arch_stages` cut levels in ascending order. The final rank
+/// sits past every node (`depth + 1`), registering the primary outputs; the
+/// interior ranks divide the logic into equal-delay segments, nudged within
+/// `window` levels to minimize the number of crossing signals.
+///
+/// Returns an empty vector for `arch_stages == 0`.
+pub fn choose_rank_levels(aig: &Aig, arch_stages: usize, window: u32) -> Vec<u32> {
+    if arch_stages == 0 {
+        return Vec::new();
+    }
+    let depth = aig.depth() as u32;
+    let ranks = 2 * arch_stages as u32;
+    let mut levels = Vec::with_capacity(ranks as usize);
+    let widths = crossing_widths(aig);
+    // Cap the search window to a quarter of a segment so the min-width
+    // search cannot destroy the stage balance the cuts exist for.
+    let window = window.min(depth / ranks / 4);
+    for i in 1..ranks {
+        let ideal = (depth * i).div_ceil(ranks).max(1);
+        let lo = ideal.saturating_sub(window).max(1);
+        let hi = (ideal + window).min(depth);
+        let mut best = ideal;
+        let mut best_width = usize::MAX;
+        for cut in lo..=hi {
+            let w = widths.get(cut as usize).copied().unwrap_or(usize::MAX);
+            if w < best_width {
+                best_width = w;
+                best = cut;
+            }
+        }
+        // Keep cuts strictly increasing.
+        if let Some(&prev) = levels.last() {
+            if best <= prev {
+                best = prev + 1;
+            }
+        }
+        levels.push(best);
+    }
+    levels.push(depth + 1); // output rank
+    levels
+}
+
+/// Number of signals crossing a cut placed just below each level:
+/// `widths[l]` counts nodes with `level < l` that feed a consumer with
+/// `level ≥ l` (primary outputs count as consumers at `depth + 1`).
+pub fn crossing_widths(aig: &Aig) -> Vec<usize> {
+    let levels = aig.levels();
+    let depth = aig.depth() as u32;
+    // For each node: the maximum consumer level.
+    let mut max_consumer = vec![0u32; aig.num_nodes()];
+    for (i, kind) in aig.nodes().iter().enumerate() {
+        if let NodeKind::And { a, b } = kind {
+            let lvl = levels[i];
+            for f in [a.node().index(), b.node().index()] {
+                max_consumer[f] = max_consumer[f].max(lvl);
+            }
+        }
+    }
+    for root in aig.combinational_roots() {
+        max_consumer[root.node().index()] = depth + 1;
+    }
+    // widths[l] = #nodes with level < l <= max_consumer.
+    let mut widths = vec![0usize; depth as usize + 2];
+    for i in 0..aig.num_nodes() {
+        if max_consumer[i] == 0 {
+            continue; // dangling
+        }
+        let lo = levels[i] + 1;
+        let hi = max_consumer[i];
+        for l in lo..=hi.min(depth + 1) {
+            widths[l as usize] += 1;
+        }
+    }
+    widths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsfq_aig::build;
+    use xsfq_aig::Lit;
+
+    fn adder(width: usize) -> Aig {
+        let mut g = Aig::new("adder");
+        let a = g.input_word("a", width);
+        let b = g.input_word("b", width);
+        let (s, c) = build::ripple_add(&mut g, &a, &b, Lit::FALSE);
+        g.output_word("s", &s);
+        g.output("c", c);
+        g
+    }
+
+    #[test]
+    fn zero_stages_means_no_ranks() {
+        let g = adder(4);
+        assert!(choose_rank_levels(&g, 0, 2).is_empty());
+    }
+
+    #[test]
+    fn levels_are_strictly_increasing_and_end_past_depth() {
+        let g = adder(8);
+        for stages in 1..=3 {
+            let ranks = choose_rank_levels(&g, stages, 3);
+            assert_eq!(ranks.len(), 2 * stages);
+            for w in ranks.windows(2) {
+                assert!(w[0] < w[1], "ranks must increase: {ranks:?}");
+            }
+            assert_eq!(
+                *ranks.last().unwrap(),
+                g.depth() as u32 + 1,
+                "final rank registers the outputs"
+            );
+        }
+    }
+
+    #[test]
+    fn crossing_width_of_chain_is_one_plus_inputs() {
+        // AND chain: at any interior cut, exactly the accumulator and the
+        // not-yet-consumed inputs cross.
+        let mut g = Aig::new("chain");
+        let xs = g.input_word("x", 4);
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = g.and(acc, x);
+        }
+        g.output("o", acc);
+        let w = crossing_widths(&g);
+        // Cut below level 1: acc(x0 input) + x1..x3 inputs... = x0,x1 used
+        // at level 1, later inputs used later.
+        // At cut 2: node level1 + x2, x3.
+        assert_eq!(w[2], 3);
+        // At the output boundary only the final node crosses.
+        assert_eq!(w[g.depth() + 1], 1);
+    }
+
+    #[test]
+    fn window_picks_narrow_cut() {
+        // Funnel: wide at level 1, narrow at level 2+.
+        let mut g = Aig::new("funnel");
+        let xs = g.input_word("x", 8);
+        let pairs: Vec<_> = xs.chunks(2).map(|p| g.and(p[0], p[1])).collect();
+        let quads: Vec<_> = pairs.chunks(2).map(|p| g.and(p[0], p[1])).collect();
+        let top = g.and(quads[0], quads[1]);
+        g.output("o", top);
+        // depth 3; crossing widths: cut1: 4, cut2: 2, cut3: 1.
+        let w = crossing_widths(&g);
+        assert!(w[2] < w[1]);
+        let ranks = choose_rank_levels(&g, 1, 1);
+        // The interior rank's ideal is ceil(3*1/2)=2 and width(2) < width(1),
+        // so it must stay at 2.
+        assert_eq!(ranks[0], 2);
+    }
+}

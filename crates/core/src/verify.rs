@@ -1,0 +1,368 @@
+//! Mapping verification: reconstruct single-rail logic from a mapped xSFQ
+//! netlist and prove it equivalent to the source AIG.
+//!
+//! The dual-rail interpretation is mechanical — LA is AND, FA is OR over
+//! complement rails, DROC is a transparent polarity pair in feedforward
+//! designs — so the reconstruction plus a strash-sharing miter gives an
+//! end-to-end functional proof of the flow (what the paper establishes with
+//! simulation, §4.1).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use xsfq_aig::{Aig, Lit, NodeKind};
+use xsfq_cells::CellKind;
+use xsfq_netlist::Netlist;
+use xsfq_sat::{SatResult, Solver};
+
+use crate::map::MappedDesign;
+use crate::polarity::{OutputPolarity, PolarityMode};
+
+/// Error returned when a mapped netlist fails verification.
+#[derive(Debug)]
+pub struct VerifyMappingError {
+    message: String,
+}
+
+impl fmt::Display for VerifyMappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mapping verification failed: {}", self.message)
+    }
+}
+
+impl Error for VerifyMappingError {}
+
+/// Interpret a feedforward xSFQ netlist back as single-rail logic.
+///
+/// Input ports must come in `name_p`/`name_n` pairs (as produced by
+/// [`crate::map::map_xsfq`]); `const0_p`/`const0_n` ports map to constants.
+/// DROC cells are treated as transparent (latency-insensitive
+/// interpretation), so the result is the combinational function of the
+/// pipeline.
+///
+/// # Errors
+///
+/// Returns an error for netlists with feedback or unsupported cells.
+pub fn netlist_to_comb_aig(netlist: &Netlist) -> Result<Aig, VerifyMappingError> {
+    let mut aig = Aig::new(format!("{}_recon", netlist.name()));
+    let mut net_lit: HashMap<usize, Lit> = HashMap::new();
+
+    // Inputs: consecutive _p/_n pairs share an AIG input.
+    let mut i = 0;
+    let ports = netlist.inputs();
+    while i < ports.len() {
+        let p = &ports[i];
+        if p.name == "const0_p" {
+            net_lit.insert(p.net.index(), Lit::FALSE);
+            i += 1;
+            continue;
+        }
+        if p.name == "const0_n" {
+            net_lit.insert(p.net.index(), Lit::TRUE);
+            i += 1;
+            continue;
+        }
+        let Some(base) = p.name.strip_suffix("_p") else {
+            return Err(VerifyMappingError {
+                message: format!("input port '{}' is not a _p rail", p.name),
+            });
+        };
+        let Some(q) = ports.get(i + 1).filter(|q| q.name == format!("{base}_n")) else {
+            return Err(VerifyMappingError {
+                message: format!("missing _n rail after '{}'", p.name),
+            });
+        };
+        let lit = aig.input(base.to_string());
+        net_lit.insert(p.net.index(), lit);
+        net_lit.insert(q.net.index(), !lit);
+        i += 2;
+    }
+
+    // Cells may not be in topological order after splitter insertion, so
+    // resolve them with a worklist: a cell is ready when all its input
+    // nets are known. Leftover cells mean combinational feedback.
+    let mut remaining: Vec<usize> = (0..netlist.cells().len()).collect();
+    loop {
+        let before = remaining.len();
+        remaining.retain(|&ci| {
+            let cell = &netlist.cells()[ci];
+            if !cell
+                .inputs
+                .iter()
+                .all(|n| net_lit.contains_key(&n.index()))
+            {
+                return true; // not ready yet
+            }
+            let get = |net: xsfq_netlist::NetId| net_lit[&net.index()];
+            match cell.kind {
+                CellKind::La => {
+                    let q = {
+                        let (a, b) = (get(cell.inputs[0]), get(cell.inputs[1]));
+                        aig.and(a, b)
+                    };
+                    net_lit.insert(cell.outputs[0].index(), q);
+                }
+                CellKind::Fa => {
+                    // FA carries the negative rail: OR of complement rails.
+                    let q = {
+                        let (a, b) = (get(cell.inputs[0]), get(cell.inputs[1]));
+                        aig.or(a, b)
+                    };
+                    net_lit.insert(cell.outputs[0].index(), q);
+                }
+                CellKind::Jtl => {
+                    let a = get(cell.inputs[0]);
+                    net_lit.insert(cell.outputs[0].index(), a);
+                }
+                CellKind::Splitter => {
+                    let a = get(cell.inputs[0]);
+                    net_lit.insert(cell.outputs[0].index(), a);
+                    net_lit.insert(cell.outputs[1].index(), a);
+                }
+                CellKind::Droc { .. } => {
+                    let d = get(cell.inputs[0]);
+                    net_lit.insert(cell.outputs[0].index(), d);
+                    net_lit.insert(cell.outputs[1].index(), !d);
+                }
+                _ => {}
+            }
+            false
+        });
+        // Unsupported cells are detected before the worklist stalls.
+        if let Some(&ci) = remaining
+            .iter()
+            .find(|&&ci| !supported_kind(netlist.cells()[ci].kind))
+        {
+            return Err(VerifyMappingError {
+                message: format!(
+                    "unsupported cell {} in reconstruction",
+                    netlist.cells()[ci].kind
+                ),
+            });
+        }
+        if remaining.is_empty() {
+            break;
+        }
+        if remaining.len() == before {
+            return Err(VerifyMappingError {
+                message: "netlist is not feedforward (combinational cycle)".into(),
+            });
+        }
+    }
+
+    for port in netlist.outputs() {
+        let lit = net_lit.get(&port.net.index()).copied().ok_or(VerifyMappingError {
+            message: format!("output '{}' is undriven", port.name),
+        })?;
+        aig.output(port.name.clone(), lit);
+    }
+    Ok(aig)
+}
+
+fn supported_kind(kind: CellKind) -> bool {
+    matches!(
+        kind,
+        CellKind::La | CellKind::Fa | CellKind::Jtl | CellKind::Splitter | CellKind::Droc { .. }
+    )
+}
+
+/// Prove two combinational AIGs equivalent using a strash-sharing miter:
+/// identical structures collapse during construction, and the residue goes
+/// to the SAT solver.
+///
+/// # Panics
+///
+/// Panics if the interfaces differ or the designs have latches.
+pub fn prove_equivalent(a: &Aig, b: &Aig) -> bool {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
+    assert_eq!(a.num_latches() + b.num_latches(), 0, "combinational only");
+
+    let mut miter = Aig::new("miter");
+    let inputs: Vec<Lit> = (0..a.num_inputs())
+        .map(|i| miter.input(format!("i{i}")))
+        .collect();
+    let outs_a = import(a, &mut miter, &inputs);
+    let outs_b = import(b, &mut miter, &inputs);
+    let mut diffs = Vec::with_capacity(outs_a.len());
+    for (x, y) in outs_a.iter().zip(&outs_b) {
+        diffs.push(miter.xor(*x, *y));
+    }
+    let diff = miter.or_many(&diffs);
+    if diff == Lit::FALSE {
+        return true; // collapsed structurally
+    }
+    if diff == Lit::TRUE {
+        return false;
+    }
+    miter.output("diff", diff);
+    let miter = miter.compact();
+    let mut solver = Solver::new();
+    let vars: Vec<_> = (0..miter.num_inputs()).map(|_| solver.new_var()).collect();
+    let map = xsfq_sat::cec::encode(&mut solver, &miter, &vars, &[]);
+    let out = xsfq_sat::cec::edge_lit(&map, miter.outputs()[0].lit);
+    solver.add_clause(&[out]);
+    solver.solve() == SatResult::Unsat
+}
+
+fn import(src: &Aig, dst: &mut Aig, inputs: &[Lit]) -> Vec<Lit> {
+    let mut map: Vec<Lit> = vec![Lit::FALSE; src.num_nodes()];
+    for (i, kind) in src.nodes().iter().enumerate() {
+        map[i] = match *kind {
+            NodeKind::Const0 => Lit::FALSE,
+            NodeKind::Input { index } => inputs[index as usize],
+            NodeKind::Latch { .. } => unreachable!("combinational only"),
+            NodeKind::And { a, b } => {
+                let fa = map[a.node().index()].complement_if(a.is_complement());
+                let fb = map[b.node().index()].complement_if(b.is_complement());
+                dst.and(fa, fb)
+            }
+        };
+    }
+    src.outputs()
+        .iter()
+        .map(|o| map[o.lit.node().index()].complement_if(o.lit.is_complement()))
+        .collect()
+}
+
+/// Verify that a mapped design implements its source AIG: reconstruct the
+/// netlist's logic and prove it equivalent to the source with output
+/// polarities applied.
+///
+/// # Errors
+///
+/// Returns [`VerifyMappingError`] when reconstruction fails or the proof
+/// finds a mismatch.
+pub fn verify_mapping(
+    source: &Aig,
+    mapped: &MappedDesign,
+    mode: PolarityMode,
+) -> Result<(), VerifyMappingError> {
+    if source.num_latches() > 0 {
+        return Err(VerifyMappingError {
+            message: "sequential mappings are verified with the pulse simulator".into(),
+        });
+    }
+    let recon = netlist_to_comb_aig(&mapped.logical)?;
+    // Expected: the source with polarities applied (and doubled rails in
+    // dual-rail mode).
+    let mut expected = Aig::new("expected");
+    let inputs: Vec<Lit> = (0..source.num_inputs())
+        .map(|i| expected.input(source.input_name(i).to_string()))
+        .collect();
+    let outs = import(source, &mut expected, &inputs);
+    for ((o, lit), pol) in source
+        .outputs()
+        .iter()
+        .zip(outs)
+        .zip(&mapped.assignment.outputs)
+    {
+        if mode == PolarityMode::DualRail {
+            expected.output(format!("{}_p", o.name), lit);
+            expected.output(format!("{}_n", o.name), !lit);
+        } else {
+            let keep_positive = *pol == OutputPolarity::Positive;
+            expected.output(o.name.clone(), lit.complement_if(!keep_positive));
+        }
+    }
+    if recon.num_outputs() != expected.num_outputs() {
+        return Err(VerifyMappingError {
+            message: format!(
+                "output count mismatch: reconstructed {}, expected {}",
+                recon.num_outputs(),
+                expected.num_outputs()
+            ),
+        });
+    }
+    if prove_equivalent(&recon, &expected) {
+        Ok(())
+    } else {
+        Err(VerifyMappingError {
+            message: "reconstructed netlist differs from the source function".into(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::{map_xsfq, MapOptions};
+    use xsfq_aig::build;
+
+    fn full_adder() -> Aig {
+        let mut g = Aig::new("fa");
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("cin");
+        let (s, co) = build::full_adder(&mut g, a, b, c);
+        g.output("s", s);
+        g.output("cout", co);
+        g
+    }
+
+    #[test]
+    fn all_polarity_modes_verify_on_full_adder() {
+        let g = full_adder();
+        for mode in [
+            PolarityMode::DualRail,
+            PolarityMode::AllPositive,
+            PolarityMode::Heuristic,
+            PolarityMode::Exhaustive,
+        ] {
+            let m = map_xsfq(
+                &g,
+                &MapOptions {
+                    polarity: mode,
+                    ..Default::default()
+                },
+            );
+            verify_mapping(&g, &m, mode).unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn pipelined_mapping_verifies_combinationally() {
+        let mut g = Aig::new("add4");
+        let a = g.input_word("a", 4);
+        let b = g.input_word("b", 4);
+        let (s, c) = build::ripple_add(&mut g, &a, &b, Lit::FALSE);
+        g.output_word("s", &s);
+        g.output("c", c);
+        let ranks = crate::pipeline::choose_rank_levels(&g, 1, 2);
+        let m = map_xsfq(
+            &g,
+            &MapOptions {
+                rank_levels: ranks,
+                ..Default::default()
+            },
+        );
+        verify_mapping(&g, &m, PolarityMode::Heuristic).unwrap();
+    }
+
+    #[test]
+    fn prove_equivalent_detects_difference() {
+        let mut g1 = Aig::new("g1");
+        let a = g1.input("a");
+        let b = g1.input("b");
+        let x = g1.and(a, b);
+        g1.output("o", x);
+        let mut g2 = Aig::new("g2");
+        let a = g2.input("a");
+        let b = g2.input("b");
+        let x = g2.or(a, b);
+        g2.output("o", x);
+        assert!(!prove_equivalent(&g1, &g2));
+        assert!(prove_equivalent(&g1, &g1.clone()));
+    }
+
+    #[test]
+    fn reconstruction_handles_physical_netlist() {
+        // Splitter-inserted netlists reconstruct identically.
+        let g = full_adder();
+        let m = map_xsfq(&g, &MapOptions::default());
+        let from_logical = netlist_to_comb_aig(&m.logical).unwrap();
+        let from_physical = netlist_to_comb_aig(&m.physical).unwrap();
+        assert!(prove_equivalent(&from_logical, &from_physical));
+    }
+}

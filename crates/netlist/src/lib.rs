@@ -1,0 +1,37 @@
+//! # xsfq-netlist — technology-level superconducting netlists
+//!
+//! Cell/net graphs over the `xsfq-cells` libraries, with the physical
+//! concerns the paper's evaluation hinges on: splitter-tree insertion
+//! (fanout materialization, Equation 1 of §3.1.2), Josephson-junction
+//! accounting, logical depth and critical-delay reports, clock-tree sizing,
+//! and Verilog/DOT export.
+//!
+//! ```
+//! use xsfq_cells::{CellKind, CellLibrary};
+//! use xsfq_netlist::Netlist;
+//!
+//! let mut n = Netlist::new("pair", CellLibrary::xsfq_abutted());
+//! let a = n.add_input("a");
+//! let b = n.add_input("b");
+//! // A dual-rail AND: LA on the positive rails, FA on the negative ones.
+//! let p = n.add_cell(CellKind::La, &[a, b])[0];
+//! let q = n.add_cell(CellKind::Fa, &[a, b])[0];
+//! n.add_output("and_p", p);
+//! n.add_output("and_n", q);
+//!
+//! let physical = n.insert_splitters();
+//! let stats = physical.stats();
+//! assert_eq!(stats.la_fa, 2);
+//! assert_eq!(stats.splitters, 2); // a and b each feed two cells
+//! assert_eq!(stats.jj_total, 2 * 4 + 2 * 3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod netlist;
+mod stats;
+
+pub mod writers;
+
+pub use netlist::{input_pins, output_pins, Cell, CellId, Driver, NetId, Netlist, Port};
+pub use stats::NetlistStats;

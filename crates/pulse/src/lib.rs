@@ -1,0 +1,34 @@
+//! # xsfq-pulse — event-driven pulse simulation of xSFQ netlists
+//!
+//! The workspace's substitute for PyLSE (Christensen et al., PLDI'22),
+//! which the paper uses for pulse-level validation (§4, Figure 7). Cells
+//! are finite state machines with the Table 1 semantics; the [`Harness`]
+//! drives mapped netlists through the alternating dual-rail protocol with
+//! the trigger/clock schedule of §3.2 and decodes logical values back out.
+//!
+//! ```
+//! use xsfq_cells::{CellKind, CellLibrary};
+//! use xsfq_netlist::Netlist;
+//! use xsfq_pulse::{Harness, PulseSim};
+//!
+//! // Dual-rail AND gate (an LA-FA pair) under the alternating protocol.
+//! let mut n = Netlist::new("and", CellLibrary::xsfq_abutted());
+//! let ap = n.add_input("a_p");
+//! let an = n.add_input("a_n");
+//! let bp = n.add_input("b_p");
+//! let bn = n.add_input("b_n");
+//! let q = n.add_cell(CellKind::La, &[ap, bp])[0];
+//! n.add_output("q", q);
+//! let result = Harness::new(&n, vec![false]).run(&[vec![true, true]]);
+//! assert_eq!(result.outputs[0], vec![true]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod harness;
+mod sim;
+
+pub mod wave;
+
+pub use harness::{Harness, HarnessResult};
+pub use sim::{PulseSim, Violation};

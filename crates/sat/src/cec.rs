@@ -1,0 +1,252 @@
+//! Combinational equivalence checking via SAT miters.
+//!
+//! [`check_equivalence`] builds the standard miter — shared inputs, per-output
+//! XORs, disjunction asserted true — and hands it to the CDCL solver. UNSAT
+//! proves equivalence; SAT yields a distinguishing input pattern.
+//!
+//! This is the verification backbone of the whole flow: every AIG
+//! optimization pass and every xSFQ mapping step is checked against it.
+
+use std::collections::HashMap;
+
+use xsfq_aig::{Aig, Lit as AigLit, NodeId, NodeKind};
+
+use crate::solver::{Lit, SatResult, Solver, Var};
+
+/// Result of an equivalence check.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EquivResult {
+    /// The two designs agree on every input pattern.
+    Equivalent,
+    /// The designs differ; the payload is an input vector (one bool per
+    /// shared primary input) on which at least one output differs.
+    Counterexample(Vec<bool>),
+}
+
+impl EquivResult {
+    /// True when the result is [`EquivResult::Equivalent`].
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, EquivResult::Equivalent)
+    }
+}
+
+/// Tseitin-encode the combinational logic of `aig` into `solver`.
+///
+/// Returns the literal map from AIG nodes to SAT literals. `input_vars` maps
+/// each primary input index to an existing SAT variable (so multiple AIGs
+/// can share inputs). Latch outputs are treated as free inputs via
+/// `latch_vars` (cut-point abstraction for sequential designs).
+pub fn encode(
+    solver: &mut Solver,
+    aig: &Aig,
+    input_vars: &[Var],
+    latch_vars: &[Var],
+) -> HashMap<NodeId, Lit> {
+    assert_eq!(input_vars.len(), aig.num_inputs(), "input var count");
+    assert_eq!(latch_vars.len(), aig.num_latches(), "latch var count");
+    let mut map: HashMap<NodeId, Lit> = HashMap::with_capacity(aig.num_nodes());
+    // Constant node: a frozen variable forced to false.
+    let const_var = solver.new_var();
+    solver.add_clause(&[const_var.negative()]);
+    map.insert(NodeId::CONST0, const_var.positive());
+    for (i, kind) in aig.nodes().iter().enumerate() {
+        let id = NodeId::from_index(i);
+        match *kind {
+            NodeKind::Const0 => {}
+            NodeKind::Input { index } => {
+                map.insert(id, input_vars[index as usize].positive());
+            }
+            NodeKind::Latch { index } => {
+                map.insert(id, latch_vars[index as usize].positive());
+            }
+            NodeKind::And { a, b } => {
+                let la = lit_of(&map, a);
+                let lb = lit_of(&map, b);
+                let n = solver.new_var().positive();
+                // n <-> la & lb
+                solver.add_clause(&[!n, la]);
+                solver.add_clause(&[!n, lb]);
+                solver.add_clause(&[n, !la, !lb]);
+                map.insert(id, n);
+            }
+        }
+    }
+    map
+}
+
+fn lit_of(map: &HashMap<NodeId, Lit>, l: AigLit) -> Lit {
+    let base = map[&l.node()];
+    if l.is_complement() {
+        !base
+    } else {
+        base
+    }
+}
+
+/// SAT literal of an AIG edge given the map produced by [`encode`].
+pub fn edge_lit(map: &HashMap<NodeId, Lit>, l: AigLit) -> Lit {
+    lit_of(map, l)
+}
+
+/// Check combinational equivalence of two AIGs with identical interfaces
+/// (same input count/order and output count/order). Latches, if present,
+/// must match pairwise and are treated as free cut-point inputs, which is
+/// sound for netlists whose registers were not moved (use bounded sequential
+/// checks for retimed designs).
+///
+/// # Panics
+///
+/// Panics if the interfaces differ.
+pub fn check_equivalence(a: &Aig, b: &Aig) -> EquivResult {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
+    assert_eq!(a.num_latches(), b.num_latches(), "latch counts differ");
+
+    let mut solver = Solver::new();
+    let inputs: Vec<Var> = (0..a.num_inputs()).map(|_| solver.new_var()).collect();
+    let latches: Vec<Var> = (0..a.num_latches()).map(|_| solver.new_var()).collect();
+    let map_a = encode(&mut solver, a, &inputs, &latches);
+    let map_b = encode(&mut solver, b, &inputs, &latches);
+
+    // Miter: OR over outputs (and latch-next pairs) of XOR differences.
+    let mut diffs: Vec<Lit> = Vec::new();
+    let pairs = a
+        .outputs()
+        .iter()
+        .map(|o| o.lit)
+        .chain(a.latches().iter().map(|l| l.next))
+        .zip(
+            b.outputs()
+                .iter()
+                .map(|o| o.lit)
+                .chain(b.latches().iter().map(|l| l.next)),
+        );
+    for (oa, ob) in pairs {
+        let la = lit_of(&map_a, oa);
+        let lb = lit_of(&map_b, ob);
+        let d = solver.new_var().positive();
+        // d <-> la XOR lb
+        solver.add_clause(&[!d, la, lb]);
+        solver.add_clause(&[!d, !la, !lb]);
+        solver.add_clause(&[d, !la, lb]);
+        solver.add_clause(&[d, la, !lb]);
+        diffs.push(d);
+    }
+    if diffs.is_empty() {
+        return EquivResult::Equivalent;
+    }
+    solver.add_clause(&diffs);
+    match solver.solve() {
+        SatResult::Unsat => EquivResult::Equivalent,
+        SatResult::Sat => {
+            let pattern = inputs
+                .iter()
+                .map(|&v| solver.value(v).unwrap_or(false))
+                .collect();
+            EquivResult::Counterexample(pattern)
+        }
+    }
+}
+
+/// Convenience wrapper: `true` iff the designs are equivalent.
+pub fn equivalent(a: &Aig, b: &Aig) -> bool {
+    check_equivalence(a, b).is_equivalent()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsfq_aig::{build, opt, Aig};
+
+    #[test]
+    fn equivalent_adders() {
+        let mut g1 = Aig::new("g1");
+        let a = g1.input_word("a", 4);
+        let b = g1.input_word("b", 4);
+        let (s, c) = build::ripple_add(&mut g1, &a, &b, AigLit::FALSE);
+        g1.output_word("s", &s);
+        g1.output("c", c);
+        let g2 = opt::optimize(&g1, opt::Effort::Standard);
+        assert!(equivalent(&g1, &g2));
+    }
+
+    #[test]
+    fn counterexample_on_difference() {
+        let mut g1 = Aig::new("g1");
+        let a = g1.input("a");
+        let b = g1.input("b");
+        let x = g1.and(a, b);
+        g1.output("o", x);
+
+        let mut g2 = Aig::new("g2");
+        let a2 = g2.input("a");
+        let b2 = g2.input("b");
+        let x2 = g2.or(a2, b2);
+        g2.output("o", x2);
+
+        let EquivResult::Counterexample(cex) = check_equivalence(&g1, &g2) else {
+            panic!("AND and OR must differ");
+        };
+        // The counterexample must actually distinguish them.
+        let oa = xsfq_aig::sim::eval_outputs(&g1, &cex)[0];
+        let ob = xsfq_aig::sim::eval_outputs(&g2, &cex)[0];
+        assert_ne!(oa, ob);
+    }
+
+    #[test]
+    fn complemented_outputs_differ() {
+        let mut g1 = Aig::new("g1");
+        let a = g1.input("a");
+        g1.output("o", a);
+        let mut g2 = Aig::new("g2");
+        let a2 = g2.input("a");
+        g2.output("o", !a2);
+        assert!(!equivalent(&g1, &g2));
+    }
+
+    #[test]
+    fn sequential_cutpoint_check() {
+        // Same next-state logic expressed differently.
+        let mut g1 = Aig::new("g1");
+        let d = g1.input("d");
+        let q = g1.latch("q", false);
+        let n = g1.xor(d, q);
+        g1.set_latch_next(q, n);
+        g1.output("o", q);
+
+        let mut g2 = Aig::new("g2");
+        let d2 = g2.input("d");
+        let q2 = g2.latch("q", false);
+        // d^q = (d|q) & !(d&q)
+        let or = g2.or(d2, q2);
+        let and = g2.and(d2, q2);
+        let n2 = g2.and(or, !and);
+        g2.set_latch_next(q2, n2);
+        g2.output("o", q2);
+
+        assert!(equivalent(&g1, &g2));
+    }
+
+    #[test]
+    fn constant_handling() {
+        let mut g1 = Aig::new("g1");
+        let a = g1.input("a");
+        let f = g1.and(a, AigLit::FALSE);
+        g1.output("o", f);
+        let mut g2 = Aig::new("g2");
+        let _a = g2.input("a");
+        g2.output("o", AigLit::FALSE);
+        assert!(equivalent(&g1, &g2));
+    }
+
+    #[test]
+    fn multiplier_against_itself_optimized() {
+        let mut g = Aig::new("mul4");
+        let a = g.input_word("a", 4);
+        let b = g.input_word("b", 4);
+        let p = build::array_multiplier(&mut g, &a, &b);
+        g.output_word("p", &p);
+        let o = opt::optimize(&g, opt::Effort::Fast);
+        assert!(equivalent(&g, &o));
+    }
+}

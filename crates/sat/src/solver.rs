@@ -1,0 +1,735 @@
+//! A CDCL SAT solver (MiniSat-style) with two-literal watching, 1UIP conflict
+//! analysis, VSIDS branching, phase saving, Luby restarts and learnt-clause
+//! reduction.
+//!
+//! The solver is the decision procedure behind combinational equivalence
+//! checking ([`crate::cec`]): every optimization and mapping pass in the
+//! workspace is verified against it in the test suites.
+
+use std::fmt;
+
+/// A boolean variable.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(u32);
+
+impl Var {
+    /// Index of the variable (dense, starting at 0).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Positive literal of this variable.
+    pub fn positive(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// Negative literal of this variable.
+    pub fn negative(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+
+    /// Literal of this variable with the given sign.
+    pub fn lit(self, negative: bool) -> Lit {
+        Lit(self.0 << 1 | negative as u32)
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The variable underlying this literal.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True if the literal is negated.
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.is_negative() { "-" } else { "" }, self.0 >> 1)
+    }
+}
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SatResult {
+    /// A satisfying assignment was found (query it with [`Solver::value`]).
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+}
+
+const CLAUSE_NONE: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+}
+
+/// CDCL SAT solver.
+///
+/// ```
+/// use xsfq_sat::{Solver, SatResult};
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[a.positive(), b.positive()]);
+/// s.add_clause(&[a.negative()]);
+/// assert_eq!(s.solve(), SatResult::Sat);
+/// assert_eq!(s.value(b), Some(true));
+/// ```
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<u32>>, // indexed by literal; clause watches !lit
+    assigns: Vec<i8>,       // per var: 0 unknown, 1 true, -1 false
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    phase: Vec<bool>,
+    order: Vec<Var>, // lazily sorted decision candidates
+    seen: Vec<bool>,
+    ok: bool,
+    num_learnts: usize,
+    /// Statistics: number of conflicts encountered.
+    pub conflicts: u64,
+    /// Statistics: number of decisions taken.
+    pub decisions: u64,
+    /// Statistics: number of literal propagations.
+    pub propagations: u64,
+}
+
+impl Solver {
+    /// New empty solver.
+    pub fn new() -> Self {
+        Solver {
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            ok: true,
+            ..Default::default()
+        }
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of clauses (original + learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Allocate a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(0);
+        self.level.push(0);
+        self.reason.push(CLAUSE_NONE);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.push(v);
+        v
+    }
+
+    fn lit_value(&self, l: Lit) -> i8 {
+        let v = self.assigns[l.var().index()];
+        if l.is_negative() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Model value of `var` after a [`SatResult::Sat`] answer; `None` if the
+    /// variable was irrelevant (never assigned).
+    pub fn value(&self, var: Var) -> Option<bool> {
+        match self.assigns[var.index()] {
+            1 => Some(true),
+            -1 => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Add a clause. Returns `false` if the solver is already in an
+    /// unsatisfiable state (conflicting unit clauses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after a failed solve with outstanding assignments at
+    /// a non-root level (internal misuse; public callers always see the
+    /// solver at level 0 between solves).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert!(self.trail_lim.is_empty(), "clauses must be added at level 0");
+        if !self.ok {
+            return false;
+        }
+        // Simplify: remove duplicates/false literals, detect tautologies.
+        let mut simplified: Vec<Lit> = Vec::with_capacity(lits.len());
+        let mut sorted = lits.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        for &l in &sorted {
+            if sorted.binary_search(&!l).is_ok() {
+                return true; // tautology: l and !l both present
+            }
+            match self.lit_value(l) {
+                1 => return true, // already satisfied at level 0
+                -1 => {}          // drop false literal
+                _ => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(simplified[0], CLAUSE_NONE);
+                self.ok = self.propagate() == CLAUSE_NONE;
+                self.ok
+            }
+            _ => {
+                self.attach_clause(simplified, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        let idx = self.clauses.len() as u32;
+        self.watches[(!lits[0]).index()].push(idx);
+        self.watches[(!lits[1]).index()].push(idx);
+        if learnt {
+            self.num_learnts += 1;
+        }
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+        });
+        idx
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert_eq!(self.lit_value(l), 0);
+        let v = l.var().index();
+        self.assigns[v] = if l.is_negative() { -1 } else { 1 };
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = reason;
+        self.phase[v] = !l.is_negative();
+        self.trail.push(l);
+    }
+
+    /// Propagate all enqueued assignments. Returns the conflicting clause
+    /// index or `CLAUSE_NONE`.
+    fn propagate(&mut self) -> u32 {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            let mut watch_list = std::mem::take(&mut self.watches[p.index()]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                let ci = watch_list[i];
+                // Make sure the false literal (!p) is at position 1.
+                let (first, need_new_watch) = {
+                    let c = &mut self.clauses[ci as usize];
+                    if c.lits[0] == !p {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], !p);
+                    (c.lits[0], true)
+                };
+                let _ = need_new_watch;
+                if self.lit_value(first) == 1 {
+                    i += 1;
+                    continue; // clause satisfied; keep watching
+                }
+                // Look for a new literal to watch.
+                let mut found = None;
+                {
+                    let c = &self.clauses[ci as usize];
+                    for (k, &l) in c.lits.iter().enumerate().skip(2) {
+                        if self.lit_value(l) != -1 {
+                            found = Some((k, l));
+                            break;
+                        }
+                    }
+                }
+                if let Some((k, l)) = found {
+                    self.clauses[ci as usize].lits.swap(1, k);
+                    self.watches[(!l).index()].push(ci);
+                    watch_list.swap_remove(i);
+                    continue; // do not advance i: swapped element takes this slot
+                }
+                // No new watch: clause is unit or conflicting.
+                if self.lit_value(first) == -1 {
+                    // Conflict: restore remaining watches and bail out.
+                    self.watches[p.index()].extend_from_slice(&watch_list[..]);
+                    self.qhead = self.trail.len();
+                    return ci;
+                }
+                self.unchecked_enqueue(first, ci);
+                i += 1;
+            }
+            // Retain processed watches (minus relocated ones).
+            let existing = std::mem::replace(&mut self.watches[p.index()], watch_list);
+            self.watches[p.index()].extend(existing);
+        }
+        CLAUSE_NONE
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    fn bump_clause(&mut self, ci: u32) {
+        let c = &mut self.clauses[ci as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns (learnt clause, backjump level).
+    fn analyze(&mut self, mut conflict: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the asserting literal
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let current_level = self.trail_lim.len() as u32;
+
+        loop {
+            debug_assert_ne!(conflict, CLAUSE_NONE);
+            self.bump_clause(conflict);
+            let start = usize::from(p.is_some());
+            let lits: Vec<Lit> = self.clauses[conflict as usize].lits[start..].to_vec();
+            for q in lits {
+                let v = q.var();
+                if self.seen[v.index()] || self.level[v.index()] == 0 {
+                    continue;
+                }
+                self.seen[v.index()] = true;
+                self.bump_var(v);
+                if self.level[v.index()] == current_level {
+                    counter += 1;
+                } else {
+                    learnt.push(q);
+                }
+            }
+            // Select the next trail literal at the current level.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            self.seen[lit.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !lit;
+                break;
+            }
+            p = Some(lit);
+            conflict = self.reason[lit.var().index()];
+        }
+
+        // Clear the seen flags for the learnt literals.
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        // Backjump level = max level among the non-asserting literals.
+        let backjump = learnt[1..]
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .max()
+            .unwrap_or(0);
+        // Put a literal of the backjump level at position 1 (watch invariant).
+        if learnt.len() > 1 {
+            let pos = learnt[1..]
+                .iter()
+                .position(|l| self.level[l.var().index()] == backjump)
+                .expect("literal at backjump level")
+                + 1;
+            learnt.swap(1, pos);
+        }
+        (learnt, backjump)
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        while self.trail_lim.len() as u32 > level {
+            let lim = self.trail_lim.pop().expect("non-root level");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("trail entry");
+                let v = l.var();
+                self.assigns[v.index()] = 0;
+                self.reason[v.index()] = CLAUSE_NONE;
+                self.order.push(v);
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        // Lazy VSIDS: sort pending candidates by activity on demand.
+        loop {
+            if self.order.is_empty() {
+                // Refill with all unassigned vars (restarts may have lost some).
+                for i in 0..self.assigns.len() {
+                    if self.assigns[i] == 0 {
+                        self.order.push(Var(i as u32));
+                    }
+                }
+                if self.order.is_empty() {
+                    return None;
+                }
+            }
+            // Pick the max-activity candidate.
+            let mut best = 0usize;
+            for (i, v) in self.order.iter().enumerate() {
+                if self.activity[v.index()] > self.activity[self.order[best].index()] {
+                    best = i;
+                }
+            }
+            let v = self.order.swap_remove(best);
+            if self.assigns[v.index()] == 0 {
+                return Some(v);
+            }
+        }
+    }
+
+    fn reduce_learnts(&mut self) {
+        // Remove the less active half of learnt clauses. Rebuilding the
+        // watch lists afterwards keeps the indices consistent.
+        let mut acts: Vec<f64> = self
+            .clauses
+            .iter()
+            .filter(|c| c.learnt && c.lits.len() > 2)
+            .map(|c| c.activity)
+            .collect();
+        if acts.len() < 2 {
+            return;
+        }
+        acts.sort_by(|a, b| a.partial_cmp(b).expect("finite activities"));
+        let threshold = acts[acts.len() / 2];
+        let locked: Vec<u32> = self
+            .trail
+            .iter()
+            .map(|l| self.reason[l.var().index()])
+            .filter(|&r| r != CLAUSE_NONE)
+            .collect();
+        let mut keep = Vec::with_capacity(self.clauses.len());
+        let mut remap = vec![CLAUSE_NONE; self.clauses.len()];
+        for (i, c) in self.clauses.iter().enumerate() {
+            let is_locked = locked.contains(&(i as u32));
+            if !c.learnt || c.lits.len() <= 2 || c.activity >= threshold || is_locked {
+                remap[i] = keep.len() as u32;
+                keep.push(i);
+            }
+        }
+        let mut new_clauses = Vec::with_capacity(keep.len());
+        for &i in &keep {
+            new_clauses.push(Clause {
+                lits: self.clauses[i].lits.clone(),
+                learnt: self.clauses[i].learnt,
+                activity: self.clauses[i].activity,
+            });
+        }
+        self.num_learnts = new_clauses.iter().filter(|c| c.learnt).count();
+        self.clauses = new_clauses;
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            self.watches[(!c.lits[0]).index()].push(i as u32);
+            self.watches[(!c.lits[1]).index()].push(i as u32);
+        }
+        for r in &mut self.reason {
+            if *r != CLAUSE_NONE {
+                *r = remap[*r as usize];
+                debug_assert_ne!(*r, CLAUSE_NONE, "locked reason clause was removed");
+            }
+        }
+    }
+
+    /// Solve the formula.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solve under the given assumption literals (forced at decision levels
+    /// before any free decisions).
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.cancel_until(0);
+        let mut restarts = 0u32;
+        loop {
+            let budget = luby(restarts) * 256;
+            match self.search(assumptions, budget) {
+                Some(result) => {
+                    if result == SatResult::Unsat {
+                        self.cancel_until(0);
+                    }
+                    return result;
+                }
+                None => {
+                    restarts += 1;
+                    self.cancel_until(0);
+                }
+            }
+        }
+    }
+
+    /// Run CDCL until `budget` conflicts; `None` means restart.
+    fn search(&mut self, assumptions: &[Lit], budget: u64) -> Option<SatResult> {
+        let mut conflicts_here = 0u64;
+        loop {
+            let conflict = self.propagate();
+            if conflict != CLAUSE_NONE {
+                self.conflicts += 1;
+                conflicts_here += 1;
+                if self.trail_lim.is_empty() {
+                    self.ok = false;
+                    return Some(SatResult::Unsat);
+                }
+                let (learnt, backjump) = self.analyze(conflict);
+                // Never backjump into the assumption prefix unless forced.
+                self.cancel_until(backjump.max(0));
+                if learnt.len() == 1 {
+                    self.cancel_until(0);
+                    if self.lit_value(learnt[0]) == -1 {
+                        self.ok = false;
+                        return Some(SatResult::Unsat);
+                    }
+                    if self.lit_value(learnt[0]) == 0 {
+                        self.unchecked_enqueue(learnt[0], CLAUSE_NONE);
+                    }
+                } else {
+                    let ci = self.attach_clause(learnt.clone(), true);
+                    self.unchecked_enqueue(learnt[0], ci);
+                }
+                self.var_inc /= 0.95;
+                self.cla_inc /= 0.999;
+                if conflicts_here >= budget {
+                    return None; // restart
+                }
+                if self.num_learnts > 4000 + self.num_vars() * 4 {
+                    self.reduce_learnts();
+                }
+                continue;
+            }
+            // Assumption handling: force the next unassigned assumption.
+            let mut decided = false;
+            for &a in assumptions {
+                match self.lit_value(a) {
+                    -1 => return Some(SatResult::Unsat),
+                    0 => {
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(a, CLAUSE_NONE);
+                        decided = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if decided {
+                continue;
+            }
+            // Free decision.
+            match self.pick_branch_var() {
+                None => return Some(SatResult::Sat),
+                Some(v) => {
+                    self.decisions += 1;
+                    self.trail_lim.push(self.trail.len());
+                    let lit = v.lit(!self.phase[v.index()]);
+                    self.unchecked_enqueue(lit, CLAUSE_NONE);
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence (1,1,2,1,1,2,4,…), MiniSat's formulation.
+fn luby(x: u32) -> u64 {
+    let mut x = x as u64;
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_sat_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[a.positive()]));
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[a.positive()]);
+        assert!(!s.add_clause(&[a.negative()]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn three_sat_instance() {
+        // (a|b|c)(!a|b)(!b|c)(!c|!a): satisfiable.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        s.add_clause(&[a.positive(), b.positive(), c.positive()]);
+        s.add_clause(&[a.negative(), b.positive()]);
+        s.add_clause(&[b.negative(), c.positive()]);
+        s.add_clause(&[c.negative(), a.negative()]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        // Verify the model satisfies every clause.
+        let va = s.value(a).unwrap();
+        let vb = s.value(b).unwrap();
+        let vc = s.value(c).unwrap();
+        assert!(va || vb || vc);
+        assert!(!va || vb);
+        assert!(!vb || vc);
+        assert!(!vc || !va);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: classic small UNSAT instance.
+        let mut s = Solver::new();
+        let mut p = [[Var(0); 2]; 3];
+        for pi in p.iter_mut() {
+            for h in pi.iter_mut() {
+                *h = s.new_var();
+            }
+        }
+        for pi in &p {
+            s.add_clause(&[pi[0].positive(), pi[1].positive()]);
+        }
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause(&[p[i][h].negative(), p[j][h].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.negative(), b.positive()]); // a -> b
+        assert_eq!(s.solve_with_assumptions(&[a.positive()]), SatResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+        assert_eq!(
+            s.solve_with_assumptions(&[a.positive(), b.negative()]),
+            SatResult::Unsat
+        );
+        // Solver stays usable after an assumption-UNSAT.
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn random_instances_agree_with_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        for round in 0..60 {
+            let nvars = 6;
+            let nclauses = rng.gen_range(4..24);
+            let mut clauses: Vec<Vec<(usize, bool)>> = Vec::new();
+            for _ in 0..nclauses {
+                let len = rng.gen_range(1..=3);
+                let mut cl = Vec::new();
+                for _ in 0..len {
+                    cl.push((rng.gen_range(0..nvars), rng.gen()));
+                }
+                clauses.push(cl);
+            }
+            // Brute force.
+            let mut brute_sat = false;
+            'outer: for m in 0..(1u32 << nvars) {
+                for cl in &clauses {
+                    if !cl.iter().any(|&(v, neg)| (m >> v & 1 == 1) != neg) {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            // Solver.
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..nvars).map(|_| s.new_var()).collect();
+            for cl in &clauses {
+                let lits: Vec<Lit> = cl.iter().map(|&(v, neg)| vars[v].lit(neg)).collect();
+                s.add_clause(&lits);
+            }
+            let got = s.solve() == SatResult::Sat;
+            assert_eq!(got, brute_sat, "round {round}: clauses {clauses:?}");
+        }
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(luby(i as u32), e, "luby({i})");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # xsfq-spice — analog Josephson-junction circuit simulation
+//!
+//! The workspace's substitute for HSPICE + the MIT-LL SFQ5ee junction
+//! models (paper §2.3): an RCSJ transient solver over node phases, cell
+//! schematics for the xSFQ primitives, and the delay-characterization flow
+//! that feeds the Liberty library.
+//!
+//! ```
+//! use xsfq_spice::{cells, transient::{transient, TransientOptions}};
+//!
+//! // One SFQ pulse rides down a 4-stage JTL (Figure 2-style experiment).
+//! let mut fx = cells::jtl_chain(4);
+//! fx.circuit.pulse(fx.inputs[0], 10.0, 500e-6, 2.0);
+//! let wf = transient(&fx.circuit, &TransientOptions::default());
+//! assert_eq!(wf.pulse_count(&fx.circuit, fx.output_junctions[0]), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cells;
+pub mod characterize;
+pub mod circuit;
+pub mod transient;
+
+pub use circuit::{Circuit, Node, Waveform, K_PHI, PHI0};
+pub use transient::{transient, TransientOptions, Waveforms};

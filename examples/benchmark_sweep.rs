@@ -1,0 +1,51 @@
+//! Sweep the benchmark suites through both flows (clock-free xSFQ vs the
+//! path-balanced RSFQ baseline) and print the JJ comparison — a compact
+//! version of the paper's Tables 4 and 6.
+//!
+//! ```sh
+//! cargo run --release --example benchmark_sweep [circuit ...]
+//! ```
+
+use xsfq::aig::opt::Effort;
+use xsfq::baselines;
+use xsfq::core::SynthesisFlow;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<String> = if args.is_empty() {
+        vec![
+            "c880".into(),
+            "int2float".into(),
+            "dec".into(),
+            "priority".into(),
+            "cavlc".into(),
+            "s27".into(),
+            "s386".into(),
+        ]
+    } else {
+        args
+    };
+    println!(
+        "{:<12} {:>7} {:>9} {:>11} {:>9} {:>9}",
+        "circuit", "nodes", "xSFQ JJ", "RSFQ JJ(+clk)", "savings", "dupl"
+    );
+    for name in names {
+        let Some(aig) = xsfq::benchmarks::by_name(&name) else {
+            eprintln!("unknown benchmark '{name}' — see xsfq_benchmarks::all()");
+            continue;
+        };
+        let r = SynthesisFlow::new().effort(Effort::Standard).run(&aig)?;
+        let b = baselines::pbmap(&aig);
+        let rsfq = b.jj_with_clock_tree();
+        println!(
+            "{:<12} {:>7} {:>9} {:>13} {:>8.1}x {:>8.0}%",
+            name,
+            r.optimized.num_ands(),
+            r.report.jj_total,
+            rsfq,
+            rsfq as f64 / r.report.jj_total as f64,
+            r.report.duplication_percent,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Explore the JJ-vs-frequency trade of xSFQ pipelining on the c6288
+//! multiplier (the paper's Table 5 experiment) for any stage count.
+//!
+//! ```sh
+//! cargo run --release --example pipeline_explorer [max_stages]
+//! ```
+
+use xsfq::core::SynthesisFlow;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let max_stages: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let aig = xsfq::benchmarks::by_name("c6288").expect("registered benchmark");
+    println!("c6288 (16×16 array multiplier), {} AND nodes\n", aig.num_ands());
+    println!(
+        "{:>6} {:>9} {:>8} {:>11} {:>12} {:>14}",
+        "stages", "#JJ", "#LA/FA", "#DROC", "depth", "clock (GHz)"
+    );
+    for stages in 0..=max_stages {
+        let r = SynthesisFlow::new().pipeline_stages(stages).run(&aig)?;
+        println!(
+            "{:>6} {:>9} {:>8} {:>5}/{:<5} {:>6}/{:<5} {:>6.1}/{:<6.1}",
+            stages,
+            r.report.jj_total,
+            r.report.la_fa,
+            r.report.drocs_plain,
+            r.report.drocs_preload,
+            r.report.depth_logic,
+            r.report.depth_with_splitters,
+            r.report.circuit_ghz,
+            r.report.arch_ghz,
+        );
+    }
+    println!("\n(architectural clock = circuit clock / 2: every logical cycle");
+    println!(" spans an excite and a relax phase — paper §4.2.2)");
+    Ok(())
+}

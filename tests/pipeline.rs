@@ -1,0 +1,111 @@
+//! Pipelined-flow tests (paper §4.2.2, Table 5): DROC rank insertion,
+//! retimed pipeline balance, latency-aware pulse simulation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xsfq::aig::{build, sim, Aig, Lit};
+use xsfq::core::{OutputPolarity, SynthesisFlow};
+use xsfq::pulse::Harness;
+
+fn multiplier(bits: usize) -> Aig {
+    let mut g = Aig::new("mul");
+    let a = g.input_word("a", bits);
+    let b = g.input_word("b", bits);
+    let p = build::array_multiplier(&mut g, &a, &b);
+    g.output_word("p", &p);
+    g
+}
+
+/// A pipelined multiplier produces the same products, `stages` cycles
+/// late, with clean alternation throughout.
+#[test]
+fn pipelined_multiplier_is_functionally_correct() {
+    let g = multiplier(4);
+    for stages in [1usize, 2] {
+        let r = SynthesisFlow::new()
+            .pipeline_stages(stages)
+            .verify(true)
+            .run(&g)
+            .unwrap();
+        assert!(r.report.drocs_preload > 0, "{stages} stages: preloaded ranks");
+        assert!(r.report.drocs_plain > 0);
+
+        let negs: Vec<bool> = r
+            .mapped
+            .assignment
+            .outputs
+            .iter()
+            .map(|p| *p == OutputPolarity::Negative)
+            .collect();
+        let mut rng = StdRng::seed_from_u64(5 + stages as u64);
+        let vectors: Vec<Vec<bool>> = (0..6)
+            .map(|_| (0..8).map(|_| rng.gen()).collect())
+            .collect();
+        let golden: Vec<Vec<bool>> =
+            vectors.iter().map(|v| sim::eval_outputs(&g, v)).collect();
+        let res = Harness::new(&r.netlist, negs)
+            .latency_cycles(stages)
+            .run(&vectors);
+        assert_eq!(res.violations, 0, "{stages} stages");
+        for (k, gold) in golden.iter().enumerate() {
+            assert_eq!(&res.outputs[k], gold, "{stages} stages, vector {k}");
+        }
+    }
+}
+
+/// Deeper pipelines shorten the critical path and raise the clock, while
+/// JJ count grows sub-linearly (the Table 5 shape).
+#[test]
+fn pipelining_trades_jj_for_frequency() {
+    let g = multiplier(6);
+    let r0 = SynthesisFlow::new().run(&g).unwrap();
+    let r1 = SynthesisFlow::new().pipeline_stages(1).run(&g).unwrap();
+    let r2 = SynthesisFlow::new().pipeline_stages(2).run(&g).unwrap();
+    assert!(r1.report.circuit_ghz > r0.report.circuit_ghz);
+    assert!(r2.report.circuit_ghz > r1.report.circuit_ghz);
+    assert!(r1.report.jj_total > r0.report.jj_total);
+    assert!(r2.report.jj_total > r1.report.jj_total);
+    // Sub-linear growth: doubling the DROC count must not double the JJs.
+    let growth = r2.report.jj_total as f64 / r0.report.jj_total as f64;
+    assert!(
+        growth < 2.0,
+        "JJ growth should be sub-linear in stages, got {growth:.2}×"
+    );
+    // Architectural frequency is half the circuit frequency (§4.2.2).
+    assert!((r2.report.arch_ghz - r2.report.circuit_ghz / 2.0).abs() < 1e-9);
+}
+
+/// Ranks register primary outputs: every PO cone passes through exactly
+/// 2 × stages DROC ranks, so the decode latency equals the stage count.
+#[test]
+fn pipelined_adder_latency_matches_stage_count() {
+    let mut g = Aig::new("add6");
+    let a = g.input_word("a", 6);
+    let b = g.input_word("b", 6);
+    let (s, c) = build::ripple_add(&mut g, &a, &b, Lit::FALSE);
+    g.output_word("s", &s);
+    g.output("c", c);
+    let stages = 2;
+    let r = SynthesisFlow::new()
+        .pipeline_stages(stages)
+        .run(&g)
+        .unwrap();
+    let negs: Vec<bool> = r
+        .mapped
+        .assignment
+        .outputs
+        .iter()
+        .map(|p| *p == OutputPolarity::Negative)
+        .collect();
+    let vectors: Vec<Vec<bool>> = vec![
+        vec![true, false, true, false, true, false, false, true, true, false, false, true],
+        vec![false; 12],
+        vec![true; 12],
+    ];
+    let golden: Vec<Vec<bool>> = vectors.iter().map(|v| sim::eval_outputs(&g, v)).collect();
+    let res = Harness::new(&r.netlist, negs)
+        .latency_cycles(stages)
+        .run(&vectors);
+    assert_eq!(res.violations, 0);
+    assert_eq!(res.outputs, golden);
+}

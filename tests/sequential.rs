@@ -1,0 +1,152 @@
+//! Sequential flow tests: the §3.2 initialization strategy (preloaded
+//! first-rank DROCs + one-shot trigger) validated at pulse level against
+//! the cycle-accurate golden model — including the paper's Figure 7
+//! counter and the exact s27 netlist.
+
+use xsfq::aig::{sim::SeqSim, Aig};
+use xsfq::core::{OutputPolarity, SynthesisFlow};
+use xsfq::pulse::Harness;
+
+fn counter2() -> Aig {
+    let mut g = Aig::new("cnt2");
+    let q0 = g.latch("q0", false);
+    let q1 = g.latch("q1", false);
+    g.set_latch_next(q0, !q0);
+    let n1 = g.xor(q1, q0);
+    g.set_latch_next(q1, n1);
+    g.output("out0", q0);
+    g.output("out1", q1);
+    g
+}
+
+fn run_sequential(aig: &Aig, inputs: &[Vec<bool>]) -> (Vec<Vec<bool>>, usize, bool) {
+    let r = SynthesisFlow::new().run(aig).unwrap();
+    let negs: Vec<bool> = r
+        .mapped
+        .assignment
+        .outputs
+        .iter()
+        .map(|p| *p == OutputPolarity::Negative)
+        .collect();
+    let res = Harness::new(&r.netlist, negs).run(inputs);
+    (res.outputs, res.violations, res.reinitialized)
+}
+
+/// Figure 7: the 2-bit counter counts 00, 01, 10, 11, 00, 01 over six
+/// logical cycles after the trigger cycle.
+#[test]
+fn figure7_counter_sequence() {
+    let g = counter2();
+    let inputs: Vec<Vec<bool>> = vec![vec![]; 6];
+    let (outputs, violations, reinit) = run_sequential(&g, &inputs);
+    assert_eq!(violations, 0, "alternating protocol must hold");
+    assert!(reinit);
+    let decoded: Vec<u8> = outputs
+        .iter()
+        .map(|o| (o[1] as u8) << 1 | o[0] as u8)
+        .collect();
+    assert_eq!(decoded, vec![0, 1, 2, 3, 0, 1], "Figure 7 count sequence");
+}
+
+/// A toggle with init = 1 must start at 1 (the preloading strategy encodes
+/// the power-on value).
+#[test]
+fn init_one_latch_starts_at_one() {
+    let mut g = Aig::new("toggle1");
+    let q = g.latch("q", true);
+    g.set_latch_next(q, !q);
+    g.output("o", q);
+    let (outputs, violations, _) = run_sequential(&g, &vec![vec![]; 4]);
+    assert_eq!(violations, 0);
+    let bits: Vec<bool> = outputs.iter().map(|o| o[0]).collect();
+    assert_eq!(bits, vec![true, false, true, false]);
+}
+
+/// The exact s27 netlist agrees with the cycle-accurate golden model under
+/// random stimulus.
+#[test]
+fn s27_matches_golden_model() {
+    let g = xsfq::benchmarks::by_name("s27").unwrap();
+    let mut lcg = 8927u64;
+    let inputs: Vec<Vec<bool>> = (0..24)
+        .map(|_| {
+            (0..4)
+                .map(|i| {
+                    lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    lcg >> (17 + i) & 1 == 1
+                })
+                .collect()
+        })
+        .collect();
+    let mut golden = SeqSim::new(&g);
+    let expect: Vec<Vec<bool>> = inputs.iter().map(|v| golden.step(v)).collect();
+
+    // The flow optimizes the logic; state encoding is preserved (latches
+    // are interface), so cycle-by-cycle outputs must match.
+    let (outputs, violations, reinit) = run_sequential(&g, &inputs);
+    assert_eq!(violations, 0);
+    assert!(reinit);
+    assert_eq!(outputs, expect, "s27 pulse-level == golden model");
+}
+
+/// A small FSM benchmark equivalent survives the full flow at pulse level.
+#[test]
+fn s386_matches_golden_model() {
+    let g = xsfq::benchmarks::by_name("s386").unwrap();
+    let mut lcg = 4242u64;
+    let inputs: Vec<Vec<bool>> = (0..10)
+        .map(|_| {
+            (0..7)
+                .map(|i| {
+                    lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(99);
+                    lcg >> (11 + i) & 1 == 1
+                })
+                .collect()
+        })
+        .collect();
+    let mut golden = SeqSim::new(&g);
+    let expect: Vec<Vec<bool>> = inputs.iter().map(|v| golden.step(v)).collect();
+    let (outputs, violations, reinit) = run_sequential(&g, &inputs);
+    assert_eq!(violations, 0);
+    assert!(reinit);
+    assert_eq!(outputs, expect);
+}
+
+/// Negative control for §3.2: without the trigger, the alternating
+/// invariant breaks in feedback circuits — the counter misbehaves and the
+/// protocol checker notices.
+#[test]
+fn missing_trigger_breaks_the_counter() {
+    let g = counter2();
+    let r = SynthesisFlow::new().run(&g).unwrap();
+    let mut sim = xsfq::pulse::PulseSim::new(&r.netlist);
+    let stats = r.netlist.stats();
+    let t = stats.critical_delay_ps + 60.0;
+    // Clock edges only — no trigger.
+    for e in 1..=14 {
+        sim.clock(e as f64 * t);
+    }
+    sim.run_until(16.0 * t);
+    // The counter's q rails must NOT show the Figure 7 sequence: decode
+    // cycle 1's excite window and check for a protocol anomaly (either a
+    // violation, a missing pulse, or a wrong value).
+    let q0 = r.netlist.outputs()[0].net;
+    let excite = |k: usize| ((2 * k + 1) as f64 * t, (2 * k + 2) as f64 * t);
+    let mut anomalies = 0;
+    for k in 0..4 {
+        let (lo, hi) = excite(k);
+        let pulses = sim
+            .pulses(q0)
+            .iter()
+            .filter(|&&p| p >= lo && p < hi)
+            .count();
+        let expect = k % 2; // counter bit 0 alternates 0,1,0,1
+        if pulses != expect {
+            anomalies += 1;
+        }
+    }
+    assert!(
+        anomalies > 0 || !sim.violations().is_empty(),
+        "removing the trigger must break the §3.2 protocol"
+    );
+}
