@@ -1,9 +1,132 @@
 //! The AND-Inverter graph container.
+//!
+//! # Structural-hash table
+//!
+//! New AND nodes are deduplicated through [`StrashTable`], an open-addressing
+//! (linear-probe) hash-cons table over the node arena: slots store only node
+//! indices, the key `(a, b)` is read back from the arena on probe, and the
+//! hash is one 64-bit multiply — no SipHash, no per-entry heap boxes, and
+//! removal (used by the optimization passes' speculative build/rollback)
+//! is backward-shift, so the table never accumulates tombstones.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use crate::{Lit, NodeId};
+
+/// Open-addressing hash-cons table mapping `(a, b)` fanin pairs to AND node
+/// indices. Capacity is a power of two; `EMPTY` slots hold `u32::MAX`.
+#[derive(Clone, Debug, Default)]
+struct StrashTable {
+    slots: Vec<u32>,
+    len: usize,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+#[inline]
+fn strash_hash(a: u32, b: u32) -> u64 {
+    // Single multiply-xorshift over the packed pair — quality is plenty for
+    // power-of-two masking, cost is a few cycles.
+    let x = ((a as u64) << 32 | b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^ x >> 29
+}
+
+impl StrashTable {
+    /// Probe for the AND of `(a, b)`; `nodes` is the arena the slots index.
+    #[inline]
+    fn lookup(&self, a: Lit, b: Lit, nodes: &[NodeKind]) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut pos = strash_hash(a.raw(), b.raw()) as usize & mask;
+        loop {
+            let slot = self.slots[pos];
+            if slot == EMPTY {
+                return None;
+            }
+            if let NodeKind::And { a: sa, b: sb } = nodes[slot as usize] {
+                if sa == a && sb == b {
+                    return Some(slot);
+                }
+            }
+            pos = (pos + 1) & mask;
+        }
+    }
+
+    /// Insert node `idx` (must not already be present; the caller probes
+    /// first via [`StrashTable::lookup`]).
+    fn insert(&mut self, idx: u32, nodes: &[NodeKind]) {
+        if self.len * 8 >= self.slots.len() * 7 {
+            self.grow(nodes);
+        }
+        let mask = self.slots.len() - 1;
+        let NodeKind::And { a, b } = nodes[idx as usize] else {
+            unreachable!("only AND nodes are hashed");
+        };
+        let mut pos = strash_hash(a.raw(), b.raw()) as usize & mask;
+        while self.slots[pos] != EMPTY {
+            pos = (pos + 1) & mask;
+        }
+        self.slots[pos] = idx;
+        self.len += 1;
+    }
+
+    /// Remove node `idx` with backward-shift deletion (no tombstones).
+    fn remove(&mut self, idx: u32, nodes: &[NodeKind]) {
+        let mask = self.slots.len() - 1;
+        let NodeKind::And { a, b } = nodes[idx as usize] else {
+            unreachable!("only AND nodes are hashed");
+        };
+        let mut pos = strash_hash(a.raw(), b.raw()) as usize & mask;
+        loop {
+            match self.slots[pos] {
+                EMPTY => panic!("strash entry for n{idx} missing"),
+                slot if slot == idx => break,
+                _ => pos = (pos + 1) & mask,
+            }
+        }
+        // Backward-shift: pull displaced entries into the hole so probe
+        // chains stay contiguous.
+        let mut hole = pos;
+        let mut next = (hole + 1) & mask;
+        while self.slots[next] != EMPTY {
+            let entry = self.slots[next];
+            let NodeKind::And { a, b } = nodes[entry as usize] else {
+                unreachable!("only AND nodes are hashed");
+            };
+            let ideal = strash_hash(a.raw(), b.raw()) as usize & mask;
+            // `entry` may move into the hole iff its ideal slot does not lie
+            // strictly between the hole and its current position (cyclic).
+            if (next.wrapping_sub(ideal) & mask) >= (next.wrapping_sub(hole) & mask) {
+                self.slots[hole] = entry;
+                hole = next;
+            }
+            next = (next + 1) & mask;
+        }
+        self.slots[hole] = EMPTY;
+        self.len -= 1;
+    }
+
+    fn grow(&mut self, nodes: &[NodeKind]) {
+        let new_cap = (self.slots.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; new_cap]);
+        let mask = new_cap - 1;
+        for slot in old {
+            if slot == EMPTY {
+                continue;
+            }
+            let NodeKind::And { a, b } = nodes[slot as usize] else {
+                unreachable!("only AND nodes are hashed");
+            };
+            let mut pos = strash_hash(a.raw(), b.raw()) as usize & mask;
+            while self.slots[pos] != EMPTY {
+                pos = (pos + 1) & mask;
+            }
+            self.slots[pos] = slot;
+        }
+    }
+}
 
 /// Kind of a node in the graph.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -130,7 +253,8 @@ pub struct Aig {
     input_names: Vec<String>,
     latches: Vec<Latch>,
     outputs: Vec<Output>,
-    strash: HashMap<(u32, u32), u32>,
+    strash: StrashTable,
+    and_count: usize,
 }
 
 impl Aig {
@@ -143,7 +267,8 @@ impl Aig {
             input_names: Vec::new(),
             latches: Vec::new(),
             outputs: Vec::new(),
-            strash: HashMap::new(),
+            strash: StrashTable::default(),
+            and_count: 0,
         }
     }
 
@@ -162,9 +287,11 @@ impl Aig {
         self.nodes.len()
     }
 
-    /// Number of two-input AND nodes.
+    /// Number of two-input AND nodes (O(1): a maintained counter, not a
+    /// node-table scan).
+    #[inline]
     pub fn num_ands(&self) -> usize {
-        self.nodes.iter().filter(|n| n.is_and()).count()
+        self.and_count
     }
 
     /// Number of primary inputs.
@@ -333,13 +460,13 @@ impl Aig {
             return a;
         }
         let (a, b) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
-        let key = (a.raw(), b.raw());
-        if let Some(&idx) = self.strash.get(&key) {
+        if let Some(idx) = self.strash.lookup(a, b, &self.nodes) {
             return Lit(idx << 1);
         }
         let id = NodeId::from_index(self.nodes.len());
         self.nodes.push(NodeKind::And { a, b });
-        self.strash.insert(key, id.0);
+        self.strash.insert(id.0, &self.nodes);
+        self.and_count += 1;
         id.lit()
     }
 
@@ -486,11 +613,12 @@ impl Aig {
     pub(crate) fn truncate_nodes(&mut self, watermark: usize) {
         while self.nodes.len() > watermark {
             let idx = self.nodes.len() - 1;
-            match self.nodes.pop().expect("non-empty") {
+            match self.nodes[idx] {
                 NodeKind::And { a, b } => {
-                    let key = (a.raw(), b.raw());
-                    debug_assert_eq!(self.strash.get(&key), Some(&(idx as u32)));
-                    self.strash.remove(&key);
+                    debug_assert_eq!(self.strash.lookup(a, b, &self.nodes), Some(idx as u32));
+                    self.strash.remove(idx as u32, &self.nodes);
+                    self.nodes.pop();
+                    self.and_count -= 1;
                 }
                 other => panic!("cannot truncate non-AND node {other:?} at {idx}"),
             }
@@ -531,8 +659,12 @@ impl Aig {
         for (i, n) in self.nodes.iter().enumerate() {
             if let NodeKind::And { a, b } = n {
                 if live[i] {
-                    let fa = map[a.node().index()].expect("fanin built").complement_if(a.is_complement());
-                    let fb = map[b.node().index()].expect("fanin built").complement_if(b.is_complement());
+                    let fa = map[a.node().index()]
+                        .expect("fanin built")
+                        .complement_if(a.is_complement());
+                    let fb = map[b.node().index()]
+                        .expect("fanin built")
+                        .complement_if(b.is_complement());
                     map[i] = Some(out.and(fa, fb));
                 }
             }
@@ -631,7 +763,7 @@ mod tests {
         g.set_latch_next(q, nq);
         g.output("o", q);
         assert_eq!(g.num_latches(), 1);
-        assert_eq!(g.latches()[0].init, true);
+        assert!(g.latches()[0].init);
         assert_eq!(g.latches()[0].next, nq);
     }
 

@@ -112,9 +112,9 @@ pub fn array_multiplier(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
         product.push(acc[0]);
         let mut next = Vec::with_capacity(n);
         let mut carry = Lit::FALSE;
-        for i in 0..n {
+        for (i, &ri) in row.iter().enumerate().take(n) {
             let above = acc.get(i + 1).copied().unwrap_or(Lit::FALSE);
-            let (s, c) = full_adder(aig, row[i], above, carry);
+            let (s, c) = full_adder(aig, ri, above, carry);
             next.push(s);
             carry = c;
         }
@@ -376,8 +376,8 @@ mod tests {
             }
             let out = eval(&g, &inputs);
             let mut got = 0u64;
-            for i in 0..8 {
-                got |= (out[i] as u64) << i;
+            for (i, &bit) in out.iter().enumerate().take(8) {
+                got |= (bit as u64) << i;
             }
             got |= (out[8] as u64) << 8;
             assert_eq!(got, x + y, "{x} + {y}");
@@ -423,8 +423,8 @@ mod tests {
             let inputs: Vec<bool> = (0..7).map(|i| pattern >> i & 1 == 1).collect();
             let out = eval(&g, &inputs);
             let mut got = 0u32;
-            for i in 0..cnt.len() {
-                got |= (out[i] as u32) << i;
+            for (i, &bit) in out.iter().enumerate().take(cnt.len()) {
+                got |= (bit as u32) << i;
             }
             assert_eq!(got, pattern.count_ones(), "popcount {pattern:b}");
             assert_eq!(
@@ -506,13 +506,17 @@ mod tests {
             let inputs: Vec<bool> = (0..8).map(|i| value >> i & 1 == 1).collect();
             let out = eval(&g, &inputs);
             let mut got = 0u64;
-            for i in 0..lz.len() {
-                got |= (out[i] as u64) << i;
+            for (i, &bit) in out.iter().enumerate().take(lz.len()) {
+                got |= (bit as u64) << i;
             }
             if value == 0 {
                 assert!(out[lz.len()], "all_zero flag for 0");
             } else {
-                assert_eq!(got, (value as u8).leading_zeros() as u64, "lz of {value:#x}");
+                assert_eq!(
+                    got,
+                    (value as u8).leading_zeros() as u64,
+                    "lz of {value:#x}"
+                );
                 assert!(!out[lz.len()]);
             }
         }

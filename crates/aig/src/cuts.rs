@@ -4,91 +4,162 @@
 //! Cuts are the windows through which the rewriting passes look at the
 //! graph; the paper's point (§3.1.3) is that xSFQ needs exactly this stock
 //! machinery and nothing more.
-
-use std::collections::{HashMap, HashSet};
+//!
+//! # Data-structure invariants
+//!
+//! [`Cut`] stores its leaves **inline** as a `[NodeId; MAX_CUT_SIZE]` plus a
+//! length — merging and dominance filtering never touch the heap. Each cut
+//! also carries a 64-bit **leaf signature**: bit `id % 64` is set for every
+//! leaf `id`. The signature is a Bloom-style summary with the subset
+//! property `A ⊆ B ⇒ sig(A) & !sig(B) == 0`, so [`Cut::dominates`] and
+//! [`Cut::merge`] reject most non-subset / oversize pairs with a single AND
+//! (resp. popcount) before looking at any leaf. Leaves are kept sorted by
+//! id, making the exact subset/merge scans linear.
+//!
+//! [`CutScratch`] holds the per-cone working state (generation-stamped node
+//! slots, a truth-table arena, DFS stacks) so the resynthesis loops reuse
+//! one flat buffer instead of building a `HashMap<NodeId, TruthTable>` per
+//! cone.
 
 use crate::tt::TruthTable;
 use crate::{Aig, NodeId, NodeKind};
 
+/// Maximum number of leaves a [`Cut`] can hold inline. Covers every user in
+/// the workspace (`rewrite` uses k = 4, `refactor` clamps to k ≤ 12).
+pub const MAX_CUT_SIZE: usize = 12;
+
 /// A cut: a set of leaf nodes (sorted by id) that together cover every path
 /// from the combinational inputs to the cut's root.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// Stored inline (no heap allocation); see the module docs for the
+/// signature scheme.
+#[derive(Copy, Clone, Debug)]
 pub struct Cut {
-    leaves: Vec<NodeId>,
+    leaves: [NodeId; MAX_CUT_SIZE],
+    len: u8,
+    sig: u64,
+}
+
+#[inline]
+fn leaf_sig(node: NodeId) -> u64 {
+    1u64 << (node.index() % 64)
 }
 
 impl Cut {
     /// The trivial cut `{node}`.
     pub fn trivial(node: NodeId) -> Self {
+        let mut leaves = [NodeId::CONST0; MAX_CUT_SIZE];
+        leaves[0] = node;
         Cut {
-            leaves: vec![node],
+            leaves,
+            len: 1,
+            sig: leaf_sig(node),
+        }
+    }
+
+    /// Build a cut from sorted, deduplicated leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is unsorted, has duplicates, or exceeds
+    /// [`MAX_CUT_SIZE`].
+    pub fn from_leaves(leaves: &[NodeId]) -> Self {
+        assert!(leaves.len() <= MAX_CUT_SIZE, "cut exceeds MAX_CUT_SIZE");
+        assert!(
+            leaves.windows(2).all(|w| w[0] < w[1]),
+            "cut leaves must be sorted and unique"
+        );
+        let mut array = [NodeId::CONST0; MAX_CUT_SIZE];
+        let mut sig = 0u64;
+        for (slot, &leaf) in array.iter_mut().zip(leaves) {
+            *slot = leaf;
+            sig |= leaf_sig(leaf);
+        }
+        Cut {
+            leaves: array,
+            len: leaves.len() as u8,
+            sig,
         }
     }
 
     /// Leaf nodes, sorted by id.
+    #[inline]
     pub fn leaves(&self) -> &[NodeId] {
-        &self.leaves
+        &self.leaves[..self.len as usize]
     }
 
     /// Number of leaves.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.leaves.len()
+        self.len as usize
     }
 
     /// True if the cut has no leaves (never produced by enumeration).
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.leaves.is_empty()
+        self.len == 0
+    }
+
+    /// The 64-bit leaf signature (bit `id % 64` set per leaf).
+    #[inline]
+    pub fn signature(&self) -> u64 {
+        self.sig
     }
 
     /// Merge two cuts; `None` if the union exceeds `k` leaves.
+    ///
+    /// Allocation-free: the union is built inline. The signature popcount
+    /// prunes oversize unions before any leaf comparison (the signature
+    /// undercounts, so the check never rejects a feasible merge).
     pub fn merge(&self, other: &Cut, k: usize) -> Option<Cut> {
-        let mut leaves = Vec::with_capacity(k);
+        debug_assert!(k <= MAX_CUT_SIZE, "k exceeds MAX_CUT_SIZE");
+        let sig = self.sig | other.sig;
+        if sig.count_ones() as usize > k {
+            return None;
+        }
+        let mut leaves = [NodeId::CONST0; MAX_CUT_SIZE];
+        let mut len = 0usize;
+        let (a, b) = (self.leaves(), other.leaves());
         let (mut i, mut j) = (0, 0);
-        while i < self.leaves.len() || j < other.leaves.len() {
-            let next = match (self.leaves.get(i), other.leaves.get(j)) {
-                (Some(&a), Some(&b)) if a == b => {
-                    i += 1;
-                    j += 1;
-                    a
-                }
-                (Some(&a), Some(&b)) if a < b => {
-                    i += 1;
-                    a
-                }
-                (Some(_), Some(&b)) => {
-                    j += 1;
-                    b
-                }
-                (Some(&a), None) => {
-                    i += 1;
-                    a
-                }
-                (None, Some(&b)) => {
-                    j += 1;
-                    b
-                }
-                (None, None) => unreachable!(),
+        while i < a.len() || j < b.len() {
+            let next = if j == b.len() || (i < a.len() && a[i] < b[j]) {
+                i += 1;
+                a[i - 1]
+            } else if i < a.len() && a[i] == b[j] {
+                i += 1;
+                j += 1;
+                a[i - 1]
+            } else {
+                j += 1;
+                b[j - 1]
             };
-            if leaves.len() == k {
+            if len == k {
                 return None;
             }
-            leaves.push(next);
+            leaves[len] = next;
+            len += 1;
         }
-        Some(Cut { leaves })
+        Some(Cut {
+            leaves,
+            len: len as u8,
+            sig,
+        })
     }
 
     /// True if `self`'s leaves are a subset of `other`'s (i.e. `self`
-    /// dominates `other`).
+    /// dominates `other`). One AND over the signatures rejects most
+    /// non-subsets before the leaf scan.
     pub fn dominates(&self, other: &Cut) -> bool {
-        if self.leaves.len() > other.leaves.len() {
+        if self.len > other.len || self.sig & !other.sig != 0 {
             return false;
         }
+        let (a, b) = (self.leaves(), other.leaves());
         let mut j = 0;
-        for &l in &self.leaves {
-            while j < other.leaves.len() && other.leaves[j] < l {
+        for &l in a {
+            while j < b.len() && b[j] < l {
                 j += 1;
             }
-            if j == other.leaves.len() || other.leaves[j] != l {
+            if j == b.len() || b[j] != l {
                 return false;
             }
         }
@@ -96,11 +167,51 @@ impl Cut {
     }
 }
 
+impl PartialEq for Cut {
+    fn eq(&self, other: &Self) -> bool {
+        self.leaves() == other.leaves()
+    }
+}
+
+impl Eq for Cut {}
+
+impl std::hash::Hash for Cut {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.leaves().hash(state);
+    }
+}
+
+/// Insert `merged` into the antichain `list` unless an existing cut
+/// dominates it; drops existing cuts it dominates. Single pass — the
+/// antichain invariant guarantees the two cases cannot both occur.
+fn antichain_insert(list: &mut Vec<Cut>, merged: Cut) {
+    let mut keep = 0;
+    let mut read = 0;
+    while read < list.len() {
+        let c = list[read];
+        if c.dominates(&merged) {
+            // Nothing can have been dropped before this point: a cut
+            // strictly dominated by `merged` would also be strictly
+            // dominated by `c`, violating the antichain invariant.
+            debug_assert_eq!(keep, read);
+            return;
+        }
+        if !merged.dominates(&c) {
+            list[keep] = c;
+            keep += 1;
+        }
+        read += 1;
+    }
+    list.truncate(keep);
+    list.push(merged);
+}
+
 /// Enumerate up to `max_cuts` k-feasible cuts per node (the trivial cut is
 /// always included and not counted against the budget).
 ///
 /// Returns one cut list per node id.
 pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
+    assert!(k <= MAX_CUT_SIZE, "k exceeds MAX_CUT_SIZE");
     let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); aig.num_nodes()];
     for (i, kind) in aig.nodes().iter().enumerate() {
         let id = NodeId::from_index(i);
@@ -109,18 +220,14 @@ pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
                 cuts[i] = vec![Cut::trivial(id)];
             }
             NodeKind::And { a, b } => {
-                let mut list: Vec<Cut> = Vec::new();
+                let mut list: Vec<Cut> = Vec::with_capacity(max_cuts + 1);
                 let (ca, cb) = (&cuts[a.node().index()], &cuts[b.node().index()]);
                 for cut_a in ca {
                     for cut_b in cb {
                         let Some(merged) = cut_a.merge(cut_b, k) else {
                             continue;
                         };
-                        if list.iter().any(|c| c.dominates(&merged)) {
-                            continue;
-                        }
-                        list.retain(|c| !merged.dominates(c));
-                        list.push(merged);
+                        antichain_insert(&mut list, merged);
                     }
                 }
                 list.sort_by_key(Cut::len);
@@ -133,87 +240,158 @@ pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
     cuts
 }
 
+/// Reusable per-cone working state for [`reconvergence_cut_with`],
+/// [`cut_function_with`] and [`mffc_size_with`].
+///
+/// All node-indexed state is generation-stamped, so reuse across cones is a
+/// stamp bump, not a clear. The resynthesis passes keep one scratch for the
+/// whole graph walk; the convenience wrappers create a throwaway one.
+#[derive(Default, Debug)]
+pub struct CutScratch {
+    stamp: u32,
+    /// Per-node (stamp, payload) slots. Payload meaning is caller-specific:
+    /// truth-table index for `cut_function_with`, remaining fanout count for
+    /// `mffc_size_with`, visited/leaf marker for `reconvergence_cut_with`.
+    slots: Vec<(u32, u32)>,
+    tables: Vec<TruthTable>,
+    stack: Vec<(NodeId, bool)>,
+    nodes: Vec<NodeId>,
+}
+
+impl CutScratch {
+    /// Fresh scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a new cone: bump the stamp and size the slot table.
+    fn begin(&mut self, num_nodes: usize) {
+        if self.slots.len() < num_nodes {
+            self.slots.resize(num_nodes, (0, 0));
+        }
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            // Wrapped: invalidate everything once.
+            self.slots.fill((0, 0));
+            self.stamp = 1;
+        }
+        self.tables.clear();
+        self.stack.clear();
+        self.nodes.clear();
+    }
+
+    #[inline]
+    fn get(&self, id: NodeId) -> Option<u32> {
+        let (s, v) = self.slots[id.index()];
+        (s == self.stamp).then_some(v)
+    }
+
+    #[inline]
+    fn set(&mut self, id: NodeId, value: u32) {
+        self.slots[id.index()] = (self.stamp, value);
+    }
+}
+
 /// Compute a reconvergence-driven cut of at most `k` leaves for `root`
 /// (ABC's `abc_NodeFindCut` strategy): greedily expand the leaf whose
 /// expansion adds the fewest new leaves.
 pub fn reconvergence_cut(aig: &Aig, root: NodeId, k: usize) -> Cut {
-    let mut leaves: HashSet<NodeId> = HashSet::new();
-    let mut visited: HashSet<NodeId> = HashSet::new();
-    visited.insert(root);
+    reconvergence_cut_with(aig, root, k, &mut CutScratch::new())
+}
+
+/// [`reconvergence_cut`] with caller-provided scratch (slot payload: 1 =
+/// visited interior, 0 = current leaf).
+pub fn reconvergence_cut_with(aig: &Aig, root: NodeId, k: usize, scratch: &mut CutScratch) -> Cut {
+    assert!(k <= MAX_CUT_SIZE, "k exceeds MAX_CUT_SIZE");
+    scratch.begin(aig.num_nodes());
+    // `scratch.nodes` holds the current leaf set (≤ k + 1 entries).
+    scratch.set(root, 1);
     match aig.node(root) {
         NodeKind::And { a, b } => {
-            leaves.insert(a.node());
-            leaves.insert(b.node());
+            for f in [a.node(), b.node()] {
+                if scratch.get(f).is_none() {
+                    scratch.set(f, 0);
+                    scratch.nodes.push(f);
+                }
+            }
         }
         _ => {
-            leaves.insert(root);
+            scratch.set(root, 0);
+            scratch.nodes.push(root);
         }
     }
     loop {
         // Cost of expanding a leaf = new leaves introduced - 1.
-        let mut best: Option<(i32, NodeId)> = None;
-        for &leaf in &leaves {
+        let mut best: Option<(i32, usize)> = None;
+        for (pos, &leaf) in scratch.nodes.iter().enumerate() {
             let NodeKind::And { a, b } = aig.node(leaf) else {
                 continue;
             };
             let mut added = 0;
             for f in [a.node(), b.node()] {
-                if !leaves.contains(&f) && !visited.contains(&f) {
+                if scratch.get(f).is_none() {
                     added += 1;
                 }
             }
             let cost = added - 1;
-            if leaves.len() + added as usize - 1 > k {
+            if scratch.nodes.len() + added as usize - 1 > k {
                 continue;
             }
             if best.is_none_or(|(c, _)| cost < c) {
-                best = Some((cost, leaf));
+                best = Some((cost, pos));
             }
         }
-        let Some((_, leaf)) = best else { break };
-        leaves.remove(&leaf);
-        visited.insert(leaf);
+        let Some((_, pos)) = best else { break };
+        let leaf = scratch.nodes.swap_remove(pos);
+        scratch.set(leaf, 1);
         let NodeKind::And { a, b } = aig.node(leaf) else {
             unreachable!()
         };
         for f in [a.node(), b.node()] {
-            if !visited.contains(&f) {
-                leaves.insert(f);
+            if scratch.get(f).is_none() {
+                scratch.set(f, 0);
+                scratch.nodes.push(f);
             }
         }
-        if leaves.len() >= k {
+        if scratch.nodes.len() >= k {
             break;
         }
     }
-    let mut sorted: Vec<NodeId> = leaves.into_iter().collect();
-    sorted.sort();
-    Cut { leaves: sorted }
+    scratch.nodes.sort();
+    Cut::from_leaves(&scratch.nodes)
 }
 
 /// Interior nodes of the cone of `root` above the cut leaves, in topological
 /// order (root last). Leaves are excluded; the root is included.
 pub fn cone_nodes(aig: &Aig, root: NodeId, leaves: &[NodeId]) -> Vec<NodeId> {
-    let leaf_set: HashSet<NodeId> = leaves.iter().copied().collect();
-    let mut cone = Vec::new();
-    let mut seen: HashSet<NodeId> = HashSet::new();
-    // Iterative post-order DFS.
-    let mut stack = vec![(root, false)];
-    while let Some((id, expanded)) = stack.pop() {
-        if leaf_set.contains(&id) || seen.contains(&id) && !expanded {
-            continue;
-        }
+    let mut scratch = CutScratch::new();
+    collect_cone(aig, root, leaves, &mut scratch);
+    std::mem::take(&mut scratch.nodes)
+}
+
+/// Fill `scratch.nodes` with the cone interior in topological order
+/// (post-order DFS over stamped slots; payload 1 = visited).
+fn collect_cone(aig: &Aig, root: NodeId, leaves: &[NodeId], scratch: &mut CutScratch) {
+    scratch.begin(aig.num_nodes());
+    for &leaf in leaves {
+        scratch.set(leaf, 1);
+    }
+    scratch.stack.push((root, false));
+    while let Some((id, expanded)) = scratch.stack.pop() {
         if expanded {
-            cone.push(id);
+            scratch.nodes.push(id);
             continue;
         }
-        seen.insert(id);
-        stack.push((id, true));
+        if scratch.get(id).is_some() {
+            continue;
+        }
+        scratch.set(id, 1);
+        scratch.stack.push((id, true));
         if let NodeKind::And { a, b } = aig.node(id) {
-            stack.push((a.node(), false));
-            stack.push((b.node(), false));
+            scratch.stack.push((a.node(), false));
+            scratch.stack.push((b.node(), false));
         }
     }
-    cone
 }
 
 /// Truth table of `root` as a function of the cut leaves.
@@ -223,37 +401,72 @@ pub fn cone_nodes(aig: &Aig, root: NodeId, leaves: &[NodeId]) -> Vec<NodeId> {
 /// Panics if some path from `root` reaches a combinational input that is not
 /// a cut leaf (i.e. `leaves` is not a valid cut for `root`).
 pub fn cut_function(aig: &Aig, root: NodeId, leaves: &[NodeId]) -> TruthTable {
+    cut_function_with(aig, root, leaves, &mut CutScratch::new())
+}
+
+/// [`cut_function`] with caller-provided scratch: tables live in a flat
+/// reusable arena indexed through the stamped slots, so evaluating a ≤6-input
+/// cone performs no per-node allocation at all (inline `u64` tables).
+pub fn cut_function_with(
+    aig: &Aig,
+    root: NodeId,
+    leaves: &[NodeId],
+    scratch: &mut CutScratch,
+) -> TruthTable {
     let vars = leaves.len();
-    let mut tables: HashMap<NodeId, TruthTable> = HashMap::new();
-    for (i, &leaf) in leaves.iter().enumerate() {
-        tables.insert(leaf, TruthTable::variable(vars, i));
+    if let Some(pos) = leaves.iter().position(|&l| l == root) {
+        return TruthTable::variable(vars, pos);
     }
-    tables
-        .entry(NodeId::CONST0)
-        .or_insert_with(|| TruthTable::zeros(vars));
-    for id in cone_nodes(aig, root, leaves) {
+    if root == NodeId::CONST0 {
+        return TruthTable::zeros(vars);
+    }
+    collect_cone(aig, root, leaves, scratch);
+    debug_assert!(
+        scratch.get(root).is_some(),
+        "root must be inside its own cone"
+    );
+    // Stamp was consumed by collect_cone; re-stamp leaf slots to table
+    // indices without disturbing the collected topological order.
+    scratch.stamp = scratch.stamp.wrapping_add(1);
+    if scratch.stamp == 0 {
+        scratch.slots.fill((0, 0));
+        scratch.stamp = 1;
+    }
+    for (i, &leaf) in leaves.iter().enumerate() {
+        scratch.tables.push(TruthTable::variable(vars, i));
+        scratch.set(leaf, i as u32);
+    }
+    if scratch.get(NodeId::CONST0).is_none() {
+        scratch.tables.push(TruthTable::zeros(vars));
+        scratch.set(NodeId::CONST0, vars as u32);
+    }
+    let mut result = None;
+    for idx in 0..scratch.nodes.len() {
+        let id = scratch.nodes[idx];
         let NodeKind::And { a, b } = aig.node(id) else {
             panic!("cone reached non-AND node {id:?} that is not a cut leaf");
         };
-        let ta = {
-            let t = tables.get(&a.node()).expect("fanin table computed");
-            if a.is_complement() {
-                t.not()
-            } else {
-                t.clone()
-            }
-        };
-        let tb = {
-            let t = tables.get(&b.node()).expect("fanin table computed");
-            if b.is_complement() {
-                t.not()
-            } else {
-                t.clone()
-            }
-        };
-        tables.insert(id, ta.and(&tb));
+        let ta = scratch.get(a.node()).expect("fanin table computed") as usize;
+        let tb = scratch.get(b.node()).expect("fanin table computed") as usize;
+        let mut t = scratch.tables[ta].clone();
+        if a.is_complement() {
+            t.invert();
+        }
+        if b.is_complement() {
+            let mut o = scratch.tables[tb].clone();
+            o.invert();
+            t.and_with(&o);
+        } else {
+            t.and_with(&scratch.tables[tb]);
+        }
+        if id == root {
+            result = Some(t);
+            break;
+        }
+        scratch.set(id, scratch.tables.len() as u32);
+        scratch.tables.push(t);
     }
-    tables.remove(&root).expect("root evaluated")
+    result.expect("root evaluated")
 }
 
 /// Size of the maximum fanout-free cone of `root` with respect to the cut:
@@ -262,35 +475,50 @@ pub fn cut_function(aig: &Aig, root: NodeId, leaves: &[NodeId]) -> TruthTable {
 ///
 /// `fanouts` must come from [`Aig::fanout_counts`] with roots included.
 pub fn mffc_size(aig: &Aig, root: NodeId, leaves: &[NodeId], fanouts: &[u32]) -> usize {
-    let leaf_set: HashSet<NodeId> = leaves.iter().copied().collect();
-    let mut local: HashMap<NodeId, u32> = HashMap::new();
+    mffc_size_with(aig, root, leaves, fanouts, &mut CutScratch::new())
+}
+
+/// [`mffc_size`] with caller-provided scratch (slot payload: remaining
+/// fanout count, offset by 1 so a leaf marker of 0 stays distinct).
+pub fn mffc_size_with(
+    aig: &Aig,
+    root: NodeId,
+    leaves: &[NodeId],
+    fanouts: &[u32],
+    scratch: &mut CutScratch,
+) -> usize {
+    scratch.begin(aig.num_nodes());
+    for &leaf in leaves {
+        scratch.set(leaf, 0);
+    }
     let mut size = 0usize;
     // Deref the root unconditionally (it is being replaced).
-    let mut stack = vec![root];
-    let mut first = true;
-    while let Some(id) = stack.pop() {
-        if leaf_set.contains(&id) {
-            continue;
+    scratch.stack.push((root, false));
+    while let Some((id, _)) = scratch.stack.pop() {
+        if scratch.get(id) == Some(0) {
+            continue; // Cut leaf.
         }
         let NodeKind::And { a, b } = aig.node(id) else {
             continue;
         };
         size += 1;
         for f in [a.node(), b.node()] {
-            if leaf_set.contains(&f) || !aig.node(f).is_and() {
+            if scratch.get(f) == Some(0) || !aig.node(f).is_and() {
                 continue;
             }
-            let remaining = local
-                .entry(f)
-                .or_insert_with(|| fanouts[f.index()])
-                .saturating_sub(1);
-            local.insert(f, remaining);
-            if remaining == 0 {
-                stack.push(f);
+            // Payload is remaining-references + 1 (so 0 stays the leaf
+            // marker); each cone edge dereferences once.
+            let remaining = match scratch.get(f) {
+                Some(r) => {
+                    debug_assert!(r >= 2, "node dereferenced past zero");
+                    r - 1
+                }
+                None => fanouts[f.index()],
+            };
+            scratch.set(f, remaining);
+            if remaining == 1 {
+                scratch.stack.push((f, false));
             }
-        }
-        if first {
-            first = false;
         }
     }
     size
@@ -326,18 +554,70 @@ mod tests {
 
     #[test]
     fn dominance() {
-        let small = Cut {
-            leaves: vec![NodeId::from_index(1), NodeId::from_index(3)],
-        };
-        let big = Cut {
-            leaves: vec![
-                NodeId::from_index(1),
-                NodeId::from_index(2),
-                NodeId::from_index(3),
-            ],
-        };
+        let small = Cut::from_leaves(&[NodeId::from_index(1), NodeId::from_index(3)]);
+        let big = Cut::from_leaves(&[
+            NodeId::from_index(1),
+            NodeId::from_index(2),
+            NodeId::from_index(3),
+        ]);
         assert!(small.dominates(&big));
         assert!(!big.dominates(&small));
+    }
+
+    #[test]
+    fn signature_is_subset_summary() {
+        // Ids 64 apart collide in the signature — dominance must still be
+        // exact (the signature may only produce false "maybe"s).
+        let a = Cut::from_leaves(&[NodeId::from_index(1), NodeId::from_index(65)]);
+        let b = Cut::from_leaves(&[NodeId::from_index(1), NodeId::from_index(129)]);
+        assert_eq!(a.signature(), b.signature());
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+        let sup = Cut::from_leaves(&[
+            NodeId::from_index(1),
+            NodeId::from_index(65),
+            NodeId::from_index(70),
+        ]);
+        assert!(a.dominates(&sup));
+        assert_eq!(a.signature() & !sup.signature(), 0);
+    }
+
+    #[test]
+    fn antichain_insert_keeps_minimal_cuts() {
+        let mut list = vec![Cut::from_leaves(&[
+            NodeId::from_index(1),
+            NodeId::from_index(2),
+            NodeId::from_index(3),
+        ])];
+        // A subset drops the superset.
+        antichain_insert(
+            &mut list,
+            Cut::from_leaves(&[NodeId::from_index(1), NodeId::from_index(2)]),
+        );
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].len(), 2);
+        // A superset of an existing cut is rejected.
+        antichain_insert(
+            &mut list,
+            Cut::from_leaves(&[
+                NodeId::from_index(1),
+                NodeId::from_index(2),
+                NodeId::from_index(9),
+            ]),
+        );
+        assert_eq!(list.len(), 1);
+        // An incomparable cut is added.
+        antichain_insert(
+            &mut list,
+            Cut::from_leaves(&[NodeId::from_index(7), NodeId::from_index(8)]),
+        );
+        assert_eq!(list.len(), 2);
+        // Re-inserting an existing cut is a no-op (equality dominates).
+        antichain_insert(
+            &mut list,
+            Cut::from_leaves(&[NodeId::from_index(7), NodeId::from_index(8)]),
+        );
+        assert_eq!(list.len(), 2);
     }
 
     #[test]
@@ -370,6 +650,22 @@ mod tests {
             let node_c = tc.bit(p);
             let expect_c = ones >= 2;
             assert_eq!(node_c ^ co.is_complement(), expect_c, "cout pattern {p}");
+        }
+    }
+
+    #[test]
+    fn cut_function_scratch_reuse_is_clean() {
+        let (g, s, co) = full_adder_aig();
+        let pis: Vec<NodeId> = g.inputs().to_vec();
+        let mut scratch = CutScratch::new();
+        let fresh_s = cut_function(&g, s.node(), &pis);
+        let fresh_c = cut_function(&g, co.node(), &pis);
+        for _ in 0..3 {
+            assert_eq!(cut_function_with(&g, s.node(), &pis, &mut scratch), fresh_s);
+            assert_eq!(
+                cut_function_with(&g, co.node(), &pis, &mut scratch),
+                fresh_c
+            );
         }
     }
 

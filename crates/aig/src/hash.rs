@@ -1,0 +1,106 @@
+//! Fast non-cryptographic hashing for the synthesis hot paths.
+//!
+//! `std`'s default SipHash is DoS-resistant but slow for the tiny keys the
+//! synthesis loops hash (node ids, truth-table words). [`FxHasher`] is the
+//! rustc multiply-rotate hash; the aliases [`FxHashMap`] / [`FxHashSet`]
+//! drop into `std::collections` signatures. All inputs here are internal
+//! node/table data, so hash-flooding resistance is not a concern.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// rustc's Fx hash: multiply-rotate word mixing.
+#[derive(Default, Clone, Debug)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i.wrapping_mul(17)), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, i.wrapping_mul(17))), Some(&i));
+        }
+    }
+
+    #[test]
+    fn hash_distributes() {
+        use std::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        let mut buckets = [0usize; 64];
+        for i in 0..4096u64 {
+            buckets[(b.hash_one(i) % 64) as usize] += 1;
+        }
+        assert!(buckets.iter().all(|&c| c > 16), "lopsided: {buckets:?}");
+    }
+}

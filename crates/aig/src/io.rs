@@ -37,7 +37,11 @@ impl ParseBlifError {
 
 impl fmt::Display for ParseBlifError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "blif parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "blif parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -111,19 +115,22 @@ pub fn read_blif<R: BufRead>(reader: R) -> Result<Aig, ParseBlifError> {
             ".latch" => {
                 let args: Vec<&str> = tokens.collect();
                 if args.len() < 2 {
-                    return Err(ParseBlifError::new(*lineno, ".latch needs input and output"));
+                    return Err(ParseBlifError::new(
+                        *lineno,
+                        ".latch needs input and output",
+                    ));
                 }
                 // .latch <input> <output> [<type> <control>] [<init>]
-                let init = match args.last() {
-                    Some(&"1") => true,
-                    _ => false,
-                };
+                let init = matches!(args.last(), Some(&"1"));
                 latches.push((*lineno, args[0].to_string(), args[1].to_string(), init));
             }
             ".names" => {
                 let signals: Vec<String> = tokens.map(str::to_string).collect();
                 if signals.is_empty() {
-                    return Err(ParseBlifError::new(*lineno, ".names needs at least an output"));
+                    return Err(ParseBlifError::new(
+                        *lineno,
+                        ".names needs at least an output",
+                    ));
                 }
                 let mut cubes = Vec::new();
                 while i + 1 < lines.len() {
@@ -229,7 +236,10 @@ pub fn read_blif<R: BufRead>(reader: R) -> Result<Aig, ParseBlifError> {
     }
     for name in &outputs {
         let Some(&lit) = env.get(name) else {
-            return Err(ParseBlifError::new(0, format!("output '{name}' is undriven")));
+            return Err(ParseBlifError::new(
+                0,
+                format!("output '{name}' is undriven"),
+            ));
         };
         aig.output(name.clone(), lit);
     }
@@ -323,7 +333,12 @@ pub fn write_blif<W: Write>(aig: &Aig, mut w: W) -> std::io::Result<()> {
     }
     // Output buffers / inverters.
     for o in aig.outputs() {
-        writeln!(w, ".names {} {}", node_name(o.lit.node()), sanitize(&o.name))?;
+        writeln!(
+            w,
+            ".names {} {}",
+            node_name(o.lit.node()),
+            sanitize(&o.name)
+        )?;
         writeln!(w, "{} 1", if o.lit.is_complement() { '0' } else { '1' })?;
     }
     for latch in aig.latches() {
@@ -333,7 +348,11 @@ pub fn write_blif<W: Write>(aig: &Aig, mut w: W) -> std::io::Result<()> {
             node_name(latch.next.node()),
             latch.output.index()
         )?;
-        writeln!(w, "{} 1", if latch.next.is_complement() { '0' } else { '1' })?;
+        writeln!(
+            w,
+            "{} 1",
+            if latch.next.is_complement() { '0' } else { '1' }
+        )?;
     }
     writeln!(w, ".end")
 }

@@ -49,10 +49,12 @@ impl Cube {
         let mut t = TruthTable::ones(vars);
         for v in 0..vars {
             if self.pos >> v & 1 == 1 {
-                t = t.and(&TruthTable::variable(vars, v));
+                t.and_with(&TruthTable::variable(vars, v));
             }
             if self.neg >> v & 1 == 1 {
-                t = t.and(&TruthTable::variable(vars, v).not());
+                let mut nv = TruthTable::variable(vars, v);
+                nv.invert();
+                t.and_with(&nv);
             }
         }
         t
@@ -70,7 +72,7 @@ impl Cube {
 /// Panics if `lower ⊄ upper` (the interval is infeasible).
 pub fn isop(lower: &TruthTable, upper: &TruthTable) -> Vec<Cube> {
     assert!(
-        lower.and(&upper.not()).is_zero(),
+        lower.is_subset_of(upper),
         "isop: lower bound not contained in upper bound"
     );
     let vars = lower.num_vars();
@@ -78,9 +80,9 @@ pub fn isop(lower: &TruthTable, upper: &TruthTable) -> Vec<Cube> {
     debug_assert!({
         let mut c = TruthTable::zeros(vars);
         for cube in &cover {
-            c = c.or(&cube.table(vars));
+            c.or_with(&cube.table(vars));
         }
-        lower.and(&c.not()).is_zero() && c.and(&upper.not()).is_zero()
+        lower.is_subset_of(&c) && c.is_subset_of(upper)
     });
     cover
 }
@@ -110,15 +112,30 @@ fn isop_rec(
     let u1 = upper.cofactor1(var);
 
     // Cubes that must contain the negative literal of `var`.
-    let (c0, t0) = isop_rec(&l0.and(&u1.not()), &u0, vars, var + 1);
+    let mut bound = u1.not();
+    bound.and_with(&l0);
+    let (c0, t0) = isop_rec(&bound, &u0, vars, var + 1);
     // Cubes that must contain the positive literal of `var`.
-    let (c1, t1) = isop_rec(&l1.and(&u0.not()), &u1, vars, var + 1);
+    let mut bound = u0.not();
+    bound.and_with(&l1);
+    let (c1, t1) = isop_rec(&bound, &u1, vars, var + 1);
     // Remaining minterms, coverable without mentioning `var`.
-    let lnew = l0.and(&t0.not()).or(&l1.and(&t1.not()));
-    let (c2, t2) = isop_rec(&lnew, &u0.and(&u1), vars, var + 1);
+    let mut lnew = t0.not();
+    lnew.and_with(&l0);
+    let mut lnew1 = t1.not();
+    lnew1.and_with(&l1);
+    lnew.or_with(&lnew1);
+    let mut unew = u0;
+    unew.and_with(&u1);
+    let (c2, t2) = isop_rec(&lnew, &unew, vars, var + 1);
 
     let v = TruthTable::variable(vars, var);
-    let table = v.not().and(&t0).or(&v.and(&t1)).or(&t2);
+    let mut table = v.not();
+    table.and_with(&t0);
+    let mut pos = v;
+    pos.and_with(&t1);
+    table.or_with(&pos);
+    table.or_with(&t2);
     let mut cover = Vec::with_capacity(c0.len() + c1.len() + c2.len());
     cover.extend(c0.into_iter().map(|c| c.with_neg(var)));
     cover.extend(c1.into_iter().map(|c| c.with_pos(var)));

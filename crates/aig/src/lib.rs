@@ -23,6 +23,31 @@
 //! assert!(optimized.num_ands() <= aig.num_ands());
 //! assert!(sim::random_equiv(&aig, &optimized, 16, 42));
 //! ```
+//!
+//! # Hot-path data-structure invariants
+//!
+//! The three synthesis inner loops are allocation-free by construction;
+//! property tests (`tests/properties.rs`) pin them to naive reference
+//! implementations and `tests/alloc_free.rs` enforces the allocation
+//! guarantees with a counting global allocator.
+//!
+//! * **Structural hashing** — [`Aig::and`] deduplicates through an
+//!   open-addressing (linear-probe, backward-shift-delete) table whose slots
+//!   hold only node indices; keys are read back from the node arena and
+//!   hashed with one 64-bit multiply. [`Aig::num_ands`] is a maintained
+//!   counter, O(1).
+//! * **Cuts** — [`cuts::Cut`] stores up to [`cuts::MAX_CUT_SIZE`] leaves
+//!   inline (sorted by id) plus a 64-bit signature with bit `id % 64` set
+//!   per leaf. The signature has the subset property
+//!   `A ⊆ B ⇒ sig(A) & !sig(B) == 0`, so dominance checks and oversize
+//!   merges are rejected with one AND / popcount before any leaf scan.
+//!   Cone evaluation reuses a flat, generation-stamped
+//!   [`cuts::CutScratch`] instead of per-cone hash maps.
+//! * **Truth tables** — [`tt::TruthTable`] stores ≤6-variable tables in a
+//!   single inline `u64` (the representation is an invariant tied to the
+//!   variable count, never a heuristic), and every operator has an in-place
+//!   variant (`invert`, `and_with`, `cofactor0_in_place`, …) used by the
+//!   rewriting loops.
 
 #![warn(missing_docs)]
 
@@ -31,6 +56,7 @@ mod lit;
 
 pub mod build;
 pub mod cuts;
+pub mod hash;
 pub mod io;
 pub mod isop;
 pub mod opt;

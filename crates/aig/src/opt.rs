@@ -10,7 +10,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::cuts::{self, Cut};
+use crate::cuts::{self, Cut, CutScratch};
 use crate::synth::Synthesizer;
 use crate::{Aig, Lit, NodeId, NodeKind};
 
@@ -55,10 +55,7 @@ pub fn balance(aig: &Aig) -> Aig {
             while let Some(Reverse((_, next))) = heap.pop() {
                 result = out.and(result, Lit::from_raw(next));
                 sync_levels(&out, &mut levels);
-                heap.push(Reverse((
-                    levels[result.node().index()],
-                    result.raw(),
-                )));
+                heap.push(Reverse((levels[result.node().index()], result.raw())));
                 let Some(Reverse((_, top))) = heap.pop() else {
                     unreachable!()
                 };
@@ -93,9 +90,7 @@ fn sync_levels(out: &Aig, levels: &mut Vec<u32>) {
     while levels.len() < out.num_nodes() {
         let i = levels.len();
         let lv = match out.nodes()[i] {
-            NodeKind::And { a, b } => {
-                1 + levels[a.node().index()].max(levels[b.node().index()])
-            }
+            NodeKind::And { a, b } => 1 + levels[a.node().index()].max(levels[b.node().index()]),
             _ => 0,
         };
         levels.push(lv);
@@ -154,7 +149,13 @@ enum ResynthMode {
 
 fn resynthesis_pass(aig: &Aig, mode: ResynthMode) -> Aig {
     let fanouts = aig.fanout_counts(true);
-    let zero_gain = matches!(mode, ResynthMode::Rewrite { zero_gain: true, .. });
+    let zero_gain = matches!(
+        mode,
+        ResynthMode::Rewrite {
+            zero_gain: true,
+            ..
+        }
+    );
     let min_gain = if zero_gain { 0 } else { 1 };
     let enumerated = match &mode {
         ResynthMode::Rewrite { k, max_cuts, .. } => Some(cuts::enumerate_cuts(aig, *k, *max_cuts)),
@@ -164,39 +165,44 @@ fn resynthesis_pass(aig: &Aig, mode: ResynthMode) -> Aig {
     let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
     map_cis(aig, &mut out, &mut map);
     let mut synth = Synthesizer::new();
+    // Reused across every node: cone-evaluation scratch, candidate-cut and
+    // leaf-literal buffers (cuts are inline/Copy, so no per-node allocation).
+    let mut scratch = CutScratch::new();
+    let mut candidate_cuts: Vec<Cut> = Vec::new();
+    let mut leaf_lits: Vec<Lit> = Vec::new();
 
     for (i, kind) in aig.nodes().iter().enumerate() {
         let NodeKind::And { a, b } = *kind else {
             continue;
         };
         let id = NodeId::from_index(i);
-        let candidate_cuts: Vec<Cut> = match &mode {
-            ResynthMode::Rewrite { .. } => enumerated.as_ref().unwrap()[i]
-                .iter()
-                .filter(|c| c.len() >= 2 && c.leaves() != [id])
-                .cloned()
-                .collect(),
+        candidate_cuts.clear();
+        match &mode {
+            ResynthMode::Rewrite { .. } => candidate_cuts.extend(
+                enumerated.as_ref().unwrap()[i]
+                    .iter()
+                    .filter(|c| c.len() >= 2 && c.leaves() != [id]),
+            ),
             ResynthMode::Refactor { k } => {
-                let cut = cuts::reconvergence_cut(aig, id, *k);
+                let cut = cuts::reconvergence_cut_with(aig, id, *k, &mut scratch);
                 if cut.len() >= 2 {
-                    vec![cut]
-                } else {
-                    Vec::new()
+                    candidate_cuts.push(cut);
                 }
             }
-        };
+        }
         // Choose the cut with the best *sharing-aware* gain: build each
         // candidate on top of the output graph, count the nodes actually
         // created, then roll back. The winner is rebuilt for real.
         let mut best: Option<(isize, &Cut)> = None; // (gain, cut)
         for cut in &candidate_cuts {
-            let tt = cuts::cut_function(aig, id, cut.leaves());
-            let mffc = cuts::mffc_size(aig, id, cut.leaves(), &fanouts) as isize;
+            let tt = cuts::cut_function_with(aig, id, cut.leaves(), &mut scratch);
+            let mffc = cuts::mffc_size_with(aig, id, cut.leaves(), &fanouts, &mut scratch) as isize;
             // Cheap pre-filter on the isolation estimate.
             if synth.cost(&tt) as isize - mffc > 2 {
                 continue;
             }
-            let leaf_lits: Vec<Lit> = cut.leaves().iter().map(|l| map[l.index()]).collect();
+            leaf_lits.clear();
+            leaf_lits.extend(cut.leaves().iter().map(|l| map[l.index()]));
             let watermark = out.num_nodes();
             synth.build(&mut out, &tt, &leaf_lits);
             let added = (out.num_nodes() - watermark) as isize;
@@ -207,8 +213,9 @@ fn resynthesis_pass(aig: &Aig, mode: ResynthMode) -> Aig {
             }
         }
         map[i] = if let Some((_, cut)) = best {
-            let tt = cuts::cut_function(aig, id, cut.leaves());
-            let leaf_lits: Vec<Lit> = cut.leaves().iter().map(|l| map[l.index()]).collect();
+            let tt = cuts::cut_function_with(aig, id, cut.leaves(), &mut scratch);
+            leaf_lits.clear();
+            leaf_lits.extend(cut.leaves().iter().map(|l| map[l.index()]));
             synth.build(&mut out, &tt, &leaf_lits)
         } else {
             let fa = map[a.node().index()].complement_if(a.is_complement());
@@ -344,7 +351,10 @@ mod tests {
             "expected ≤ 7 nodes, got {}",
             opt.num_ands()
         );
-        assert!(sim::random_equiv(&g, &opt, 8, 3), "optimization broke the function");
+        assert!(
+            sim::random_equiv(&g, &opt, 8, 3),
+            "optimization broke the function"
+        );
     }
 
     #[test]
@@ -404,7 +414,7 @@ mod tests {
         g.output("o", q);
         let opt = optimize(&g, Effort::Standard);
         assert_eq!(opt.num_latches(), 1);
-        assert_eq!(opt.latches()[0].init, true);
+        assert!(opt.latches()[0].init);
         assert_eq!(opt.num_inputs(), 1);
     }
 

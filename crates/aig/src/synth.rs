@@ -13,8 +13,7 @@
 //! the engine behind both the `rewrite` (4-input cuts) and `refactor`
 //! (reconvergence-driven cuts) passes.
 
-use std::collections::HashMap;
-
+use crate::hash::FxHashMap;
 use crate::isop::{isop, Cube};
 use crate::tt::TruthTable;
 use crate::{Aig, Lit};
@@ -37,9 +36,7 @@ pub fn synthesize(aig: &mut Aig, tt: &TruthTable, leaves: &[Lit]) -> Lit {
 pub fn synthesis_cost(tt: &TruthTable, num_leaves: usize) -> usize {
     let mut s = Synthesizer::new();
     let mut scratch = Aig::new("scratch");
-    let leaves: Vec<Lit> = (0..num_leaves)
-        .map(|i| scratch.input(format!("x{i}")))
-        .collect();
+    let leaves: Vec<Lit> = (0..num_leaves).map(|_| scratch.input("")).collect();
     s.build(&mut scratch, tt, &leaves);
     scratch.num_ands()
 }
@@ -51,18 +48,31 @@ pub fn synthesis_cost(tt: &TruthTable, num_leaves: usize) -> usize {
 /// costed once.
 #[derive(Default, Debug)]
 pub struct Synthesizer {
-    cost_memo: HashMap<Vec<u64>, usize>,
+    /// Keyed by the table itself: ≤6-variable tables are a single inline
+    /// word, so the common key is 16 bytes and never heap-allocated.
+    cost_memo: FxHashMap<TruthTable, usize>,
 }
 
 /// How a function will be decomposed at the top level.
 #[derive(Clone, Debug)]
 enum Plan {
     Const(bool),
-    Literal { var: usize, complement: bool },
+    Literal {
+        var: usize,
+        complement: bool,
+    },
     /// `f = (v ^ v_complement) op rest-cofactor`
-    Rule { var: usize, rule: Rule },
-    Mux { var: usize },
-    Sop { cover: Vec<Cube>, complement: bool },
+    Rule {
+        var: usize,
+        rule: Rule,
+    },
+    Mux {
+        var: usize,
+    },
+    Sop {
+        cover: Vec<Cube>,
+        complement: bool,
+    },
 }
 
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -88,13 +98,13 @@ impl Synthesizer {
     /// Build `tt` over `leaves` in `aig`; see [`synthesize`].
     pub fn build(&mut self, aig: &mut Aig, tt: &TruthTable, leaves: &[Lit]) -> Lit {
         assert_eq!(leaves.len(), tt.num_vars(), "leaf count must match table");
-        let mut build_memo = HashMap::new();
+        let mut build_memo = FxHashMap::default();
         self.build_rec(aig, tt, leaves, &mut build_memo)
     }
 
     /// Memoized AND-node cost of building `tt` (isolation estimate).
     pub fn cost(&mut self, tt: &TruthTable) -> usize {
-        if let Some(&c) = self.cost_memo.get(tt.words()) {
+        if let Some(&c) = self.cost_memo.get(tt) {
             return c;
         }
         let c = match self.plan(tt) {
@@ -112,7 +122,7 @@ impl Synthesizer {
             Plan::Mux { var } => 3 + self.cost(&tt.cofactor0(var)) + self.cost(&tt.cofactor1(var)),
             Plan::Sop { cover, .. } => factored_cost(&cover, tt.num_vars()),
         };
-        self.cost_memo.insert(tt.words().to_vec(), c);
+        self.cost_memo.insert(tt.clone(), c);
         c
     }
 
@@ -142,7 +152,7 @@ impl Synthesizer {
                 Some(Rule::OrNeg)
             } else if c1.is_ones() {
                 Some(Rule::OrPos)
-            } else if c1 == c0.not() {
+            } else if c1.is_complement_of(&c0) {
                 Some(Rule::Xor)
             } else {
                 None
@@ -179,13 +189,13 @@ impl Synthesizer {
         aig: &mut Aig,
         tt: &TruthTable,
         leaves: &[Lit],
-        memo: &mut HashMap<Vec<u64>, Lit>,
+        memo: &mut FxHashMap<TruthTable, Lit>,
     ) -> Lit {
-        if let Some(&hit) = memo.get(tt.words()) {
+        if let Some(&hit) = memo.get(tt) {
             return hit;
         }
         let complement = tt.not();
-        if let Some(&hit) = memo.get(complement.words()) {
+        if let Some(&hit) = memo.get(&complement) {
             return !hit;
         }
         let lit = match self.plan(tt) {
@@ -229,7 +239,7 @@ impl Synthesizer {
                 lit.complement_if(complement)
             }
         };
-        memo.insert(tt.words().to_vec(), lit);
+        memo.insert(tt.clone(), lit);
         lit
     }
 }
@@ -253,9 +263,7 @@ fn most_binate_var(tt: &TruthTable, support: &[usize]) -> usize {
 
 fn factored_cost(cover: &[Cube], num_leaves: usize) -> usize {
     let mut scratch = Aig::new("cost");
-    let leaves: Vec<Lit> = (0..num_leaves)
-        .map(|i| scratch.input(format!("x{i}")))
-        .collect();
+    let leaves: Vec<Lit> = (0..num_leaves).map(|_| scratch.input("")).collect();
     build_factored(&mut scratch, cover, &leaves);
     scratch.num_ands()
 }
@@ -266,7 +274,7 @@ pub fn build_factored(aig: &mut Aig, cover: &[Cube], leaves: &[Lit]) -> Lit {
     if cover.is_empty() {
         return Lit::FALSE;
     }
-    if cover.iter().any(|c| *c == Cube::UNIVERSE) {
+    if cover.contains(&Cube::UNIVERSE) {
         return Lit::TRUE;
     }
     if cover.len() == 1 {
@@ -391,7 +399,10 @@ mod tests {
         let b = TruthTable::variable(3, 1);
         let c = TruthTable::variable(3, 2);
         let f = a.and(&b).or(&a.and(&c)).or(&b.and(&c));
-        assert!(synthesis_cost(&f, 3) <= 4, "maj3 should cost at most 4 ANDs");
+        assert!(
+            synthesis_cost(&f, 3) <= 4,
+            "maj3 should cost at most 4 ANDs"
+        );
     }
 
     #[test]

@@ -1,18 +1,41 @@
 //! Truth-table manipulation for cut functions.
 //!
-//! Tables over up to 6 variables fit in one `u64`; larger tables use a word
-//! vector. [`TruthTable`] supports the operations the optimizer needs:
-//! cofactoring, variable support, NPN canonicalization (for the rewriting
-//! library) and ISOP extraction (in [`crate::isop`]).
+//! [`TruthTable`] supports the operations the optimizer needs: cofactoring,
+//! variable support, NPN canonicalization (for the rewriting library) and
+//! ISOP extraction (in [`crate::isop`]).
+//!
+//! # Small-table representation
+//!
+//! Tables over **up to 6 variables fit in one inline `u64`** — no heap
+//! allocation at all. Only tables over 7+ variables (`2^(vars-6)` words)
+//! spill to a heap vector. The representation is an invariant, not a
+//! heuristic: `vars <= 6` always uses [`Repr::Small`] and `vars > 6` always
+//! uses [`Repr::Big`], so equality/hashing never have to normalize.
+//!
+//! Because the rewriting loops (`opt`, `synth`, `isop`) run almost entirely
+//! on ≤6-variable cut functions, every operator also has an **in-place
+//! variant** (`invert`, `and_with`, `cofactor0_in_place`, …) so the hot
+//! paths neither allocate nor copy: a ≤6-variable cofactor is a couple of
+//! shifts on a register-resident word.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Internal storage: one inline word for ≤6 variables, heap words above.
+#[derive(Clone, Debug)]
+enum Repr {
+    /// `vars <= 6`: the whole table in one word, tail bits zero.
+    Small(u64),
+    /// `vars > 6`: `2^(vars-6)` words.
+    Big(Vec<u64>),
+}
 
 /// A complete truth table over `vars` variables (`2^vars` bits, LSB = the
 /// all-zero input pattern, variable `i` toggles with period `2^i`).
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Debug)]
 pub struct TruthTable {
     vars: usize,
-    words: Vec<u64>,
+    repr: Repr,
 }
 
 /// Bit masks of the six "packed" variables within one 64-bit word.
@@ -28,20 +51,22 @@ pub const VAR_MASKS: [u64; 6] = [
 impl TruthTable {
     /// Constant-false table over `vars` variables.
     pub fn zeros(vars: usize) -> Self {
-        TruthTable {
-            vars,
-            words: vec![0; Self::word_count(vars)],
-        }
+        let repr = if vars <= 6 {
+            Repr::Small(0)
+        } else {
+            Repr::Big(vec![0; 1usize << (vars - 6)])
+        };
+        TruthTable { vars, repr }
     }
 
     /// Constant-true table over `vars` variables.
     pub fn ones(vars: usize) -> Self {
-        let mut t = Self::zeros(vars);
-        for w in &mut t.words {
-            *w = !0;
-        }
-        t.mask_tail();
-        t
+        let repr = if vars <= 6 {
+            Repr::Small(Self::tail_mask(vars))
+        } else {
+            Repr::Big(vec![!0; 1usize << (vars - 6)])
+        };
+        TruthTable { vars, repr }
     }
 
     /// Projection table of variable `var` over `vars` variables.
@@ -52,52 +77,69 @@ impl TruthTable {
     pub fn variable(vars: usize, var: usize) -> Self {
         assert!(var < vars, "variable index out of range");
         let mut t = Self::zeros(vars);
-        if var < 6 {
-            for w in &mut t.words {
-                *w = VAR_MASKS[var];
-            }
-        } else {
-            let period = 1usize << (var - 6);
-            for (i, w) in t.words.iter_mut().enumerate() {
-                if i / period % 2 == 1 {
-                    *w = !0;
+        match &mut t.repr {
+            Repr::Small(w) => *w = VAR_MASKS[var] & Self::tail_mask(vars),
+            Repr::Big(words) => {
+                if var < 6 {
+                    for w in words.iter_mut() {
+                        *w = VAR_MASKS[var];
+                    }
+                } else {
+                    let period = 1usize << (var - 6);
+                    for (i, w) in words.iter_mut().enumerate() {
+                        if i / period % 2 == 1 {
+                            *w = !0;
+                        }
+                    }
                 }
             }
         }
-        t.mask_tail();
         t
     }
 
     /// Build from the low `2^vars` bits of a single word (`vars <= 6`).
     pub fn from_word(vars: usize, word: u64) -> Self {
         assert!(vars <= 6, "from_word limited to 6 variables");
-        let mut t = Self::zeros(vars);
-        t.words[0] = word;
-        t.mask_tail();
-        t
+        TruthTable {
+            vars,
+            repr: Repr::Small(word & Self::tail_mask(vars)),
+        }
     }
 
     /// The table as a single word (`vars <= 6` only).
     pub fn as_word(&self) -> u64 {
-        assert!(self.vars <= 6, "as_word limited to 6 variables");
-        self.words[0]
+        match self.repr {
+            Repr::Small(w) => w,
+            Repr::Big(_) => panic!("as_word limited to 6 variables"),
+        }
+    }
+
+    /// True when the table is stored inline (always the case for ≤6 vars).
+    #[inline]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Small(_))
     }
 
     /// Number of variables.
+    #[inline]
     pub fn num_vars(&self) -> usize {
         self.vars
     }
 
-    /// Raw words.
+    /// Raw words (the inline word is returned as a one-element slice).
+    #[inline]
     pub fn words(&self) -> &[u64] {
-        &self.words
+        match &self.repr {
+            Repr::Small(w) => std::slice::from_ref(w),
+            Repr::Big(v) => v,
+        }
     }
 
-    fn word_count(vars: usize) -> usize {
-        if vars <= 6 {
-            1
-        } else {
-            1usize << (vars - 6)
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        match &mut self.repr {
+            Repr::Small(w) => std::slice::from_mut(w),
+            Repr::Big(v) => v,
         }
     }
 
@@ -109,117 +151,192 @@ impl TruthTable {
         }
     }
 
-    fn mask_tail(&mut self) {
-        let mask = Self::tail_mask(self.vars);
-        if let Some(last) = self.words.last_mut() {
-            *last &= mask;
-        }
-        if self.vars < 6 {
-            self.words[0] &= mask;
-        }
-    }
-
     /// Bit `index` of the table.
+    #[inline]
     pub fn bit(&self, index: usize) -> bool {
-        self.words[index / 64] >> (index % 64) & 1 == 1
+        self.words()[index / 64] >> (index % 64) & 1 == 1
     }
 
     /// Set bit `index`.
     pub fn set_bit(&mut self, index: usize, value: bool) {
+        let w = &mut self.words_mut()[index / 64];
         if value {
-            self.words[index / 64] |= 1u64 << (index % 64);
+            *w |= 1u64 << (index % 64);
         } else {
-            self.words[index / 64] &= !(1u64 << (index % 64));
+            *w &= !(1u64 << (index % 64));
         }
     }
 
     /// Number of ON-set minterms.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        match &self.repr {
+            Repr::Small(w) => w.count_ones() as usize,
+            Repr::Big(v) => v.iter().map(|w| w.count_ones() as usize).sum(),
+        }
     }
 
     /// True if the table is constant false.
+    #[inline]
     pub fn is_zero(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
-    }
-
-    /// True if the table is constant true.
-    pub fn is_ones(&self) -> bool {
-        self.clone().not_ref().is_zero()
-    }
-
-    fn not_ref(mut self) -> Self {
-        for w in &mut self.words {
-            *w = !*w;
+        match &self.repr {
+            Repr::Small(w) => *w == 0,
+            Repr::Big(v) => v.iter().all(|&w| w == 0),
         }
-        self.mask_tail();
-        self
+    }
+
+    /// True if the table is constant true (allocation-free).
+    #[inline]
+    pub fn is_ones(&self) -> bool {
+        match &self.repr {
+            Repr::Small(w) => *w == Self::tail_mask(self.vars),
+            Repr::Big(v) => v.iter().all(|&w| w == !0),
+        }
+    }
+
+    /// Complement in place.
+    #[inline]
+    pub fn invert(&mut self) {
+        match &mut self.repr {
+            Repr::Small(w) => *w = !*w & Self::tail_mask(self.vars),
+            Repr::Big(v) => {
+                for w in v.iter_mut() {
+                    *w = !*w;
+                }
+            }
+        }
     }
 
     /// Complement.
     #[must_use]
     pub fn not(&self) -> Self {
-        self.clone().not_ref()
+        let mut out = self.clone();
+        out.invert();
+        out
     }
 
-    /// Conjunction.
+    /// In-place conjunction with `other`.
     ///
     /// # Panics
     ///
-    /// Panics if variable counts differ.
+    /// Panics if variable counts differ (same for the other binary ops).
+    #[inline]
+    pub fn and_with(&mut self, other: &Self) {
+        assert_eq!(self.vars, other.vars);
+        match (&mut self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => *a &= *b,
+            (Repr::Big(a), Repr::Big(b)) => {
+                for (w, o) in a.iter_mut().zip(b) {
+                    *w &= o;
+                }
+            }
+            _ => unreachable!("equal vars implies equal repr"),
+        }
+    }
+
+    /// In-place disjunction with `other`.
+    #[inline]
+    pub fn or_with(&mut self, other: &Self) {
+        assert_eq!(self.vars, other.vars);
+        match (&mut self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => *a |= *b,
+            (Repr::Big(a), Repr::Big(b)) => {
+                for (w, o) in a.iter_mut().zip(b) {
+                    *w |= o;
+                }
+            }
+            _ => unreachable!("equal vars implies equal repr"),
+        }
+    }
+
+    /// In-place exclusive or with `other`.
+    #[inline]
+    pub fn xor_with(&mut self, other: &Self) {
+        assert_eq!(self.vars, other.vars);
+        match (&mut self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => *a ^= *b,
+            (Repr::Big(a), Repr::Big(b)) => {
+                for (w, o) in a.iter_mut().zip(b) {
+                    *w ^= o;
+                }
+            }
+            _ => unreachable!("equal vars implies equal repr"),
+        }
+    }
+
+    /// Conjunction.
     #[must_use]
     pub fn and(&self, other: &Self) -> Self {
-        assert_eq!(self.vars, other.vars);
         let mut out = self.clone();
-        for (w, o) in out.words.iter_mut().zip(&other.words) {
-            *w &= o;
-        }
+        out.and_with(other);
         out
     }
 
     /// Disjunction.
     #[must_use]
     pub fn or(&self, other: &Self) -> Self {
-        assert_eq!(self.vars, other.vars);
         let mut out = self.clone();
-        for (w, o) in out.words.iter_mut().zip(&other.words) {
-            *w |= o;
-        }
+        out.or_with(other);
         out
     }
 
     /// Exclusive or.
     #[must_use]
     pub fn xor(&self, other: &Self) -> Self {
-        assert_eq!(self.vars, other.vars);
         let mut out = self.clone();
-        for (w, o) in out.words.iter_mut().zip(&other.words) {
-            *w ^= o;
-        }
+        out.xor_with(other);
         out
     }
 
-    /// Negative cofactor with respect to variable `var` (the half where
-    /// `var = 0`, replicated).
-    #[must_use]
-    pub fn cofactor0(&self, var: usize) -> Self {
-        let mut out = self.clone();
+    /// In-place negative cofactor with respect to variable `var` (the half
+    /// where `var = 0`, replicated).
+    pub fn cofactor0_in_place(&mut self, var: usize) {
         if var < 6 {
             let shift = 1u32 << var;
             let mask = !VAR_MASKS[var];
-            for w in &mut out.words {
+            for w in self.words_mut() {
                 let lo = *w & mask;
                 *w = lo | lo << shift;
             }
         } else {
+            let Repr::Big(words) = &mut self.repr else {
+                unreachable!("var >= 6 implies a multi-word table");
+            };
             let period = 1usize << (var - 6);
-            let n = out.words.len();
-            for i in 0..n {
+            for i in 0..words.len() {
                 if i / period % 2 == 1 {
-                    out.words[i] = out.words[i - period];
+                    words[i] = words[i - period];
                 }
             }
         }
+    }
+
+    /// In-place positive cofactor with respect to variable `var`.
+    pub fn cofactor1_in_place(&mut self, var: usize) {
+        if var < 6 {
+            let shift = 1u32 << var;
+            let mask = VAR_MASKS[var];
+            for w in self.words_mut() {
+                let hi = *w & mask;
+                *w = hi | hi >> shift;
+            }
+        } else {
+            let Repr::Big(words) = &mut self.repr else {
+                unreachable!("var >= 6 implies a multi-word table");
+            };
+            let period = 1usize << (var - 6);
+            for i in 0..words.len() {
+                if (i / period).is_multiple_of(2) {
+                    words[i] = words[i + period];
+                }
+            }
+        }
+    }
+
+    /// Negative cofactor with respect to variable `var`.
+    #[must_use]
+    pub fn cofactor0(&self, var: usize) -> Self {
+        let mut out = self.clone();
+        out.cofactor0_in_place(var);
         out
     }
 
@@ -227,28 +344,51 @@ impl TruthTable {
     #[must_use]
     pub fn cofactor1(&self, var: usize) -> Self {
         let mut out = self.clone();
-        if var < 6 {
-            let shift = 1u32 << var;
-            let mask = VAR_MASKS[var];
-            for w in &mut out.words {
-                let hi = *w & mask;
-                *w = hi | hi >> shift;
-            }
-        } else {
-            let period = 1usize << (var - 6);
-            let n = out.words.len();
-            for i in 0..n {
-                if i / period % 2 == 0 {
-                    out.words[i] = out.words[i + period];
-                }
-            }
-        }
+        out.cofactor1_in_place(var);
         out
     }
 
-    /// True if the function depends on variable `var`.
+    /// True if `self`'s ON-set is contained in `other`'s (`self & !other ==
+    /// 0`), without materializing either intermediate.
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        if self.vars != other.vars {
+            return false;
+        }
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => *a & !*b == 0,
+            (Repr::Big(a), Repr::Big(b)) => a.iter().zip(b).all(|(&x, &y)| x & !y == 0),
+            _ => false,
+        }
+    }
+
+    /// True if `self == other.not()`, without materializing the complement.
+    pub fn is_complement_of(&self, other: &Self) -> bool {
+        if self.vars != other.vars {
+            return false;
+        }
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => *a == !*b & Self::tail_mask(self.vars),
+            (Repr::Big(a), Repr::Big(b)) => a.iter().zip(b).all(|(&x, &y)| x == !y),
+            _ => false,
+        }
+    }
+
+    /// True if the function depends on variable `var` (allocation-free: the
+    /// two cofactors are compared without materializing either).
     pub fn depends_on(&self, var: usize) -> bool {
-        self.cofactor0(var) != self.cofactor1(var)
+        if var < 6 {
+            let shift = 1u32 << var;
+            let mask = !VAR_MASKS[var];
+            self.words().iter().any(|&w| (w >> shift ^ w) & mask != 0)
+        } else {
+            let Repr::Big(words) = &self.repr else {
+                return false;
+            };
+            let period = 1usize << (var - 6);
+            (0..words.len())
+                .filter(|i| (i / period).is_multiple_of(2))
+                .any(|i| words[i] != words[i + period])
+        }
     }
 
     /// Indices of variables the function actually depends on.
@@ -256,38 +396,115 @@ impl TruthTable {
         (0..self.vars).filter(|&v| self.depends_on(v)).collect()
     }
 
-    /// Swap adjacent variables `var` and `var + 1`.
+    /// Bitmask of variables the function depends on (`vars <= 32`).
+    pub fn support_mask(&self) -> u32 {
+        let mut mask = 0u32;
+        for v in 0..self.vars {
+            if self.depends_on(v) {
+                mask |= 1 << v;
+            }
+        }
+        mask
+    }
+
+    /// Swap adjacent variables `var` and `var + 1` (delta-swap bit tricks —
+    /// no temporaries for packed variables).
     #[must_use]
     pub fn swap_adjacent(&self, var: usize) -> Self {
         assert!(var + 1 < self.vars);
-        let c00 = self.cofactor0(var).cofactor0(var + 1);
-        let c01 = self.cofactor1(var).cofactor0(var + 1); // var=1, var+1=0
-        let c10 = self.cofactor0(var).cofactor1(var + 1);
-        let c11 = self.cofactor1(var).cofactor1(var + 1);
-        let va = Self::variable(self.vars, var);
-        let vb = Self::variable(self.vars, var + 1);
-        // After the swap, old var plays var+1's role and vice versa.
-        let t00 = va.not().and(&vb.not()).and(&c00);
-        let t01 = va.clone().and(&vb.not()).and(&c10);
-        let t10 = va.not().and(&vb).and(&c01);
-        let t11 = va.and(&vb).and(&c11);
-        t00.or(&t01).or(&t10).or(&t11)
+        let mut out = self.clone();
+        if var + 1 < 6 {
+            // Both variables packed in-word: exchange the (var=1, var+1=0)
+            // bits with their partners one 2^var stride up.
+            let shift = 1u32 << var;
+            let mask = VAR_MASKS[var] & !VAR_MASKS[var + 1];
+            for w in out.words_mut() {
+                let t = (*w >> shift ^ *w) & mask;
+                *w ^= t | t << shift;
+            }
+        } else if var == 5 {
+            // Word boundary: high half of even words ↔ low half of odd words.
+            let Repr::Big(words) = &mut out.repr else {
+                unreachable!("var + 1 >= 6 implies a multi-word table");
+            };
+            for i in (0..words.len()).step_by(2) {
+                let hi_even = words[i] >> 32;
+                let lo_odd = words[i + 1] & 0xFFFF_FFFF;
+                words[i] = (words[i] & 0xFFFF_FFFF) | lo_odd << 32;
+                words[i + 1] = (words[i + 1] & !0xFFFF_FFFF) | hi_even;
+            }
+        } else {
+            // Both variables select words: swap word blocks.
+            let Repr::Big(words) = &mut out.repr else {
+                unreachable!("var >= 6 implies a multi-word table");
+            };
+            let period = 1usize << (var - 6);
+            for base in 0..words.len() {
+                if base / period % 2 == 1 && (base / (period * 2)).is_multiple_of(2) {
+                    words.swap(base, base + period);
+                }
+            }
+        }
+        out
     }
 
-    /// Flip (complement) variable `var`.
+    /// Flip (complement) variable `var`, exchanging the two cofactor halves.
     #[must_use]
     pub fn flip_var(&self, var: usize) -> Self {
-        let c0 = self.cofactor0(var);
-        let c1 = self.cofactor1(var);
-        let v = Self::variable(self.vars, var);
-        v.not().and(&c1).or(&v.and(&c0))
+        let mut out = self.clone();
+        out.flip_var_in_place(var);
+        out
+    }
+
+    /// In-place [`TruthTable::flip_var`].
+    pub fn flip_var_in_place(&mut self, var: usize) {
+        if var < 6 {
+            let shift = 1u32 << var;
+            let mask = VAR_MASKS[var];
+            for w in self.words_mut() {
+                *w = (*w & mask) >> shift | (*w & !mask) << shift;
+            }
+        } else {
+            let Repr::Big(words) = &mut self.repr else {
+                unreachable!("var >= 6 implies a multi-word table");
+            };
+            let period = 1usize << (var - 6);
+            for base in 0..words.len() {
+                if (base / period).is_multiple_of(2) {
+                    words.swap(base, base + period);
+                }
+            }
+        }
+    }
+}
+
+impl PartialEq for TruthTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.vars == other.vars
+            && match (&self.repr, &other.repr) {
+                (Repr::Small(a), Repr::Small(b)) => a == b,
+                (Repr::Big(a), Repr::Big(b)) => a == b,
+                _ => false,
+            }
+    }
+}
+
+impl Eq for TruthTable {}
+
+impl Hash for TruthTable {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.vars.hash(state);
+        match &self.repr {
+            Repr::Small(w) => w.hash(state),
+            Repr::Big(v) => v.hash(state),
+        }
     }
 }
 
 impl fmt::Display for TruthTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "tt{}[", self.vars)?;
-        for w in self.words.iter().rev() {
+        for w in self.words().iter().rev() {
             write!(f, "{w:016x}")?;
         }
         write!(f, "]")
@@ -423,6 +640,7 @@ mod tests {
         // f|a=1 = b
         assert_eq!(c1, TruthTable::variable(2, 1));
         assert_eq!(f.support(), vec![0, 1]);
+        assert_eq!(f.support_mask(), 0b11);
     }
 
     #[test]
@@ -442,6 +660,73 @@ mod tests {
         assert_eq!(g, TruthTable::variable(3, 1));
         let h = f.flip_var(0);
         assert_eq!(h, f.not());
+    }
+
+    #[test]
+    fn small_tables_are_inline() {
+        for vars in 0..=6 {
+            assert!(TruthTable::zeros(vars).is_inline());
+            assert!(TruthTable::ones(vars).is_inline());
+            let mut t = TruthTable::zeros(vars);
+            t.set_bit(0, true);
+            t.invert();
+            if vars >= 2 {
+                t.and_with(&TruthTable::variable(vars, 1));
+                t.cofactor0_in_place(0);
+            }
+            assert!(t.is_inline(), "{vars}-var table must stay inline");
+        }
+        assert!(!TruthTable::zeros(7).is_inline());
+    }
+
+    #[test]
+    fn in_place_ops_match_cloning_ops() {
+        // Exercise both the inline (5-var) and heap (8-var) paths.
+        for vars in [5usize, 8] {
+            let a = TruthTable::variable(vars, 1);
+            let b = TruthTable::variable(vars, vars - 1);
+            let mut x = a.clone();
+            x.and_with(&b);
+            assert_eq!(x, a.and(&b));
+            let mut x = a.clone();
+            x.or_with(&b);
+            assert_eq!(x, a.or(&b));
+            let mut x = a.clone();
+            x.xor_with(&b);
+            assert_eq!(x, a.xor(&b));
+            let mut x = a.xor(&b);
+            x.invert();
+            assert_eq!(x, a.xor(&b).not());
+            for v in [0, vars - 1] {
+                let f = a.xor(&b).or(&TruthTable::variable(vars, v));
+                let mut c0 = f.clone();
+                c0.cofactor0_in_place(v);
+                assert_eq!(c0, f.cofactor0(v));
+                let mut c1 = f.clone();
+                c1.cofactor1_in_place(v);
+                assert_eq!(c1, f.cofactor1(v));
+                assert_eq!(f.depends_on(v), f.cofactor0(v) != f.cofactor1(v));
+            }
+        }
+    }
+
+    #[test]
+    fn swap_adjacent_across_word_boundary() {
+        // 8-var tables: exercise var+1<6, var==5 (word boundary), var>=6.
+        for var in [2usize, 5, 6] {
+            let vars = 8;
+            let f = TruthTable::variable(vars, var)
+                .and(&TruthTable::variable(vars, var + 1).not())
+                .or(&TruthTable::variable(vars, 0));
+            let g = f.swap_adjacent(var);
+            // Check against the definition bit by bit.
+            for p in 0..(1usize << vars) {
+                let bit_a = p >> var & 1;
+                let bit_b = p >> (var + 1) & 1;
+                let q = (p & !(1 << var) & !(1 << (var + 1))) | bit_b << var | bit_a << (var + 1);
+                assert_eq!(g.bit(p), f.bit(q), "var {var} pattern {p}");
+            }
+        }
     }
 
     #[test]
@@ -473,8 +758,7 @@ mod tests {
     #[test]
     fn permute_roundtrip() {
         let tt = 0xD1A5u16;
-        for p in 0..24 {
-            let perm = PERMS4[p];
+        for perm in PERMS4 {
             // Find inverse permutation.
             let mut inv = [0u8; 4];
             for (i, &v) in perm.iter().enumerate() {

@@ -1,0 +1,90 @@
+//! Verifies the hot-path allocation guarantees with a counting global
+//! allocator: `Cut::merge` + dominance filtering never allocate, and
+//! ≤6-variable `TruthTable` operators never allocate.
+//!
+//! Single `#[test]` on purpose: the counter is process-global, so a second
+//! concurrently running test would perturb it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn alloc_count<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
+}
+
+#[test]
+fn hot_paths_do_not_allocate() {
+    use xsfq_aig::cuts::Cut;
+    use xsfq_aig::tt::TruthTable;
+    use xsfq_aig::NodeId;
+
+    // --- Cut merge + dominance, k ≤ 6 ---
+    let ids: Vec<NodeId> = (1..=9).map(NodeId::from_index).collect();
+    let a = Cut::from_leaves(&ids[0..3]);
+    let b = Cut::from_leaves(&ids[2..6]);
+    let c = Cut::from_leaves(&ids[4..9]);
+    let (n, merged) = alloc_count(|| {
+        let mut acc = 0usize;
+        for _ in 0..100 {
+            let m = a.merge(&b, 6);
+            acc += m.map_or(0, |m| m.len());
+            acc += a.dominates(&b) as usize;
+            acc += b.dominates(&c) as usize;
+            if let Some(m) = b.merge(&c, 6) {
+                acc += m.dominates(&c) as usize;
+            }
+        }
+        acc
+    });
+    assert!(merged > 0, "merges must actually run");
+    assert_eq!(n, 0, "Cut::merge/dominates allocated {n} times");
+
+    // --- TruthTable operators over ≤6 variables ---
+    let t = TruthTable::from_word(6, 0x0123_4567_89AB_CDEF);
+    let u = TruthTable::from_word(6, 0xFEDC_BA98_7654_3210);
+    assert!(t.is_inline() && u.is_inline());
+    let (n, checksum) = alloc_count(|| {
+        let mut acc = 0usize;
+        for var in 0..6 {
+            let v = TruthTable::variable(6, var);
+            let mut x = t.and(&u).or(&v).xor(&t.not());
+            x.invert();
+            x.and_with(&u);
+            x.cofactor0_in_place(var);
+            acc += x.count_ones();
+            acc += t.cofactor1(var).count_ones();
+            acc += t.depends_on(var) as usize;
+            acc += t.is_subset_of(&u) as usize;
+            acc += t.is_complement_of(&u) as usize;
+            acc += x.is_zero() as usize + x.is_ones() as usize;
+        }
+        acc
+    });
+    assert!(checksum > 0, "table ops must actually run");
+    assert_eq!(n, 0, "small-table TruthTable ops allocated {n} times");
+}

@@ -1,0 +1,239 @@
+//! Property tests pinning the refactored hot-path data structures to naive
+//! reference implementations:
+//!
+//! * inline signature-filtered cut enumeration vs. a `Vec`-based
+//!   reimplementation of the original algorithm (exact list equality), and
+//! * inline-`u64` truth tables vs. an explicit `Vec<bool>` bit model across
+//!   all operators, straddling the 6 ↔ 7-variable representation boundary.
+
+use proptest::prelude::*;
+
+use xsfq_aig::cuts::{enumerate_cuts, Cut};
+use xsfq_aig::tt::{apply_npn4, npn_canon4, TruthTable};
+use xsfq_aig::{Aig, Lit, NodeId, NodeKind};
+
+// ---------------------------------------------------------------- cut refs
+
+/// Reference cut: a plain sorted vector of leaf indices.
+type RefCut = Vec<usize>;
+
+fn ref_merge(a: &RefCut, b: &RefCut, k: usize) -> Option<RefCut> {
+    let mut out: RefCut = a.iter().chain(b).copied().collect();
+    out.sort_unstable();
+    out.dedup();
+    (out.len() <= k).then_some(out)
+}
+
+fn ref_dominates(a: &RefCut, b: &RefCut) -> bool {
+    a.len() <= b.len() && a.iter().all(|l| b.contains(l))
+}
+
+/// The original (pre-refactor) enumeration algorithm, verbatim: quadratic
+/// `any` + `retain` dominance filtering over heap cuts.
+fn ref_enumerate(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<RefCut>> {
+    let mut cuts: Vec<Vec<RefCut>> = vec![Vec::new(); aig.num_nodes()];
+    for (i, kind) in aig.nodes().iter().enumerate() {
+        match *kind {
+            NodeKind::And { a, b } => {
+                let mut list: Vec<RefCut> = Vec::new();
+                let (ca, cb) = (
+                    cuts[a.node().index()].clone(),
+                    cuts[b.node().index()].clone(),
+                );
+                for cut_a in &ca {
+                    for cut_b in &cb {
+                        let Some(merged) = ref_merge(cut_a, cut_b, k) else {
+                            continue;
+                        };
+                        if list.iter().any(|c| ref_dominates(c, &merged)) {
+                            continue;
+                        }
+                        list.retain(|c| !ref_dominates(&merged, c));
+                        list.push(merged);
+                    }
+                }
+                list.sort_by_key(RefCut::len);
+                list.truncate(max_cuts);
+                list.push(vec![i]);
+                cuts[i] = list;
+            }
+            _ => cuts[i] = vec![vec![i]],
+        }
+    }
+    cuts
+}
+
+/// Random DAG from a recipe of (op, operand, operand) triples.
+fn circuit_from_recipe(recipe: &[(u8, usize, usize)], inputs: usize) -> Aig {
+    let mut g = Aig::new("rand");
+    let mut pool: Vec<Lit> = (0..inputs).map(|i| g.input(format!("x{i}"))).collect();
+    for &(op, i, j) in recipe {
+        let a = pool[i % pool.len()];
+        let b = pool[j % pool.len()];
+        let lit = match op % 6 {
+            0 => g.and(a, b),
+            1 => g.or(a, b),
+            2 => g.xor(a, b),
+            3 => g.nand(a, b),
+            4 => g.mux(a, b, !a),
+            _ => g.xnor(a, b),
+        };
+        pool.push(lit);
+    }
+    let o = *pool.last().unwrap();
+    g.output("o", o);
+    g
+}
+
+// ----------------------------------------------------------------- tt refs
+
+/// Explicit bit-model of a truth table.
+fn ref_bits(t: &TruthTable) -> Vec<bool> {
+    (0..1usize << t.num_vars()).map(|p| t.bit(p)).collect()
+}
+
+fn table_from_bits(vars: usize, bits: &[bool]) -> TruthTable {
+    let mut t = TruthTable::zeros(vars);
+    for (p, &b) in bits.iter().enumerate() {
+        t.set_bit(p, b);
+    }
+    t
+}
+
+/// Build a `vars`-variable table from a stream of seed words.
+fn table_from_words(vars: usize, words: &[u64]) -> TruthTable {
+    let mut t = TruthTable::zeros(vars);
+    for p in 0..1usize << vars {
+        let w = words[(p / 64) % words.len()];
+        t.set_bit(p, w >> (p % 64) & 1 == 1);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The inline signature-filtered enumeration produces exactly the same
+    /// per-node cut lists as the naive reference, for every node, in order.
+    #[test]
+    fn cut_enumeration_matches_reference(
+        recipe in prop::collection::vec((any::<u8>(), 0usize..64, 0usize..64), 4..40),
+        inputs in 2usize..6,
+        k in 2usize..6,
+        max_cuts in 2usize..10,
+    ) {
+        let g = circuit_from_recipe(&recipe, inputs);
+        let fast = enumerate_cuts(&g, k, max_cuts);
+        let slow = ref_enumerate(&g, k, max_cuts);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (node, (f, s)) in fast.iter().zip(&slow).enumerate() {
+            prop_assert_eq!(f.len(), s.len(), "cut count differs at node {}", node);
+            for (fc, sc) in f.iter().zip(s) {
+                let fl: Vec<usize> = fc.leaves().iter().map(|l| l.index()).collect();
+                prop_assert_eq!(&fl, sc, "cut leaves differ at node {}", node);
+            }
+        }
+    }
+
+    /// Pairwise merge/dominance agree with the reference on arbitrary leaf
+    /// sets (ids spread past 64 so signatures collide).
+    #[test]
+    fn merge_and_dominance_match_reference(
+        a in prop::collection::vec(0usize..200, 1..7),
+        b in prop::collection::vec(0usize..200, 1..7),
+        k in 2usize..9,
+    ) {
+        let mut a = a; a.sort_unstable(); a.dedup();
+        let mut b = b; b.sort_unstable(); b.dedup();
+        let ca = Cut::from_leaves(&a.iter().map(|&i| NodeId::from_index(i)).collect::<Vec<_>>());
+        let cb = Cut::from_leaves(&b.iter().map(|&i| NodeId::from_index(i)).collect::<Vec<_>>());
+        prop_assert_eq!(ca.dominates(&cb), ref_dominates(&a, &b));
+        prop_assert_eq!(cb.dominates(&ca), ref_dominates(&b, &a));
+        match (ca.merge(&cb, k), ref_merge(&a, &b, k)) {
+            (Some(m), Some(r)) => {
+                let ml: Vec<usize> = m.leaves().iter().map(|l| l.index()).collect();
+                prop_assert_eq!(ml, r);
+            }
+            (None, None) => {}
+            (fast, slow) => prop_assert!(
+                false,
+                "merge disagreement: fast={:?} slow={:?}",
+                fast.is_some(),
+                slow.is_some()
+            ),
+        }
+    }
+
+    /// All truth-table operators agree with the explicit bit model across
+    /// the inline ↔ heap boundary (5..=8 variables).
+    #[test]
+    fn tt_ops_match_bit_model_across_boundary(
+        words in prop::collection::vec(any::<u64>(), 4),
+        other_words in prop::collection::vec(any::<u64>(), 4),
+        vars in 5usize..9,
+    ) {
+        let t = table_from_words(vars, &words);
+        let u = table_from_words(vars, &other_words);
+        prop_assert_eq!(t.is_inline(), vars <= 6, "repr invariant");
+        let bits_t = ref_bits(&t);
+        let bits_u = ref_bits(&u);
+        let n = 1usize << vars;
+
+        let not = t.not();
+        let and = t.and(&u);
+        let or = t.or(&u);
+        let xor = t.xor(&u);
+        for p in 0..n {
+            prop_assert_eq!(not.bit(p), !bits_t[p]);
+            prop_assert_eq!(and.bit(p), bits_t[p] && bits_u[p]);
+            prop_assert_eq!(or.bit(p), bits_t[p] || bits_u[p]);
+            prop_assert_eq!(xor.bit(p), bits_t[p] ^ bits_u[p]);
+        }
+        prop_assert_eq!(t.count_ones(), bits_t.iter().filter(|&&b| b).count());
+        prop_assert!(!t.is_zero() || bits_t.iter().all(|&b| !b));
+
+        for var in 0..vars {
+            let c0 = t.cofactor0(var);
+            let c1 = t.cofactor1(var);
+            let mut dep = false;
+            for p in 0..n {
+                let p0 = p & !(1 << var);
+                let p1 = p | 1 << var;
+                prop_assert_eq!(c0.bit(p), bits_t[p0], "cofactor0 var {} bit {}", var, p);
+                prop_assert_eq!(c1.bit(p), bits_t[p1], "cofactor1 var {} bit {}", var, p);
+                dep |= bits_t[p0] != bits_t[p1];
+            }
+            prop_assert_eq!(t.depends_on(var), dep);
+            // In-place variants agree with the cloning ones.
+            let mut ip = t.clone();
+            ip.cofactor0_in_place(var);
+            prop_assert_eq!(&ip, &c0);
+            let mut ip = t.clone();
+            ip.cofactor1_in_place(var);
+            prop_assert_eq!(&ip, &c1);
+        }
+        prop_assert!(t.is_complement_of(&t.not()));
+        prop_assert_eq!(t.is_subset_of(&u), bits_t.iter().zip(&bits_u).all(|(&x, &y)| !x || y));
+    }
+
+    /// Round-trip through the bit model at the boundary is lossless.
+    #[test]
+    fn tt_bit_roundtrip(words in prop::collection::vec(any::<u64>(), 2), vars in 5usize..9) {
+        let t = table_from_words(vars, &words);
+        let back = table_from_bits(vars, &ref_bits(&t));
+        prop_assert_eq!(t, back);
+    }
+
+    /// NPN canonicalization stays invariant under arbitrary NPN transforms
+    /// (exercises permute/flip over the packed 4-variable tables).
+    #[test]
+    fn npn_canon_invariant(bits in any::<u16>(), perm in 0u8..24, flips in 0u8..16, out_neg: bool) {
+        let tf = xsfq_aig::tt::NpnTransform { perm_idx: perm, flips, out_neg };
+        let transformed = apply_npn4(bits, tf);
+        let (c1, _) = npn_canon4(bits);
+        let (c2, _) = npn_canon4(transformed);
+        prop_assert_eq!(c1, c2);
+        let (canon, tf2) = npn_canon4(bits);
+        prop_assert_eq!(apply_npn4(bits, tf2), canon);
+    }
+}

@@ -13,8 +13,7 @@
 //! and maps `(¬a ∧ ¬b)` nodes to OR cells via De Morgan when the complement
 //! is what consumers want.
 
-use std::collections::HashMap;
-
+use xsfq_aig::hash::FxHashMap;
 use xsfq_aig::{Aig, Lit, NodeKind};
 use xsfq_cells::{CellKind, CellLibrary};
 use xsfq_netlist::{NetId, Netlist};
@@ -200,8 +199,20 @@ pub fn map_rsfq(aig: &Aig) -> RsfqDesign {
             // recover the phase by evaluating the pattern at p=q=0:
             // value = (!p&!q term present) — with our builder the node is
             // always the XOR of the two operand edges' positive senses.
-            let ia = wire(&mut netlist, &mut wires, &mut gates, p.node().index(), !p.is_complement());
-            let ib = wire(&mut netlist, &mut wires, &mut gates, q.node().index(), !q.is_complement());
+            let ia = wire(
+                &mut netlist,
+                &mut wires,
+                &mut gates,
+                p.node().index(),
+                !p.is_complement(),
+            );
+            let ib = wire(
+                &mut netlist,
+                &mut wires,
+                &mut gates,
+                q.node().index(),
+                !q.is_complement(),
+            );
             let net = netlist.add_cell(CellKind::RsfqXor, &[ia, ib])[0];
             gates += 1;
             wires[i].pos = Some(net);
@@ -216,8 +227,20 @@ pub fn map_rsfq(aig: &Aig) -> RsfqDesign {
             gates += 1;
             wires[i].neg = Some(net);
         } else {
-            let ia = wire(&mut netlist, &mut wires, &mut gates, a.node().index(), !a.is_complement());
-            let ib = wire(&mut netlist, &mut wires, &mut gates, b.node().index(), !b.is_complement());
+            let ia = wire(
+                &mut netlist,
+                &mut wires,
+                &mut gates,
+                a.node().index(),
+                !a.is_complement(),
+            );
+            let ib = wire(
+                &mut netlist,
+                &mut wires,
+                &mut gates,
+                b.node().index(),
+                !b.is_complement(),
+            );
             let net = netlist.add_cell(CellKind::RsfqAnd, &[ia, ib])[0];
             gates += 1;
             wires[i].pos = Some(net);
@@ -259,7 +282,7 @@ pub fn map_rsfq(aig: &Aig) -> RsfqDesign {
         gates,
         balancing_dffs: balanced.balancing_dffs,
         state_dffs: latch_dffs.len(),
-        }
+    }
 }
 
 struct Balanced {
@@ -275,56 +298,62 @@ fn balance_paths(
     latch_dffs: &[xsfq_netlist::CellId],
 ) -> Balanced {
     // Level of each net: PIs and DFF outputs are 0 (DFFs retime state);
-    // clocked logic cell output = 1 + max(input levels).
-    let mut level: HashMap<usize, u32> = HashMap::new();
+    // clocked logic cell output = 1 + max(input levels). Net ids are dense,
+    // so a flat vector replaces the former per-net hash map.
+    let mut level: Vec<Option<u32>> = vec![None; netlist.num_nets()];
     for p in netlist.inputs() {
-        level.insert(p.net.index(), 0);
+        level[p.net.index()] = Some(0);
     }
-    let latch_set: std::collections::HashSet<usize> =
-        latch_dffs.iter().map(|c| c.index()).collect();
+    let mut latch_set = vec![false; netlist.cells().len()];
+    for c in latch_dffs {
+        latch_set[c.index()] = true;
+    }
     for (ci, cell) in netlist.cells().iter().enumerate() {
-        if latch_set.contains(&ci) {
+        if latch_set[ci] {
             for &o in &cell.outputs {
-                level.insert(o.index(), 0);
+                level[o.index()] = Some(0);
             }
         }
     }
     // Resolve levels with a worklist (cells except state DFFs).
     let mut remaining: Vec<usize> = (0..netlist.cells().len())
-        .filter(|ci| !latch_set.contains(ci))
+        .filter(|&ci| !latch_set[ci])
         .collect();
     while !remaining.is_empty() {
         let before = remaining.len();
         remaining.retain(|&ci| {
             let cell = &netlist.cells()[ci];
-            if !cell.inputs.iter().all(|i| level.contains_key(&i.index())) {
+            if !cell.inputs.iter().all(|i| level[i.index()].is_some()) {
                 return true;
             }
             let lv = 1 + cell
                 .inputs
                 .iter()
-                .map(|i| level[&i.index()])
+                .map(|i| level[i.index()].expect("resolved above"))
                 .max()
                 .unwrap_or(0);
             for &o in &cell.outputs {
-                level.insert(o.index(), lv);
+                level[o.index()] = Some(lv);
             }
             false
         });
-        assert!(remaining.len() < before, "combinational cycle in RSFQ netlist");
+        assert!(
+            remaining.len() < before,
+            "combinational cycle in RSFQ netlist"
+        );
     }
     let max_root_level = roots
         .iter()
-        .map(|(_, net, _)| level[&net.index()])
+        .map(|(_, net, _)| level[net.index()].expect("root level resolved"))
         .max()
         .unwrap_or(0);
 
     // Rebuild with DFF chains. Chains are shared per net: one chain per
     // net, consumers tap the depth they need.
     let mut out = Netlist::new(netlist.name().to_string(), netlist.library().clone());
-    let mut net_map: HashMap<usize, NetId> = HashMap::new();
+    let mut net_map: Vec<Option<NetId>> = vec![None; netlist.num_nets()];
     for p in netlist.inputs() {
-        net_map.insert(p.net.index(), out.add_input(p.name.clone()));
+        net_map[p.net.index()] = Some(out.add_input(p.name.clone()));
     }
     let mut cell_map: Vec<Option<xsfq_netlist::CellId>> = vec![None; netlist.cells().len()];
     // Create all cells (deferred inputs), preserving kinds.
@@ -332,20 +361,20 @@ fn balance_paths(
         let (new_cell, outs) = out.add_cell_deferred(cell.kind);
         cell_map[ci] = Some(new_cell);
         for (o, n) in cell.outputs.iter().zip(outs) {
-            net_map.insert(o.index(), n);
+            net_map[o.index()] = Some(n);
         }
     }
     // DFF chain cache: (net, depth) → tapped net.
-    let mut chains: HashMap<(usize, u32), NetId> = HashMap::new();
+    let mut chains: FxHashMap<(usize, u32), NetId> = FxHashMap::default();
     let mut balancing_dffs = 0usize;
     let tap = |out: &mut Netlist,
-                   chains: &mut HashMap<(usize, u32), NetId>,
-                   balancing_dffs: &mut usize,
-                   net_map: &HashMap<usize, NetId>,
-                   net: usize,
-                   depth: u32|
+               chains: &mut FxHashMap<(usize, u32), NetId>,
+               balancing_dffs: &mut usize,
+               net_map: &[Option<NetId>],
+               net: usize,
+               depth: u32|
      -> NetId {
-        let mut current = net_map[&net];
+        let mut current = net_map[net].expect("net built");
         let mut have = 0u32;
         // Find the deepest existing tap.
         while have < depth {
@@ -364,17 +393,17 @@ fn balance_paths(
     };
     for (ci, cell) in netlist.cells().iter().enumerate() {
         let new_cell = cell_map[ci].expect("created");
-        let target_level = if latch_set.contains(&ci) {
+        let target_level = if latch_set[ci] {
             // State DFF data is balanced to the global root level.
             max_root_level
         } else {
             cell.outputs
                 .first()
-                .map(|o| level[&o.index()].saturating_sub(1))
+                .map(|o| level[o.index()].expect("resolved").saturating_sub(1))
                 .unwrap_or(0)
         };
         for (pin, &inp) in cell.inputs.iter().enumerate() {
-            let in_level = level[&inp.index()];
+            let in_level = level[inp.index()].expect("resolved");
             let depth = target_level.saturating_sub(in_level);
             let net = tap(
                 &mut out,
@@ -391,7 +420,7 @@ fn balance_paths(
         if *is_latch {
             continue; // handled as DFF data above
         }
-        let depth = max_root_level - level[&net.index()];
+        let depth = max_root_level - level[net.index()].expect("resolved");
         let tapped = tap(
             &mut out,
             &mut chains,
@@ -464,7 +493,7 @@ mod tests {
         let g = full_adder();
         let d = map_rsfq(&g);
         let nl = &d.netlist;
-        let mut level: HashMap<usize, u32> = HashMap::new();
+        let mut level: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
         for p in nl.inputs() {
             level.insert(p.net.index(), 0);
         }
@@ -489,7 +518,11 @@ mod tests {
                         "unbalanced inputs at cell {ci}: {ins:?}"
                     );
                 }
-                let store = if cell.kind == CellKind::RsfqSplitter { ins[0] } else { lv };
+                let store = if cell.kind == CellKind::RsfqSplitter {
+                    ins[0]
+                } else {
+                    lv
+                };
                 for &o in &cell.outputs {
                     level.insert(o.index(), store);
                 }

@@ -1,0 +1,126 @@
+//! Machine-readable performance summary: runs the criterion groups and
+//! emits `BENCH_<n>.json` mapping `group/name` → median ns per call.
+//!
+//! Usage (always build with `--release`; debug numbers are meaningless):
+//!
+//! ```text
+//! cargo run --release -p xsfq-bench --bin perf_summary -- \
+//!     [--out BENCH_1.json] [--baseline old.json] [--groups optimize,map]
+//! ```
+//!
+//! With `--baseline`, the old file's `current_ns` values are embedded as
+//! `baseline_ns` and per-benchmark speedups are reported — that is how a PR
+//! records before/after numbers measured on the same machine.
+
+use std::collections::BTreeMap;
+
+use criterion::Criterion;
+use xsfq_bench::perf;
+
+fn parse_args() -> (String, Option<String>, Vec<String>) {
+    let mut out = "BENCH_1.json".to_string();
+    let mut baseline = None;
+    let mut groups: Vec<String> = ["optimize", "map", "pulse", "verify", "spice"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out = args.get(i + 1).expect("--out needs a path").clone();
+                i += 2;
+            }
+            "--baseline" => {
+                baseline = Some(args.get(i + 1).expect("--baseline needs a path").clone());
+                i += 2;
+            }
+            "--groups" => {
+                groups = args
+                    .get(i + 1)
+                    .expect("--groups needs a list")
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    (out, baseline, groups)
+}
+
+/// Pull `"key":<number>` pairs out of a flat JSON object without a JSON
+/// dependency (the files are produced by this binary, so the shape is known:
+/// `"group/name": {"current_ns": X, ...}`).
+fn read_baseline(path: &str) -> BTreeMap<String, f64> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let mut map = BTreeMap::new();
+    let mut rest = text.as_str();
+    while let Some(start) = rest.find('"') {
+        let tail = &rest[start + 1..];
+        let Some(end) = tail.find('"') else { break };
+        let key = &tail[..end];
+        let after = &tail[end + 1..];
+        if key.contains('/') {
+            if let Some(cur) = after.find("\"current_ns\":") {
+                let num = after[cur + 13..]
+                    .trim_start()
+                    .split(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok());
+                if let Some(v) = num {
+                    map.insert(key.to_string(), v);
+                }
+            }
+        }
+        rest = after;
+    }
+    map
+}
+
+fn main() {
+    let (out, baseline_path, groups) = parse_args();
+    let baseline = baseline_path.as_deref().map(read_baseline);
+
+    let mut criterion = Criterion::new();
+    for group in &groups {
+        match group.as_str() {
+            "optimize" => perf::bench_optimize(&mut criterion),
+            "map" => perf::bench_mapping(&mut criterion),
+            "pulse" => perf::bench_pulse_sim(&mut criterion),
+            "verify" => perf::bench_cec(&mut criterion),
+            "spice" => perf::bench_spice(&mut criterion),
+            other => panic!("unknown group {other} (expected optimize|map|pulse|verify|spice)"),
+        }
+    }
+
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str(&format!(
+        "  \"schema\": \"xsfq-perf-summary/1\",\n  \"groups\": \"{}\",\n",
+        groups.join(",")
+    ));
+    let results = criterion.results();
+    for (i, r) in results.iter().enumerate() {
+        let key = format!("{}/{}", r.group, r.name);
+        body.push_str(&format!(
+            "  \"{key}\": {{\"current_ns\": {:.1}",
+            r.median_ns
+        ));
+        if let Some(base) = baseline.as_ref().and_then(|b| b.get(&key)) {
+            body.push_str(&format!(
+                ", \"baseline_ns\": {base:.1}, \"speedup\": {:.2}",
+                base / r.median_ns
+            ));
+        }
+        body.push('}');
+        body.push_str(if i + 1 == results.len() { "\n" } else { ",\n" });
+    }
+    body.push_str("}\n");
+    std::fs::write(&out, &body).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+    print!("{body}");
+}

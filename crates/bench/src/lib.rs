@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use std::fmt::Write as _;
 
 use xsfq_aig::opt::Effort;
@@ -29,7 +31,12 @@ pub fn table1() -> String {
         "Table 1 — LA/FA alternating sequences (pulse-level reproduction)"
     )
     .unwrap();
-    writeln!(out, "{:>6} {:>6} | {:>8} {:>8} | {:>8} {:>8} | reinit", "a", "b", "FA(exc)", "LA(exc)", "FA(rel)", "LA(rel)").unwrap();
+    writeln!(
+        out,
+        "{:>6} {:>6} | {:>8} {:>8} | {:>8} {:>8} | reinit",
+        "a", "b", "FA(exc)", "LA(exc)", "FA(rel)", "LA(rel)"
+    )
+    .unwrap();
     for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
         let mut row: Vec<String> = vec![format!("{}", va as u8), format!("{}", vb as u8)];
         let mut cols = vec![String::new(); 4];
@@ -65,7 +72,12 @@ pub fn table1() -> String {
         writeln!(
             out,
             "{:>6} {:>6} | {:>8} {:>8} | {:>8} {:>8} | {}",
-            row[0], row[1], row[2], row[3], row[4], row[5],
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4],
+            row[5],
             if reinit_all { "Init" } else { "VIOLATION" }
         )
         .unwrap();
@@ -299,7 +311,11 @@ pub fn table5() -> Vec<Table5Row> {
 /// Render Table 5.
 pub fn table5_text() -> String {
     let mut out = String::new();
-    writeln!(out, "Table 5 — post-synthesis results for c6288 (pipelining)").unwrap();
+    writeln!(
+        out,
+        "Table 5 — post-synthesis results for c6288 (pipelining)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<8} {:>8} {:>8} {:>6} {:>11} {:>12} {:>14}",
@@ -332,7 +348,11 @@ pub fn table5_text() -> String {
 pub fn fig2() -> String {
     use xsfq_spice::transient::{transient, TransientOptions};
     let mut out = String::new();
-    writeln!(out, "Figure 2 — LA/FA SPICE-level behaviour (RCSJ substrate)").unwrap();
+    writeln!(
+        out,
+        "Figure 2 — LA/FA SPICE-level behaviour (RCSJ substrate)"
+    )
+    .unwrap();
     let opts = TransientOptions {
         t_end_ps: 160.0,
         ..Default::default()
@@ -391,11 +411,7 @@ pub fn fig3() -> String {
         },
     );
     let pulses = wf.pulse_times(&fx.circuit, fx.output_junctions[0]);
-    writeln!(
-        out,
-        "  DC preload window 5–45 ps; clocks at 80 and 140 ps"
-    )
-    .unwrap();
+    writeln!(out, "  DC preload window 5–45 ps; clocks at 80 and 140 ps").unwrap();
     writeln!(
         out,
         "  readout pulses at {pulses:?} ps — the preloaded 1 appears on the first clock only"
@@ -451,7 +467,10 @@ pub fn fig4_5() -> String {
     for (label, mode) in [
         ("Fig 4  (minimal AIG, dual-rail)", PolarityMode::DualRail),
         ("Fig 5i (positive outputs)", PolarityMode::AllPositive),
-        ("Fig 5ii (phase-assignment heuristic)", PolarityMode::Heuristic),
+        (
+            "Fig 5ii (phase-assignment heuristic)",
+            PolarityMode::Heuristic,
+        ),
     ] {
         let m = xsfq_core::map_xsfq(
             &fa,
@@ -540,7 +559,11 @@ pub fn fig7() -> String {
 /// Ablation: polarity strategies across the Table 3 suite.
 pub fn ablation_polarity() -> String {
     let mut out = String::new();
-    writeln!(out, "Ablation — output phase assignment strategies (LA/FA cells)").unwrap();
+    writeln!(
+        out,
+        "Ablation — output phase assignment strategies (LA/FA cells)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<12} {:>10} {:>10} {:>10}",

@@ -1,0 +1,109 @@
+//! Criterion benchmark bodies for the flow's building blocks: AIG
+//! optimization, polarity assignment + mapping, the baseline mapper, pulse
+//! simulation throughput, SAT-based equivalence checking and the analog
+//! transient solver.
+//!
+//! These live in the library (rather than only under `benches/`) so both the
+//! `cargo bench` harness and the `perf_summary` binary — which emits the
+//! machine-readable `BENCH_*.json` perf trajectory — can run the same
+//! measurements.
+
+use criterion::Criterion;
+
+use xsfq_aig::opt::{self, Effort};
+use xsfq_core::{map_xsfq, MapOptions, OutputPolarity, SynthesisFlow};
+use xsfq_pulse::Harness;
+
+/// `optimize` group: the ABC-style resynthesis script on ISCAS85/EPFL blocks.
+pub fn bench_optimize(c: &mut Criterion) {
+    let aig = xsfq_benchmarks::by_name("c880").unwrap();
+    let mut g = c.benchmark_group("optimize");
+    g.sample_size(10);
+    g.bench_function("c880_fast", |b| {
+        b.iter(|| opt::optimize(std::hint::black_box(&aig), Effort::Fast))
+    });
+    let int2float = xsfq_benchmarks::by_name("int2float").unwrap();
+    g.bench_function("int2float_standard", |b| {
+        b.iter(|| opt::optimize(std::hint::black_box(&int2float), Effort::Standard))
+    });
+    g.finish();
+}
+
+/// `map` group: dual-rail xSFQ mapping and the clocked-RSFQ baseline mapper.
+pub fn bench_mapping(c: &mut Criterion) {
+    let aig = xsfq_benchmarks::by_name("c880").unwrap();
+    let optimized = opt::optimize(&aig, Effort::Fast);
+    let mut g = c.benchmark_group("map");
+    g.sample_size(10);
+    g.bench_function("xsfq_c880", |b| {
+        b.iter(|| map_xsfq(std::hint::black_box(&optimized), &MapOptions::default()))
+    });
+    g.bench_function("rsfq_baseline_c880", |b| {
+        b.iter(|| xsfq_baselines::map_rsfq(std::hint::black_box(&optimized)))
+    });
+    g.finish();
+}
+
+/// `pulse` group: full adder under the alternating protocol, 8 logical cycles.
+pub fn bench_pulse_sim(c: &mut Criterion) {
+    let mut aig = xsfq_aig::Aig::new("fa");
+    let a = aig.input("a");
+    let b = aig.input("b");
+    let cin = aig.input("cin");
+    let (s, co) = xsfq_aig::build::full_adder(&mut aig, a, b, cin);
+    aig.output("s", s);
+    aig.output("cout", co);
+    let r = SynthesisFlow::new().run(&aig).unwrap();
+    let negs: Vec<bool> = r
+        .mapped
+        .assignment
+        .outputs
+        .iter()
+        .map(|p| *p == OutputPolarity::Negative)
+        .collect();
+    let vectors: Vec<Vec<bool>> = (0..8)
+        .map(|p| (0..3).map(|i| p >> i & 1 == 1).collect())
+        .collect();
+    let mut g = c.benchmark_group("pulse");
+    g.bench_function("full_adder_8_cycles", |b| {
+        b.iter(|| Harness::new(&r.netlist, negs.clone()).run(std::hint::black_box(&vectors)))
+    });
+    g.finish();
+}
+
+/// `verify` group: SAT equivalence proof of an optimization.
+pub fn bench_cec(c: &mut Criterion) {
+    let aig = xsfq_benchmarks::by_name("int2float").unwrap();
+    let optimized = opt::optimize(&aig, Effort::Fast);
+    let mut g = c.benchmark_group("verify");
+    g.sample_size(10);
+    g.bench_function("cec_int2float", |b| {
+        b.iter(|| {
+            assert!(xsfq_core::verify::prove_equivalent(
+                std::hint::black_box(&aig),
+                std::hint::black_box(&optimized)
+            ))
+        })
+    });
+    g.finish();
+}
+
+/// `spice` group: RCSJ transient of a 4-stage JTL.
+pub fn bench_spice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spice");
+    g.sample_size(10);
+    g.bench_function("jtl4_transient_100ps", |b| {
+        b.iter(|| {
+            let mut fx = xsfq_spice::cells::jtl_chain(4);
+            fx.circuit.pulse(fx.inputs[0], 10.0, 500e-6, 2.0);
+            xsfq_spice::transient(
+                &fx.circuit,
+                &xsfq_spice::TransientOptions {
+                    t_end_ps: 100.0,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    g.finish();
+}

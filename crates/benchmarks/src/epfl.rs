@@ -69,7 +69,7 @@ pub fn cavlc() -> Aig {
     let suffix_len: Vec<Lit> = vec![long_suffix, !long_suffix, Lit::FALSE];
     let mut lz3 = lz.clone();
     lz3.push(Lit::FALSE);
-    let (len, _) = build::ripple_add(&mut g, &lz3[..3].to_vec(), &suffix_len, Lit::FALSE);
+    let (len, _) = build::ripple_add(&mut g, &lz3[..3], &suffix_len, Lit::FALSE);
     g.output_word("len", &len);
     g.output("escape", all_zero);
     g
@@ -177,7 +177,7 @@ pub fn int2float() -> Aig {
     let mantissa = &shifted[6..9]; // bits below the implicit leading 1
     g.output("sign", sign);
     g.output_word("exp", &exp);
-    g.output_word("man", &mantissa.to_vec());
+    g.output_word("man", mantissa);
     g
 }
 
@@ -237,8 +237,8 @@ pub fn router() -> Aig {
     // Dimension-order routing decision.
     let x_eq = build::equals(&mut g, &dest[0..4], &local[0..4]);
     let y_eq = build::equals(&mut g, &dest[4..8], &local[4..8]);
-    let x_lt = build::less_than(&mut g, &dest[0..4].to_vec(), &local[0..4].to_vec());
-    let y_lt = build::less_than(&mut g, &dest[4..8].to_vec(), &local[4..8].to_vec());
+    let x_lt = build::less_than(&mut g, &dest[0..4], &local[0..4]);
+    let y_lt = build::less_than(&mut g, &dest[4..8], &local[4..8]);
     let eject = g.and(x_eq, y_eq);
     let go_west = g.and(!x_eq, x_lt);
     let go_east = g.and(!x_eq, !x_lt);
@@ -246,11 +246,7 @@ pub fn router() -> Aig {
     let go_south = g.and(gy, y_lt);
     let go_north = g.and(gy, !y_lt);
     let ports = [eject, go_west, go_east, go_south, go_north];
-    for (i, (&p, (&c, &v))) in ports
-        .iter()
-        .zip(credits.iter().zip(&vc_req))
-        .enumerate()
-    {
+    for (i, (&p, (&c, &v))) in ports.iter().zip(credits.iter().zip(&vc_req)).enumerate() {
         let granted = g.and_many(&[p, c, v]);
         g.output(format!("grant[{i}]"), granted);
     }
@@ -350,8 +346,8 @@ mod tests {
         inputs[77] = true;
         let out = sim::eval_outputs(&g, &inputs);
         let mut idx = 0usize;
-        for i in 0..7 {
-            if out[i] {
+        for (i, &bit) in out.iter().enumerate().take(7) {
+            if bit {
                 idx |= 1 << i;
             }
         }
@@ -377,7 +373,10 @@ mod tests {
         for slot in inputs.iter_mut().take(500) {
             *slot = true;
         }
-        assert!(!sim::eval_outputs(&g, &inputs)[0], "500 of 1001 is minority");
+        assert!(
+            !sim::eval_outputs(&g, &inputs)[0],
+            "500 of 1001 is minority"
+        );
         inputs[800] = true;
         assert!(sim::eval_outputs(&g, &inputs)[0], "501 of 1001 is majority");
     }

@@ -70,7 +70,7 @@ fn sec_corrector(name: &str, data_bits: usize, check_bits: usize) -> Aig {
     let codes = sec_codes(data_bits, check_bits);
     // Recompute each parity and compare with the received check bit.
     let mut syndrome = Vec::with_capacity(check_bits);
-    for j in 0..check_bits {
+    for (j, &check) in checks.iter().enumerate().take(check_bits) {
         let members: Vec<Lit> = data
             .iter()
             .zip(&codes)
@@ -78,7 +78,7 @@ fn sec_corrector(name: &str, data_bits: usize, check_bits: usize) -> Aig {
             .map(|(&d, _)| d)
             .collect();
         let parity = g.xor_many(&members);
-        syndrome.push(g.xor(parity, checks[j]));
+        syndrome.push(g.xor(parity, check));
     }
     // Flip the data bit whose code matches the syndrome.
     for (i, &d) in data.clone().iter().enumerate() {
@@ -313,8 +313,8 @@ mod tests {
             inputs.extend_from_slice(&checks);
             let out = sim::eval_outputs(&g, &inputs);
             let mut corrected = 0u32;
-            for i in 0..32 {
-                if out[i] {
+            for (i, &bit) in out.iter().enumerate().take(32) {
+                if bit {
                     corrected |= 1 << i;
                 }
             }
@@ -340,8 +340,8 @@ mod tests {
         inputs.extend([true; 8]); // mask all ones
         let out = sim::eval_outputs(&g, &inputs);
         let mut f = 0u64;
-        for i in 0..8 {
-            f |= (out[i] as u64) << i;
+        for (i, &bit) in out.iter().enumerate().take(8) {
+            f |= (bit as u64) << i;
         }
         assert_eq!(f, (a + b) & 0xff);
         assert!(!out[10], "zero flag clear for non-zero result");

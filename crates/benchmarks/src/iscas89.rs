@@ -59,7 +59,9 @@ fn controller(
         .collect();
     let mut rng = seed | 1;
     let mut next_rand = |m: usize| -> usize {
-        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (rng >> 33) as usize % m.max(1)
     };
     // Counter: increments when a state-dependent enable holds, clears on a
@@ -127,13 +129,10 @@ fn fractional_counter(name: &str, blocks: usize) -> Aig {
     let mut carry = count_en;
     let mut all_bits = Vec::new();
     for b in 0..blocks {
-        let bits: Vec<Lit> = (0..4).map(|i| g.latch(format!("q{b}_{i}"), false)).collect();
-        let (inc, block_carry) = build::ripple_add(
-            &mut g,
-            &bits,
-            &build::constant(0, 4),
-            carry,
-        );
+        let bits: Vec<Lit> = (0..4)
+            .map(|i| g.latch(format!("q{b}_{i}"), false))
+            .collect();
+        let (inc, block_carry) = build::ripple_add(&mut g, &bits, &build::constant(0, 4), carry);
         for (i, &q) in bits.iter().enumerate() {
             let stepped = g.mux(carry, inc[i], q);
             let next = g.and(stepped, !clear);
@@ -209,7 +208,9 @@ fn pld_fsm(name: &str, seed: u64) -> Aig {
     let st_dec = build::decoder(&mut g, &state, None);
     let mut rng = seed | 1;
     let mut next_rand = |m: usize| -> usize {
-        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (rng >> 33) as usize % m.max(1)
     };
     // Each next-state bit is an OR of product terms (state-decode × input
@@ -422,11 +423,7 @@ mod tests {
         for aig in [s298(), s344(), s386(), s510(), s526(), s641(), s820()] {
             assert!(aig.num_ands() > 30, "{} too small", aig.name());
             // Every latch has a non-constant next-state function.
-            let nonconst = aig
-                .latches()
-                .iter()
-                .filter(|l| !l.next.is_const())
-                .count();
+            let nonconst = aig.latches().iter().filter(|l| !l.next.is_const()).count();
             assert!(
                 nonconst >= aig.num_latches() / 2,
                 "{}: too many constant latches",

@@ -54,41 +54,181 @@ pub struct Benchmark {
 pub fn all() -> Vec<Benchmark> {
     use Suite::*;
     vec![
-        Benchmark { name: "c432", suite: Iscas85, build: iscas85::c432 },
-        Benchmark { name: "c499", suite: Iscas85, build: iscas85::c499 },
-        Benchmark { name: "c880", suite: Iscas85, build: iscas85::c880 },
-        Benchmark { name: "c1908", suite: Iscas85, build: iscas85::c1908 },
-        Benchmark { name: "c3540", suite: Iscas85, build: iscas85::c3540 },
-        Benchmark { name: "c5315", suite: Iscas85, build: iscas85::c5315 },
-        Benchmark { name: "c6288", suite: Iscas85, build: iscas85::c6288 },
-        Benchmark { name: "c7552", suite: Iscas85, build: iscas85::c7552 },
-        Benchmark { name: "arbiter", suite: Epfl, build: epfl::arbiter },
-        Benchmark { name: "cavlc", suite: Epfl, build: epfl::cavlc },
-        Benchmark { name: "ctrl", suite: Epfl, build: epfl::ctrl },
-        Benchmark { name: "dec", suite: Epfl, build: epfl::dec },
-        Benchmark { name: "i2c", suite: Epfl, build: epfl::i2c },
-        Benchmark { name: "int2float", suite: Epfl, build: epfl::int2float },
-        Benchmark { name: "mem_ctrl", suite: Epfl, build: epfl::mem_ctrl },
-        Benchmark { name: "priority", suite: Epfl, build: epfl::priority },
-        Benchmark { name: "router", suite: Epfl, build: epfl::router },
-        Benchmark { name: "voter", suite: Epfl, build: epfl::voter },
-        Benchmark { name: "sin", suite: Epfl, build: epfl::sin },
-        Benchmark { name: "s27", suite: Iscas89, build: iscas89::s27 },
-        Benchmark { name: "s298", suite: Iscas89, build: iscas89::s298 },
-        Benchmark { name: "s344", suite: Iscas89, build: iscas89::s344 },
-        Benchmark { name: "s349", suite: Iscas89, build: iscas89::s349 },
-        Benchmark { name: "s382", suite: Iscas89, build: iscas89::s382 },
-        Benchmark { name: "s386", suite: Iscas89, build: iscas89::s386 },
-        Benchmark { name: "s400", suite: Iscas89, build: iscas89::s400 },
-        Benchmark { name: "s420.1", suite: Iscas89, build: iscas89::s420_1 },
-        Benchmark { name: "s444", suite: Iscas89, build: iscas89::s444 },
-        Benchmark { name: "s510", suite: Iscas89, build: iscas89::s510 },
-        Benchmark { name: "s526", suite: Iscas89, build: iscas89::s526 },
-        Benchmark { name: "s641", suite: Iscas89, build: iscas89::s641 },
-        Benchmark { name: "s713", suite: Iscas89, build: iscas89::s713 },
-        Benchmark { name: "s820", suite: Iscas89, build: iscas89::s820 },
-        Benchmark { name: "s832", suite: Iscas89, build: iscas89::s832 },
-        Benchmark { name: "s838.1", suite: Iscas89, build: iscas89::s838_1 },
+        Benchmark {
+            name: "c432",
+            suite: Iscas85,
+            build: iscas85::c432,
+        },
+        Benchmark {
+            name: "c499",
+            suite: Iscas85,
+            build: iscas85::c499,
+        },
+        Benchmark {
+            name: "c880",
+            suite: Iscas85,
+            build: iscas85::c880,
+        },
+        Benchmark {
+            name: "c1908",
+            suite: Iscas85,
+            build: iscas85::c1908,
+        },
+        Benchmark {
+            name: "c3540",
+            suite: Iscas85,
+            build: iscas85::c3540,
+        },
+        Benchmark {
+            name: "c5315",
+            suite: Iscas85,
+            build: iscas85::c5315,
+        },
+        Benchmark {
+            name: "c6288",
+            suite: Iscas85,
+            build: iscas85::c6288,
+        },
+        Benchmark {
+            name: "c7552",
+            suite: Iscas85,
+            build: iscas85::c7552,
+        },
+        Benchmark {
+            name: "arbiter",
+            suite: Epfl,
+            build: epfl::arbiter,
+        },
+        Benchmark {
+            name: "cavlc",
+            suite: Epfl,
+            build: epfl::cavlc,
+        },
+        Benchmark {
+            name: "ctrl",
+            suite: Epfl,
+            build: epfl::ctrl,
+        },
+        Benchmark {
+            name: "dec",
+            suite: Epfl,
+            build: epfl::dec,
+        },
+        Benchmark {
+            name: "i2c",
+            suite: Epfl,
+            build: epfl::i2c,
+        },
+        Benchmark {
+            name: "int2float",
+            suite: Epfl,
+            build: epfl::int2float,
+        },
+        Benchmark {
+            name: "mem_ctrl",
+            suite: Epfl,
+            build: epfl::mem_ctrl,
+        },
+        Benchmark {
+            name: "priority",
+            suite: Epfl,
+            build: epfl::priority,
+        },
+        Benchmark {
+            name: "router",
+            suite: Epfl,
+            build: epfl::router,
+        },
+        Benchmark {
+            name: "voter",
+            suite: Epfl,
+            build: epfl::voter,
+        },
+        Benchmark {
+            name: "sin",
+            suite: Epfl,
+            build: epfl::sin,
+        },
+        Benchmark {
+            name: "s27",
+            suite: Iscas89,
+            build: iscas89::s27,
+        },
+        Benchmark {
+            name: "s298",
+            suite: Iscas89,
+            build: iscas89::s298,
+        },
+        Benchmark {
+            name: "s344",
+            suite: Iscas89,
+            build: iscas89::s344,
+        },
+        Benchmark {
+            name: "s349",
+            suite: Iscas89,
+            build: iscas89::s349,
+        },
+        Benchmark {
+            name: "s382",
+            suite: Iscas89,
+            build: iscas89::s382,
+        },
+        Benchmark {
+            name: "s386",
+            suite: Iscas89,
+            build: iscas89::s386,
+        },
+        Benchmark {
+            name: "s400",
+            suite: Iscas89,
+            build: iscas89::s400,
+        },
+        Benchmark {
+            name: "s420.1",
+            suite: Iscas89,
+            build: iscas89::s420_1,
+        },
+        Benchmark {
+            name: "s444",
+            suite: Iscas89,
+            build: iscas89::s444,
+        },
+        Benchmark {
+            name: "s510",
+            suite: Iscas89,
+            build: iscas89::s510,
+        },
+        Benchmark {
+            name: "s526",
+            suite: Iscas89,
+            build: iscas89::s526,
+        },
+        Benchmark {
+            name: "s641",
+            suite: Iscas89,
+            build: iscas89::s641,
+        },
+        Benchmark {
+            name: "s713",
+            suite: Iscas89,
+            build: iscas89::s713,
+        },
+        Benchmark {
+            name: "s820",
+            suite: Iscas89,
+            build: iscas89::s820,
+        },
+        Benchmark {
+            name: "s832",
+            suite: Iscas89,
+            build: iscas89::s832,
+        },
+        Benchmark {
+            name: "s838.1",
+            suite: Iscas89,
+            build: iscas89::s838_1,
+        },
     ]
 }
 
@@ -103,8 +243,17 @@ pub fn by_name(name: &str) -> Option<Aig> {
 /// The combinational circuits of the paper's Table 4, in row order.
 pub fn table4_circuits() -> Vec<Benchmark> {
     let rows = [
-        "c880", "c1908", "c499", "c3540", "c5315", "c7552", "int2float", "dec", "priority",
-        "sin", "cavlc",
+        "c880",
+        "c1908",
+        "c499",
+        "c3540",
+        "c5315",
+        "c7552",
+        "int2float",
+        "dec",
+        "priority",
+        "sin",
+        "cavlc",
     ];
     rows.iter()
         .map(|n| {
@@ -119,8 +268,16 @@ pub fn table4_circuits() -> Vec<Benchmark> {
 /// The EPFL control circuits of the paper's Table 3, in column order.
 pub fn table3_circuits() -> Vec<Benchmark> {
     let cols = [
-        "arbiter", "cavlc", "ctrl", "dec", "i2c", "int2float", "mem_ctrl", "priority",
-        "router", "voter",
+        "arbiter",
+        "cavlc",
+        "ctrl",
+        "dec",
+        "i2c",
+        "int2float",
+        "mem_ctrl",
+        "priority",
+        "router",
+        "voter",
     ];
     cols.iter()
         .map(|n| {

@@ -64,6 +64,21 @@ impl CellKind {
         matches!(self, CellKind::La | CellKind::Fa)
     }
 
+    /// True for every clocked-RSFQ-family cell (logic, storage and
+    /// interconnect) — the cells that take RSFQ-flavored splitters.
+    pub fn is_rsfq(self) -> bool {
+        matches!(
+            self,
+            CellKind::RsfqAnd
+                | CellKind::RsfqOr
+                | CellKind::RsfqXor
+                | CellKind::RsfqNot
+                | CellKind::RsfqDff
+                | CellKind::RsfqSplitter
+                | CellKind::RsfqMerger
+        )
+    }
+
     /// True for any storage cell (DROC or RSFQ DFF).
     pub fn is_storage(self) -> bool {
         matches!(self, CellKind::Droc { .. } | CellKind::RsfqDff)

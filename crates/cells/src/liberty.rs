@@ -36,7 +36,11 @@ fn write_cell<W: Write>(lib: &CellLibrary, kind: CellKind, w: &mut W) -> std::io
     writeln!(w, "    area : {};", p.jj)?;
     match kind {
         CellKind::La | CellKind::Fa => {
-            let function = if kind == CellKind::La { "(a & b)" } else { "(a | b)" };
+            let function = if kind == CellKind::La {
+                "(a & b)"
+            } else {
+                "(a | b)"
+            };
             writeln!(w, "    pin (a) {{ direction : input; }}")?;
             writeln!(w, "    pin (b) {{ direction : input; }}")?;
             writeln!(w, "    pin (q) {{")?;
@@ -67,17 +71,16 @@ fn write_cell<W: Write>(lib: &CellLibrary, kind: CellKind, w: &mut W) -> std::io
             writeln!(w, "    pin (q) {{ direction : output; }}")?;
         }
         CellKind::Droc { .. } => {
-            writeln!(w, "    ff (IQ, IQN) {{ clocked_on : \"clk\"; next_state : \"d\"; }}")?;
+            writeln!(
+                w,
+                "    ff (IQ, IQN) {{ clocked_on : \"clk\"; next_state : \"d\"; }}"
+            )?;
             writeln!(w, "    pin (d) {{ direction : input; }}")?;
             writeln!(w, "    pin (clk) {{ direction : input; clock : true; }}")?;
             for (pin, qn) in [("qp", false), ("qn", true)] {
                 writeln!(w, "    pin ({pin}) {{")?;
                 writeln!(w, "      direction : output;")?;
-                writeln!(
-                    w,
-                    "      function : \"{}\";",
-                    if qn { "IQN" } else { "IQ" }
-                )?;
+                writeln!(w, "      function : \"{}\";", if qn { "IQN" } else { "IQ" })?;
                 write_arc(w, "clk", lib.droc_delay(qn))?;
                 writeln!(w, "    }}")?;
             }
@@ -91,8 +94,14 @@ fn write_cell<W: Write>(lib: &CellLibrary, kind: CellKind, w: &mut W) -> std::io
 fn write_arc<W: Write>(w: &mut W, related: &str, delay_ps: f64) -> std::io::Result<()> {
     writeln!(w, "      timing () {{")?;
     writeln!(w, "        related_pin : \"{related}\";")?;
-    writeln!(w, "        cell_rise (single_value) {{ values (\"{delay_ps:.1}\"); }}")?;
-    writeln!(w, "        cell_fall (single_value) {{ values (\"{delay_ps:.1}\"); }}")?;
+    writeln!(
+        w,
+        "        cell_rise (single_value) {{ values (\"{delay_ps:.1}\"); }}"
+    )?;
+    writeln!(
+        w,
+        "        cell_fall (single_value) {{ values (\"{delay_ps:.1}\"); }}"
+    )?;
     writeln!(w, "      }}")
 }
 
@@ -106,7 +115,9 @@ mod tests {
         let mut buf = Vec::new();
         write_liberty(&lib, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        for cell in ["JTL", "LA", "FA", "DROC", "DROC_P", "SPLIT", "MERGE", "DC2SFQ"] {
+        for cell in [
+            "JTL", "LA", "FA", "DROC", "DROC_P", "SPLIT", "MERGE", "DC2SFQ",
+        ] {
             assert!(text.contains(&format!("cell ({cell})")), "missing {cell}");
         }
         // Table 2 spot checks.

@@ -117,9 +117,15 @@ impl CellLibrary {
             CellKind::Fa => pick(ptl, (4, 9.5), (12, 24.7)),
             CellKind::Splitter => {
                 if ptl && !self.splitters_abutted_in_ptl {
-                    CellParams { jj: 10, delay_ps: 19.7 }
+                    CellParams {
+                        jj: 10,
+                        delay_ps: 19.7,
+                    }
                 } else {
-                    CellParams { jj: 3, delay_ps: 5.1 }
+                    CellParams {
+                        jj: 3,
+                        delay_ps: 5.1,
+                    }
                 }
             }
             // §3.2: "only a merger cell (5 JJs)"; delay assumed ≈ splitter's.
@@ -134,13 +140,34 @@ impl CellLibrary {
                 }
             }
             // RSFQ baseline cells (see `rsfq()` docs for sourcing).
-            CellKind::RsfqAnd => CellParams { jj: 12, delay_ps: 9.0 },
-            CellKind::RsfqOr => CellParams { jj: 10, delay_ps: 8.0 },
-            CellKind::RsfqXor => CellParams { jj: 11, delay_ps: 9.0 },
-            CellKind::RsfqNot => CellParams { jj: 10, delay_ps: 9.0 },
-            CellKind::RsfqDff => CellParams { jj: 6, delay_ps: 7.0 },
-            CellKind::RsfqSplitter => CellParams { jj: 3, delay_ps: 5.1 },
-            CellKind::RsfqMerger => CellParams { jj: 5, delay_ps: 6.3 },
+            CellKind::RsfqAnd => CellParams {
+                jj: 12,
+                delay_ps: 9.0,
+            },
+            CellKind::RsfqOr => CellParams {
+                jj: 10,
+                delay_ps: 8.0,
+            },
+            CellKind::RsfqXor => CellParams {
+                jj: 11,
+                delay_ps: 9.0,
+            },
+            CellKind::RsfqNot => CellParams {
+                jj: 10,
+                delay_ps: 9.0,
+            },
+            CellKind::RsfqDff => CellParams {
+                jj: 6,
+                delay_ps: 7.0,
+            },
+            CellKind::RsfqSplitter => CellParams {
+                jj: 3,
+                delay_ps: 5.1,
+            },
+            CellKind::RsfqMerger => CellParams {
+                jj: 5,
+                delay_ps: 6.3,
+            },
         }
     }
 
@@ -230,13 +257,10 @@ mod tests {
     fn preload_hardware_is_nine_jjs() {
         // DC-to-SFQ (4) + merger (5) = 9, paper Table 2 caption.
         let lib = CellLibrary::xsfq_abutted();
-        let delta = lib.jj(CellKind::Droc { preload: true })
-            - lib.jj(CellKind::Droc { preload: false });
+        let delta =
+            lib.jj(CellKind::Droc { preload: true }) - lib.jj(CellKind::Droc { preload: false });
         assert_eq!(delta, 9);
-        assert_eq!(
-            delta,
-            lib.jj(CellKind::DcToSfq) + lib.jj(CellKind::Merger)
-        );
+        assert_eq!(delta, lib.jj(CellKind::DcToSfq) + lib.jj(CellKind::Merger));
     }
 
     #[test]
@@ -255,6 +279,9 @@ mod tests {
         let lib = CellLibrary::rsfq();
         assert_eq!(lib.jj(CellKind::RsfqDff), 6);
         assert_eq!(lib.jj(CellKind::RsfqSplitter), 3);
-        assert!(lib.jj(CellKind::RsfqAnd) >= 10, "conventional cells ≈ 10 JJ");
+        assert!(
+            lib.jj(CellKind::RsfqAnd) >= 10,
+            "conventional cells ≈ 10 JJ"
+        );
     }
 }

@@ -8,8 +8,6 @@
 //! pairs with the preload/trigger initialization strategy (§3.2) are
 //! inserted here as well.
 
-use std::collections::HashMap;
-
 use xsfq_aig::{Aig, Lit, NodeId, NodeKind};
 use xsfq_cells::{CellKind, CellLibrary, InterconnectStyle};
 use xsfq_netlist::{NetId, Netlist};
@@ -75,6 +73,28 @@ impl MappedDesign {
 struct RailSet {
     pos: Option<NetId>,
     neg: Option<NetId>,
+}
+
+/// Tiny rank → [`RailSet`] map. A node touches at most a handful of
+/// pipeline ranks (usually exactly one), so an inline linear vector beats a
+/// per-node `HashMap` in both allocation count and lookup time.
+#[derive(Clone, Default)]
+struct RankRails(Vec<(usize, RailSet)>);
+
+impl RankRails {
+    #[inline]
+    fn get(&self, rank: usize) -> Option<&RailSet> {
+        self.0.iter().find(|(r, _)| *r == rank).map(|(_, s)| s)
+    }
+
+    #[inline]
+    fn insert(&mut self, rank: usize, set: RailSet) {
+        if let Some(slot) = self.0.iter_mut().find(|(r, _)| *r == rank) {
+            slot.1 = set;
+        } else {
+            self.0.push((rank, set));
+        }
+    }
 }
 
 /// Map an optimized AIG to an xSFQ netlist.
@@ -176,7 +196,7 @@ pub fn map_with_assignment(
     // ---- Emission ----
     let mut netlist = Netlist::new(aig.name().to_string(), CellLibrary::xsfq(options.style));
     // rails[node] maps rank → RailSet.
-    let mut rails: Vec<HashMap<usize, RailSet>> = vec![HashMap::new(); n];
+    let mut rails: Vec<RankRails> = vec![RankRails::default(); n];
 
     // Constant rails, created on demand (constant outputs are represented
     // as alternating sources at the interface, modeled as input ports).
@@ -225,7 +245,7 @@ pub fn map_with_assignment(
     // carrying `want_pos` at `rank`.
     fn get_rail(
         netlist: &mut Netlist,
-        rails: &mut Vec<HashMap<usize, RailSet>>,
+        rails: &mut Vec<RankRails>,
         const_rails: &mut Option<RailSet>,
         base_rank: &[usize],
         node: usize,
@@ -245,7 +265,7 @@ pub fn map_with_assignment(
                 set.neg.expect("const rail")
             };
         }
-        if let Some(set) = rails[node].get(&rank) {
+        if let Some(set) = rails[node].get(rank) {
             if let Some(net) = if want_pos { set.pos } else { set.neg } {
                 return net;
             }
@@ -258,7 +278,7 @@ pub fn map_with_assignment(
         // Register the previous rank's rail through a DROC. Prefer the
         // positive rail as the data sense when available.
         let prev = rank - 1;
-        let prev_set = rails[node].get(&prev).copied().unwrap_or_default();
+        let prev_set = rails[node].get(prev).copied().unwrap_or_default();
         let (src, src_pos) = if let Some(p) = prev_set.pos {
             (p, true)
         } else if let Some(ng) = prev_set.neg {
@@ -310,14 +330,46 @@ pub fn map_with_assignment(
         let mut set = RailSet::default();
         if needs_pos[i] {
             // LA on the positive senses of the fanin edges.
-            let ia = fanin_rail(&mut netlist, &mut rails, &mut const_rails, &base_rank, a, true, nr);
-            let ib = fanin_rail(&mut netlist, &mut rails, &mut const_rails, &base_rank, b, true, nr);
+            let ia = fanin_rail(
+                &mut netlist,
+                &mut rails,
+                &mut const_rails,
+                &base_rank,
+                a,
+                true,
+                nr,
+            );
+            let ib = fanin_rail(
+                &mut netlist,
+                &mut rails,
+                &mut const_rails,
+                &base_rank,
+                b,
+                true,
+                nr,
+            );
             set.pos = Some(netlist.add_cell(CellKind::La, &[ia, ib])[0]);
         }
         if needs_neg[i] {
             // FA on the negative senses (De Morgan).
-            let ia = fanin_rail(&mut netlist, &mut rails, &mut const_rails, &base_rank, a, false, nr);
-            let ib = fanin_rail(&mut netlist, &mut rails, &mut const_rails, &base_rank, b, false, nr);
+            let ia = fanin_rail(
+                &mut netlist,
+                &mut rails,
+                &mut const_rails,
+                &base_rank,
+                a,
+                false,
+                nr,
+            );
+            let ib = fanin_rail(
+                &mut netlist,
+                &mut rails,
+                &mut const_rails,
+                &base_rank,
+                b,
+                false,
+                nr,
+            );
             set.neg = Some(netlist.add_cell(CellKind::Fa, &[ia, ib])[0]);
         }
         if set.pos.is_some() || set.neg.is_some() {
@@ -328,7 +380,7 @@ pub fn map_with_assignment(
     #[allow(clippy::too_many_arguments)]
     fn fanin_rail(
         netlist: &mut Netlist,
-        rails: &mut Vec<HashMap<usize, RailSet>>,
+        rails: &mut Vec<RankRails>,
         const_rails: &mut Option<RailSet>,
         base_rank: &[usize],
         edge: Lit,
@@ -595,7 +647,11 @@ mod tests {
         assert!(st.drocs_preload >= 1, "odd rank is preloaded");
         assert!(st.drocs_plain >= 1, "even rank is plain");
         // The deepest combinational segment shrank.
-        assert!(st.depth_logic <= 3, "depth {} not pipelined", st.depth_logic);
+        assert!(
+            st.depth_logic <= 3,
+            "depth {} not pipelined",
+            st.depth_logic
+        );
         assert!(!m.physical.trigger_clocked().is_empty());
     }
 

@@ -84,9 +84,7 @@ impl RailRequirements {
     /// cost cells; inputs, latches and constants provide rails for free.
     pub fn cell_count(&self, aig: &Aig) -> usize {
         aig.and_ids()
-            .map(|id| {
-                self.needs_pos[id.index()] as usize + self.needs_neg[id.index()] as usize
-            })
+            .map(|id| self.needs_pos[id.index()] as usize + self.needs_neg[id.index()] as usize)
             .sum()
     }
 
@@ -140,8 +138,8 @@ pub fn rail_requirements(
                 stack.push(b.node().index());
             }
         }
-        for i in 0..n {
-            if live[i] {
+        for (i, &is_live) in live.iter().enumerate().take(n) {
+            if is_live {
                 req.needs_pos[i] = true;
                 req.needs_neg[i] = true;
             }
@@ -244,7 +242,10 @@ fn heuristic_assignment(aig: &Aig) -> (PolarityAssignment, RailRequirements) {
 /// Panics if the design has more than 20 outputs.
 fn exhaustive_assignment(aig: &Aig) -> (PolarityAssignment, RailRequirements) {
     let bits = aig.num_outputs();
-    assert!(bits <= 20, "exhaustive polarity search limited to 20 outputs");
+    assert!(
+        bits <= 20,
+        "exhaustive polarity search limited to 20 outputs"
+    );
     let mut best: Option<(usize, PolarityAssignment, RailRequirements)> = None;
     for code in 0..(1u32 << bits) {
         let assignment = PolarityAssignment {

@@ -7,9 +7,9 @@
 //! end-to-end functional proof of the flow (what the paper establishes with
 //! simulation, §4.1).
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use xsfq_aig::hash::FxHashMap;
 
 use xsfq_aig::{Aig, Lit, NodeKind};
 use xsfq_cells::CellKind;
@@ -46,7 +46,7 @@ impl Error for VerifyMappingError {}
 /// Returns an error for netlists with feedback or unsupported cells.
 pub fn netlist_to_comb_aig(netlist: &Netlist) -> Result<Aig, VerifyMappingError> {
     let mut aig = Aig::new(format!("{}_recon", netlist.name()));
-    let mut net_lit: HashMap<usize, Lit> = HashMap::new();
+    let mut net_lit: FxHashMap<usize, Lit> = FxHashMap::default();
 
     // Inputs: consecutive _p/_n pairs share an AIG input.
     let mut i = 0;
@@ -87,11 +87,7 @@ pub fn netlist_to_comb_aig(netlist: &Netlist) -> Result<Aig, VerifyMappingError>
         let before = remaining.len();
         remaining.retain(|&ci| {
             let cell = &netlist.cells()[ci];
-            if !cell
-                .inputs
-                .iter()
-                .all(|n| net_lit.contains_key(&n.index()))
-            {
+            if !cell.inputs.iter().all(|n| net_lit.contains_key(&n.index())) {
                 return true; // not ready yet
             }
             let get = |net: xsfq_netlist::NetId| net_lit[&net.index()];
@@ -152,9 +148,12 @@ pub fn netlist_to_comb_aig(netlist: &Netlist) -> Result<Aig, VerifyMappingError>
     }
 
     for port in netlist.outputs() {
-        let lit = net_lit.get(&port.net.index()).copied().ok_or(VerifyMappingError {
-            message: format!("output '{}' is undriven", port.name),
-        })?;
+        let lit = net_lit
+            .get(&port.net.index())
+            .copied()
+            .ok_or(VerifyMappingError {
+                message: format!("output '{}' is undriven", port.name),
+            })?;
         aig.output(port.name.clone(), lit);
     }
     Ok(aig)

@@ -33,5 +33,5 @@ mod stats;
 
 pub mod writers;
 
-pub use netlist::{input_pins, output_pins, Cell, CellId, Driver, NetId, Netlist, Port};
+pub use netlist::{input_pins, output_pins, Cell, CellId, Driver, NetId, Netlist, PinVec, Port};
 pub use stats::NetlistStats;

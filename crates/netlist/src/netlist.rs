@@ -6,7 +6,6 @@
 //! materializes balanced splitter trees to get there, which is where the
 //! paper's Equation 1 (`N_splt = N_gate + N_out − N_inp`) comes from.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use xsfq_cells::{CellKind, CellLibrary};
@@ -58,15 +57,105 @@ pub enum Driver {
     },
 }
 
+/// Inline pin list: every cell kind has at most [`PinVec::CAPACITY`] input
+/// or output pins, so pin nets live inside the `Cell` — building a netlist
+/// performs **zero heap allocations per cell**. Dereferences to `[NetId]`,
+/// so it reads like the `Vec<NetId>` it replaced.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PinVec {
+    pins: [NetId; PinVec::CAPACITY],
+    len: u8,
+}
+
+impl PinVec {
+    /// Maximum pins per cell side (splitters/DROCs have 2 outputs, logic
+    /// cells 2 inputs).
+    pub const CAPACITY: usize = 2;
+
+    /// Empty pin list.
+    #[inline]
+    pub fn new() -> Self {
+        PinVec {
+            pins: [NetId(u32::MAX); Self::CAPACITY],
+            len: 0,
+        }
+    }
+
+    /// Pin list from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pins` exceeds [`PinVec::CAPACITY`].
+    pub fn from_slice(pins: &[NetId]) -> Self {
+        assert!(pins.len() <= Self::CAPACITY, "too many pins for a cell");
+        let mut v = Self::new();
+        for &p in pins {
+            v.push(p);
+        }
+        v
+    }
+
+    /// Append a pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is full.
+    #[inline]
+    pub fn push(&mut self, net: NetId) {
+        assert!((self.len as usize) < Self::CAPACITY, "cell pin list full");
+        self.pins[self.len as usize] = net;
+        self.len += 1;
+    }
+}
+
+impl Default for PinVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for PinVec {
+    type Target = [NetId];
+    #[inline]
+    fn deref(&self) -> &[NetId] {
+        &self.pins[..self.len as usize]
+    }
+}
+
+impl std::ops::DerefMut for PinVec {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [NetId] {
+        &mut self.pins[..self.len as usize]
+    }
+}
+
+impl IntoIterator for PinVec {
+    type Item = NetId;
+    type IntoIter = std::iter::Take<std::array::IntoIter<NetId, { PinVec::CAPACITY }>>;
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.pins.into_iter().take(self.len as usize)
+    }
+}
+
+impl<'a> IntoIterator for &'a PinVec {
+    type Item = &'a NetId;
+    type IntoIter = std::slice::Iter<'a, NetId>;
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// A cell instance.
 #[derive(Clone, Debug)]
 pub struct Cell {
     /// Cell kind (decides pin counts, JJ cost and delay).
     pub kind: CellKind,
     /// Input nets, in pin order.
-    pub inputs: Vec<NetId>,
+    pub inputs: PinVec,
     /// Output nets, in pin order.
-    pub outputs: Vec<NetId>,
+    pub outputs: PinVec,
 }
 
 /// Number of output pins a cell kind drives.
@@ -216,7 +305,7 @@ impl Netlist {
     /// # Panics
     ///
     /// Panics if the input count does not match the cell kind.
-    pub fn add_cell(&mut self, kind: CellKind, inputs: &[NetId]) -> Vec<NetId> {
+    pub fn add_cell(&mut self, kind: CellKind, inputs: &[NetId]) -> PinVec {
         assert_eq!(
             inputs.len(),
             input_pins(kind),
@@ -224,7 +313,7 @@ impl Netlist {
             input_pins(kind)
         );
         let cell = CellId(self.cells.len() as u32);
-        let mut outs = Vec::with_capacity(output_pins(kind));
+        let mut outs = PinVec::new();
         for pin in 0..output_pins(kind) {
             let net = NetId(self.drivers.len() as u32);
             self.drivers.push(Driver::Cell {
@@ -235,8 +324,8 @@ impl Netlist {
         }
         self.cells.push(Cell {
             kind,
-            inputs: inputs.to_vec(),
-            outputs: outs.clone(),
+            inputs: PinVec::from_slice(inputs),
+            outputs: outs,
         });
         outs
     }
@@ -252,9 +341,9 @@ impl Netlist {
     /// Instantiate a cell whose inputs are wired later with
     /// [`Netlist::connect_input`] — needed for feedback loops through
     /// storage cells. Returns the cell id and its output nets.
-    pub fn add_cell_deferred(&mut self, kind: CellKind) -> (CellId, Vec<NetId>) {
+    pub fn add_cell_deferred(&mut self, kind: CellKind) -> (CellId, PinVec) {
         let cell = CellId(self.cells.len() as u32);
-        let mut outs = Vec::with_capacity(output_pins(kind));
+        let mut outs = PinVec::new();
         for pin in 0..output_pins(kind) {
             let net = NetId(self.drivers.len() as u32);
             self.drivers.push(Driver::Cell {
@@ -263,10 +352,14 @@ impl Netlist {
             });
             outs.push(net);
         }
+        let mut unconnected = PinVec::new();
+        for _ in 0..input_pins(kind) {
+            unconnected.push(NetId(u32::MAX));
+        }
         self.cells.push(Cell {
             kind,
-            inputs: vec![NetId(u32::MAX); input_pins(kind)],
-            outputs: outs.clone(),
+            inputs: unconnected,
+            outputs: outs,
         });
         (cell, outs)
     }
@@ -345,10 +438,10 @@ impl Netlist {
         // Two-phase copy: create all cells first with dummy inputs, then fix.
         let mut cell_map: Vec<CellId> = Vec::with_capacity(self.cells.len());
         for cell in &self.cells {
-            let dummy_inputs: Vec<NetId> = cell.inputs.iter().map(|_| NetId(0)).collect();
+            let dummy_inputs = [NetId(0); PinVec::CAPACITY];
             // Temporarily use net 0 (fixed below); net 0 always exists when
             // there is at least one input; otherwise create cells lazily.
-            let new_outs = out.add_cell(cell.kind, &dummy_inputs);
+            let new_outs = out.add_cell(cell.kind, &dummy_inputs[..cell.inputs.len()]);
             let new_cell = match out.drivers[new_outs[0].index()] {
                 Driver::Cell { cell, .. } => cell,
                 Driver::Input(_) => unreachable!(),
@@ -362,34 +455,38 @@ impl Netlist {
             out.trigger_clocked.push(cell_map[tc.index()]);
         }
 
-        // Build the sink lists of every old net.
+        // Build the sink lists of every old net (dense: net ids index the
+        // driver table directly, and iteration order is deterministic —
+        // the former hash map randomized splitter-tree numbering run to
+        // run).
         #[derive(Clone, Copy)]
         enum Sink {
             CellPin { cell: usize, pin: usize },
             Output(usize),
         }
-        let mut sinks: HashMap<usize, Vec<Sink>> = HashMap::new();
+        let mut sinks: Vec<Vec<Sink>> = vec![Vec::new(); self.drivers.len()];
         for (ci, cell) in self.cells.iter().enumerate() {
             for (pi, &n) in cell.inputs.iter().enumerate() {
-                sinks.entry(n.index()).or_default().push(Sink::CellPin {
-                    cell: ci,
-                    pin: pi,
-                });
+                sinks[n.index()].push(Sink::CellPin { cell: ci, pin: pi });
             }
         }
         for (oi, port) in self.outputs.iter().enumerate() {
-            sinks
-                .entry(port.net.index())
-                .or_default()
-                .push(Sink::Output(oi));
+            sinks[port.net.index()].push(Sink::Output(oi));
         }
+
+        // Input-driven nets take the flavor of the rest of the design;
+        // computed once instead of rescanning the cell list per net.
+        let any_rsfq = self.cells.iter().any(|c| c.kind.is_rsfq());
 
         // For each old net, create a splitter tree delivering one leaf net
         // per sink, then wire the sinks.
         let mut output_nets: Vec<Option<NetId>> = vec![None; self.outputs.len()];
-        for (old_net, net_sinks) in &sinks {
-            let src = net_map[*old_net];
-            let splitter_kind = self.splitter_kind_for(NetId(*old_net as u32));
+        for (old_net, net_sinks) in sinks.iter().enumerate() {
+            if net_sinks.is_empty() {
+                continue;
+            }
+            let src = net_map[old_net];
+            let splitter_kind = self.splitter_kind_for(NetId(old_net as u32), any_rsfq);
             let leaves = out.grow_splitter_tree(src, net_sinks.len(), splitter_kind);
             for (leaf, sink) in leaves.into_iter().zip(net_sinks) {
                 match *sink {
@@ -412,53 +509,34 @@ impl Netlist {
         out
     }
 
-    fn splitter_kind_for(&self, net: NetId) -> CellKind {
+    fn splitter_kind_for(&self, net: NetId, any_rsfq: bool) -> CellKind {
         match self.drivers[net.index()] {
-            Driver::Cell { cell, .. } => match self.cells[cell.index()].kind {
-                CellKind::RsfqAnd
-                | CellKind::RsfqOr
-                | CellKind::RsfqXor
-                | CellKind::RsfqNot
-                | CellKind::RsfqDff
-                | CellKind::RsfqSplitter
-                | CellKind::RsfqMerger => CellKind::RsfqSplitter,
-                _ => CellKind::Splitter,
-            },
-            Driver::Input(_) => {
-                // Match the flavor of the rest of the design; xSFQ is the
-                // default for mixed or empty designs.
-                let any_rsfq = self.cells.iter().any(|c| {
-                    matches!(
-                        c.kind,
-                        CellKind::RsfqAnd
-                            | CellKind::RsfqOr
-                            | CellKind::RsfqXor
-                            | CellKind::RsfqNot
-                            | CellKind::RsfqDff
-                            | CellKind::RsfqSplitter
-                            | CellKind::RsfqMerger
-                    )
-                });
-                if any_rsfq {
+            Driver::Cell { cell, .. } => {
+                if self.cells[cell.index()].kind.is_rsfq() {
                     CellKind::RsfqSplitter
                 } else {
                     CellKind::Splitter
                 }
             }
+            // Input-driven nets match the flavor of the rest of the design;
+            // xSFQ is the default for mixed or empty designs.
+            Driver::Input(_) if any_rsfq => CellKind::RsfqSplitter,
+            Driver::Input(_) => CellKind::Splitter,
         }
     }
 
     /// Grow a balanced splitter tree from `src` until it has `leaves` leaf
     /// nets; returns them. Zero or one sink needs no splitters.
     fn grow_splitter_tree(&mut self, src: NetId, leaves: usize, kind: CellKind) -> Vec<NetId> {
-        let mut frontier = vec![src];
+        let mut frontier = std::collections::VecDeque::with_capacity(leaves.max(1));
+        frontier.push_back(src);
         while frontier.len() < leaves {
             // Split the shallowest frontier net (front of the queue).
-            let net = frontier.remove(0);
+            let net = frontier.pop_front().expect("frontier non-empty");
             let outs = self.add_cell(kind, &[net]);
             frontier.extend(outs);
         }
-        frontier
+        frontier.into()
     }
 }
 

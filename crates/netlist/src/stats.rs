@@ -150,7 +150,13 @@ impl Netlist {
         let mut pending: Vec<usize> = self
             .cells()
             .iter()
-            .map(|c| if c.kind.is_clocked() { 0 } else { c.inputs.len() })
+            .map(|c| {
+                if c.kind.is_clocked() {
+                    0
+                } else {
+                    c.inputs.len()
+                }
+            })
             .collect();
         // Net is "known" when its driver is an input, a clocked cell, or a
         // resolved combinational cell.
@@ -179,12 +185,13 @@ impl Netlist {
                 queue.push(ci);
             }
         }
-        let mut initial: Vec<usize> = Vec::new();
-        for ni in 0..num_nets {
-            if known[ni] {
-                initial.push(ni);
-            }
-        }
+        let initial: Vec<usize> = known
+            .iter()
+            .take(num_nets)
+            .enumerate()
+            .filter(|(_, &k)| k)
+            .map(|(ni, _)| ni)
+            .collect();
         let mut net_queue = initial;
         let mut max_sink = (0usize, 0usize, 0f64);
         while let Some(ni) = net_queue.pop() {

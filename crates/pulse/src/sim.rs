@@ -17,6 +17,10 @@ use std::collections::BinaryHeap;
 use xsfq_cells::CellKind;
 use xsfq_netlist::{CellId, Driver, NetId, Netlist};
 
+/// Min-heap entry: (time, sequence, net, is-clock, target cell), wrapped in
+/// `Reverse` for earliest-first ordering.
+type PulseEvent = Reverse<(Time, u64, NetId, bool, CellId)>;
+
 /// Simulation time in picoseconds (totally ordered wrapper).
 #[derive(Copy, Clone, PartialEq, Debug)]
 struct Time(f64);
@@ -98,7 +102,7 @@ enum CellState {
 #[derive(Debug)]
 pub struct PulseSim<'a> {
     netlist: &'a Netlist,
-    queue: BinaryHeap<Reverse<(Time, u64, NetId, bool, CellId)>>,
+    queue: BinaryHeap<PulseEvent>,
     seq: u64,
     now: f64,
     states: Vec<CellState>,
@@ -157,9 +161,12 @@ impl<'a> PulseSim<'a> {
     /// True when every LA/FA cell is back in its `Init` state — the
     /// end-of-logical-cycle invariant of Table 1.
     pub fn all_logic_in_init_state(&self) -> bool {
-        self.states
-            .iter()
-            .all(|s| !matches!(s, CellState::Arrivals { a: true, .. } | CellState::Arrivals { b: true, .. }))
+        self.states.iter().all(|s| {
+            !matches!(
+                s,
+                CellState::Arrivals { a: true, .. } | CellState::Arrivals { b: true, .. }
+            )
+        })
     }
 
     /// Inject an external pulse on a net at an absolute time.
@@ -427,7 +434,11 @@ mod tests {
                 sim.run_until(200.0);
                 let total = sim.pulses(q).len();
                 let relax_pulses = total - excite_pulses;
-                let value = if kind == CellKind::La { va && vb } else { va || vb };
+                let value = if kind == CellKind::La {
+                    va && vb
+                } else {
+                    va || vb
+                };
                 assert_eq!(excite_pulses, value as usize, "{kind} excite {va}{vb}");
                 assert_eq!(relax_pulses, !value as usize, "{kind} relax {va}{vb}");
                 assert!(sim.all_logic_in_init_state(), "{kind} must reinit");
@@ -444,7 +455,10 @@ mod tests {
         sim.inject(b, 50.0);
         sim.run_until(100.0);
         let t = sim.pulses(q)[0];
-        assert!((t - (50.0 + 7.2)).abs() < 1e-9, "fires at last arrival + delay, got {t}");
+        assert!(
+            (t - (50.0 + 7.2)).abs() < 1e-9,
+            "fires at last arrival + delay, got {t}"
+        );
     }
 
     #[test]
@@ -456,7 +470,10 @@ mod tests {
         sim.run_until(100.0);
         assert_eq!(sim.pulses(q).len(), 1, "second arrival swallowed");
         let t = sim.pulses(q)[0];
-        assert!((t - (10.0 + 9.5)).abs() < 1e-9, "fires at first arrival + delay, got {t}");
+        assert!(
+            (t - (10.0 + 9.5)).abs() < 1e-9,
+            "fires at first arrival + delay, got {t}"
+        );
     }
 
     #[test]

@@ -63,7 +63,12 @@ impl std::ops::Not for Lit {
 
 impl fmt::Debug for Lit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}", if self.is_negative() { "-" } else { "" }, self.0 >> 1)
+        write!(
+            f,
+            "{}{}",
+            if self.is_negative() { "-" } else { "" },
+            self.0 >> 1
+        )
     }
 }
 
@@ -187,7 +192,10 @@ impl Solver {
     /// a non-root level (internal misuse; public callers always see the
     /// solver at level 0 between solves).
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
-        assert!(self.trail_lim.is_empty(), "clauses must be added at level 0");
+        assert!(
+            self.trail_lim.is_empty(),
+            "clauses must be added at level 0"
+        );
         if !self.ok {
             return false;
         }
@@ -534,7 +542,7 @@ impl Solver {
                 }
                 let (learnt, backjump) = self.analyze(conflict);
                 // Never backjump into the assumption prefix unless forced.
-                self.cancel_until(backjump.max(0));
+                self.cancel_until(backjump);
                 if learnt.len() == 1 {
                     self.cancel_until(0);
                     if self.lit_value(learnt[0]) == -1 {
@@ -660,6 +668,8 @@ mod tests {
         for pi in &p {
             s.add_clause(&[pi[0].positive(), pi[1].positive()]);
         }
+        // `h` indexes the second dimension, so a range loop is clearest.
+        #[allow(clippy::needless_range_loop)]
         for h in 0..2 {
             for i in 0..3 {
                 for j in (i + 1)..3 {

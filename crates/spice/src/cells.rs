@@ -240,7 +240,8 @@ mod tests {
     fn jtl_propagates_pulse_train() {
         let mut fx = jtl_chain(3);
         for k in 0..4 {
-            fx.circuit.pulse(fx.inputs[0], 20.0 + 40.0 * k as f64, KICK, KICK_W);
+            fx.circuit
+                .pulse(fx.inputs[0], 20.0 + 40.0 * k as f64, KICK, KICK_W);
         }
         let wf = transient(&fx.circuit, &opts(220.0));
         assert_eq!(wf.pulse_count(&fx.circuit, fx.output_junctions[0]), 4);

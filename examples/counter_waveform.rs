@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     sim.run_until(13.0 * t);
     let tracks = vec![
-        wave::Track { label: "trg".into(), pulses: vec![0.0] },
+        wave::Track {
+            label: "trg".into(),
+            pulses: vec![0.0],
+        },
         wave::Track {
             label: "clk".into(),
             pulses: (1..=12).map(|e| e as f64 * t).collect(),

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (s, co) = build::full_adder(&mut fa, a, b, cin);
     fa.output("s", s);
     fa.output("cout", co);
-    println!("minimal full-adder AIG: {} nodes (paper Figure 4: 7)\n", fa.num_ands());
+    println!(
+        "minimal full-adder AIG: {} nodes (paper Figure 4: 7)\n",
+        fa.num_ands()
+    );
 
     for (label, mode) in [
         ("dual-rail pairs   (§3.1.3)", PolarityMode::DualRail),

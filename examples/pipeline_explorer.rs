@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);
     let aig = xsfq::benchmarks::by_name("c6288").expect("registered benchmark");
-    println!("c6288 (16×16 array multiplier), {} AND nodes\n", aig.num_ands());
+    println!(
+        "c6288 (16×16 array multiplier), {} AND nodes\n",
+        aig.num_ands()
+    );
     println!(
         "{:>6} {:>9} {:>8} {:>11} {:>12} {:>14}",
         "stages", "#JJ", "#LA/FA", "#DROC", "depth", "clock (GHz)"

@@ -48,7 +48,12 @@ fn exports_are_well_formed() {
     assert!(verilog.contains("endmodule"));
     assert_eq!(
         verilog.matches(" LA ").count(),
-        r.report.la_fa - r.netlist.cells().iter().filter(|c| c.kind == xsfq::cells::CellKind::Fa).count(),
+        r.report.la_fa
+            - r.netlist
+                .cells()
+                .iter()
+                .filter(|c| c.kind == xsfq::cells::CellKind::Fa)
+                .count(),
         "every LA cell instantiated"
     );
 

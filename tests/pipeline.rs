@@ -27,7 +27,10 @@ fn pipelined_multiplier_is_functionally_correct() {
             .verify(true)
             .run(&g)
             .unwrap();
-        assert!(r.report.drocs_preload > 0, "{stages} stages: preloaded ranks");
+        assert!(
+            r.report.drocs_preload > 0,
+            "{stages} stages: preloaded ranks"
+        );
         assert!(r.report.drocs_plain > 0);
 
         let negs: Vec<bool> = r
@@ -41,8 +44,7 @@ fn pipelined_multiplier_is_functionally_correct() {
         let vectors: Vec<Vec<bool>> = (0..6)
             .map(|_| (0..8).map(|_| rng.gen()).collect())
             .collect();
-        let golden: Vec<Vec<bool>> =
-            vectors.iter().map(|v| sim::eval_outputs(&g, v)).collect();
+        let golden: Vec<Vec<bool>> = vectors.iter().map(|v| sim::eval_outputs(&g, v)).collect();
         let res = Harness::new(&r.netlist, negs)
             .latency_cycles(stages)
             .run(&vectors);
@@ -98,7 +100,9 @@ fn pipelined_adder_latency_matches_stage_count() {
         .map(|p| *p == OutputPolarity::Negative)
         .collect();
     let vectors: Vec<Vec<bool>> = vec![
-        vec![true, false, true, false, true, false, false, true, true, false, false, true],
+        vec![
+            true, false, true, false, true, false, false, true, true, false, false, true,
+        ],
         vec![false; 12],
         vec![true; 12],
     ];

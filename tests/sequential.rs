@@ -72,7 +72,9 @@ fn s27_matches_golden_model() {
         .map(|_| {
             (0..4)
                 .map(|i| {
-                    lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    lcg = lcg
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     lcg >> (17 + i) & 1 == 1
                 })
                 .collect()

@@ -1,0 +1,229 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so this vendored crate
+//! implements the API subset the workspace's benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! `b.iter(..)`, [`criterion_group!`] and [`criterion_main!`].
+//!
+//! Measurement model: each bench function is warmed up once, the per-call
+//! time estimated, and then `sample_size` wall-clock samples are collected
+//! (batching fast calls so each sample covers at least ~2 ms). The reported
+//! statistic is the **median** nanoseconds per call.
+//!
+//! Besides the human-readable report on stdout, results are appended as JSON
+//! to the path in the `XSFQ_BENCH_JSON` environment variable when set —
+//! that is how `cargo run -p xsfq-bench --bin perf_summary` collects the
+//! machine-readable `BENCH_*.json` trajectory without parsing text.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark group name.
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Median nanoseconds per call.
+    pub median_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// Top-level benchmark driver (collects results across groups).
+#[derive(Default, Debug)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Fresh driver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 60,
+        }
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Print the report and, when `XSFQ_BENCH_JSON` is set, append the
+    /// results to that file as JSON lines `{"group":..,"name":..,"median_ns":..}`.
+    pub fn finalize(&self) {
+        if let Ok(path) = std::env::var("XSFQ_BENCH_JSON") {
+            if !path.is_empty() {
+                let mut text = String::new();
+                for r in &self.results {
+                    text.push_str(&format!(
+                        "{{\"group\":\"{}\",\"name\":\"{}\",\"median_ns\":{:.1},\"samples\":{}}}\n",
+                        r.group, r.name, r.median_ns, r.samples
+                    ));
+                }
+                use std::io::Write as _;
+                if let Ok(mut f) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    let _ = f.write_all(text.as_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample-size configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Measure `f` (which receives a [`Bencher`]) under `name`.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        let mut f = f;
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            median_ns: 0.0,
+            samples: 0,
+        };
+        f(&mut bencher);
+        println!(
+            "bench {:<40} {:>14.1} ns/iter ({} samples)",
+            format!("{}/{}", self.name, name),
+            bencher.median_ns,
+            bencher.samples
+        );
+        self.criterion.results.push(BenchResult {
+            group: self.name.clone(),
+            name,
+            median_ns: bencher.median_ns,
+            samples: bencher.samples,
+        });
+        self
+    }
+
+    /// Finish the group (kept for API parity; measurement is eager).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    sample_size: usize,
+    median_ns: f64,
+    samples: usize,
+}
+
+/// Total wall-clock budget per benchmark (samples are trimmed to stay under
+/// it for slow routines).
+const PER_BENCH_BUDGET: Duration = Duration::from_secs(20);
+/// Minimum wall-clock per sample; fast routines are batched up to this.
+const MIN_SAMPLE: Duration = Duration::from_millis(2);
+
+impl Bencher {
+    /// Measure the closure. The return value is passed through
+    /// [`black_box`] so the computation cannot be optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + per-call estimate.
+        let start = Instant::now();
+        black_box(f());
+        let mut est = start.elapsed();
+        if est < Duration::from_nanos(1) {
+            est = Duration::from_nanos(1);
+        }
+        // Batch fast calls so each sample is at least MIN_SAMPLE long.
+        let batch = (MIN_SAMPLE.as_nanos() / est.as_nanos()).clamp(1, 1 << 24) as u64;
+        // Trim the sample count to the per-bench budget.
+        let per_sample = est * batch as u32;
+        let affordable = (PER_BENCH_BUDGET.as_nanos() / per_sample.as_nanos().max(1)) as usize;
+        let samples = self.sample_size.min(affordable).max(3);
+
+        let mut times_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            times_ns.push(dt.as_nanos() as f64 / batch as f64);
+        }
+        times_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mid = times_ns.len() / 2;
+        self.median_ns = if times_ns.len() % 2 == 1 {
+            times_ns[mid]
+        } else {
+            (times_ns[mid - 1] + times_ns[mid]) / 2.0
+        };
+        self.samples = samples;
+    }
+}
+
+/// Define a function running the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+            criterion.finalize();
+        }
+    };
+}
+
+/// Define `main` running the listed [`criterion_group!`] functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::new();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.bench_function("spin", |b| {
+                b.iter(|| (0..100u64).fold(0u64, |a, x| a.wrapping_add(x * x)))
+            });
+            g.finish();
+        }
+        assert_eq!(c.results().len(), 1);
+        let r = &c.results()[0];
+        assert_eq!(r.group, "g");
+        assert_eq!(r.name, "spin");
+        assert!(r.median_ns > 0.0);
+    }
+}
