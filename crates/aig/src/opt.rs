@@ -23,14 +23,26 @@ pub fn cleanup(aig: &Aig) -> Aig {
 ///
 /// Single-fanout chains of non-complemented ANDs are collected into
 /// super-gates and rebuilt as level-minimal trees (combine the two
-/// lowest-level operands first).
+/// lowest-level operands first). Levels of the output graph are maintained
+/// incrementally as nodes are created — one O(1) update per fresh AND —
+/// instead of re-scanning the node table.
 pub fn balance(aig: &Aig) -> Aig {
     let fanouts = aig.fanout_counts(true);
     let mut out = Aig::new(aig.name().to_string());
     let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
-    let mut levels: Vec<u32> = Vec::new();
     map_cis(aig, &mut out, &mut map);
-    sync_levels(&out, &mut levels);
+    // `levels[i]` is the level of output node `i`; constants and CIs sit at
+    // level 0, and `and_leveled` appends exactly when `out.and` allocates.
+    let mut levels: Vec<u32> = vec![0; out.num_nodes()];
+    let and_leveled = |out: &mut Aig, levels: &mut Vec<u32>, a: Lit, b: Lit| -> Lit {
+        let r = out.and(a, b);
+        if out.num_nodes() > levels.len() {
+            debug_assert_eq!(out.num_nodes(), levels.len() + 1);
+            let lv = 1 + levels[a.node().index()].max(levels[b.node().index()]);
+            levels.push(lv);
+        }
+        r
+    };
 
     for (i, kind) in aig.nodes().iter().enumerate() {
         let NodeKind::And { .. } = kind else {
@@ -45,7 +57,6 @@ pub fn balance(aig: &Aig) -> Aig {
             .iter()
             .map(|l| {
                 let mapped = map[l.node().index()].complement_if(l.is_complement());
-                sync_levels(&out, &mut levels);
                 Reverse((levels[mapped.node().index()], mapped.raw()))
             })
             .collect();
@@ -53,8 +64,7 @@ pub fn balance(aig: &Aig) -> Aig {
         if let Some(Reverse((_, first))) = heap.pop() {
             result = Lit::from_raw(first);
             while let Some(Reverse((_, next))) = heap.pop() {
-                result = out.and(result, Lit::from_raw(next));
-                sync_levels(&out, &mut levels);
+                result = and_leveled(&mut out, &mut levels, result, Lit::from_raw(next));
                 heap.push(Reverse((levels[result.node().index()], result.raw())));
                 let Some(Reverse((_, top))) = heap.pop() else {
                     unreachable!()
@@ -83,17 +93,6 @@ fn collect_supergate(aig: &Aig, id: NodeId, fanouts: &[u32], is_root: bool, leav
         } else {
             leaves.push(f);
         }
-    }
-}
-
-fn sync_levels(out: &Aig, levels: &mut Vec<u32>) {
-    while levels.len() < out.num_nodes() {
-        let i = levels.len();
-        let lv = match out.nodes()[i] {
-            NodeKind::And { a, b } => 1 + levels[a.node().index()].max(levels[b.node().index()]),
-            _ => 0,
-        };
-        levels.push(lv);
     }
 }
 

@@ -7,7 +7,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{Aig, Lit, NodeKind};
+use crate::{Aig, Lit, NodeId, NodeKind};
 
 /// Evaluate all nodes for 64 parallel input patterns.
 ///
@@ -119,6 +119,197 @@ pub fn random_equiv(a: &Aig, b: &Aig, rounds: usize, seed: u64) -> bool {
         }
     }
     true
+}
+
+/// Incremental bit-parallel simulator with counterexample replay — the
+/// random-simulation half of SAT sweeping (fraiging).
+///
+/// The simulator holds a growing set of input patterns, packed 64 per word,
+/// and the resulting value words for *every* node. Nodes whose
+/// [canonical signatures](Simulator::canonical_key) collide are *candidate*
+/// equivalences (possibly complemented); a SAT disproof feeds the
+/// distinguishing pattern back via [`Simulator::add_pattern`], which refines
+/// the signatures for the next round. Latches are treated as free inputs
+/// (cut-point abstraction), so a pattern is one bool per combinational input
+/// (primary inputs first, then latches).
+///
+/// Invariant: equal canonical keys are *candidates*, never proof — only a
+/// SAT verdict (or exhaustive patterns) promotes a candidate to a fact.
+///
+/// ```
+/// use xsfq_aig::{Aig, sim::Simulator};
+/// let mut g = Aig::new("t");
+/// let a = g.input("a");
+/// let b = g.input("b");
+/// let x = g.and(a, b);
+/// g.output("o", x);
+/// let mut sim = Simulator::empty(&g, 1);
+/// sim.add_pattern(&[true, true]);
+/// sim.flush();
+/// // On the single pattern (1,1), `a & b` and `a` agree.
+/// assert_eq!(sim.canonical_key(x.node()).0, sim.canonical_key(a.node()).0);
+/// // Replaying the distinguishing pattern (1,0) separates them.
+/// sim.add_pattern(&[true, false]);
+/// sim.flush();
+/// assert_ne!(sim.canonical_key(x.node()).0, sim.canonical_key(a.node()).0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulator<'a> {
+    aig: &'a Aig,
+    /// One entry per simulated word: `rounds[r][node]` holds 64 pattern
+    /// values of `node`.
+    rounds: Vec<Vec<u64>>,
+    /// Replayed patterns waiting to be packed into the next word.
+    pending: Vec<Vec<bool>>,
+    rng: StdRng,
+}
+
+impl<'a> Simulator<'a> {
+    /// Simulator with `words × 64` uniformly random patterns.
+    pub fn random(aig: &'a Aig, words: usize, seed: u64) -> Self {
+        let mut sim = Self::empty(aig, seed);
+        for _ in 0..words {
+            let ci_words: Vec<u64> = (0..sim.num_cis()).map(|_| sim.rng.gen()).collect();
+            sim.simulate_ci_words(&ci_words);
+        }
+        sim
+    }
+
+    /// Simulator covering *all* `2^n` input patterns, for designs with at
+    /// most [`Simulator::EXHAUSTIVE_LIMIT`] combinational inputs. Signatures
+    /// are then exact truth tables: equal canonical keys are real
+    /// equivalences, and SAT disproofs are impossible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design has more combinational inputs than the limit.
+    pub fn exhaustive(aig: &'a Aig) -> Self {
+        let n = aig.num_inputs() + aig.num_latches();
+        assert!(
+            n <= Self::EXHAUSTIVE_LIMIT,
+            "exhaustive simulation limited to {} inputs",
+            Self::EXHAUSTIVE_LIMIT
+        );
+        let mut sim = Self::empty(aig, 0);
+        let patterns = 1usize << n;
+        for base in (0..patterns).step_by(64) {
+            let mut ci_words = vec![0u64; n];
+            for offset in 0..64.min(patterns - base) {
+                let p = base + offset;
+                for (i, w) in ci_words.iter_mut().enumerate() {
+                    if p >> i & 1 == 1 {
+                        *w |= 1u64 << offset;
+                    }
+                }
+            }
+            // With fewer than 64 patterns left, the tail lanes hold the
+            // all-zero pattern — harmless duplicates.
+            sim.simulate_ci_words(&ci_words);
+        }
+        sim
+    }
+
+    /// Maximum combinational-input count for [`Simulator::exhaustive`]
+    /// (4096 patterns = 64 words).
+    pub const EXHAUSTIVE_LIMIT: usize = 12;
+
+    /// Simulator with no patterns yet (everything looks equivalent until
+    /// patterns are added).
+    pub fn empty(aig: &'a Aig, seed: u64) -> Self {
+        Simulator {
+            aig,
+            rounds: Vec::new(),
+            pending: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of combinational inputs (primary inputs + latches) a pattern
+    /// must supply.
+    pub fn num_cis(&self) -> usize {
+        self.aig.num_inputs() + self.aig.num_latches()
+    }
+
+    /// Number of simulated patterns (64 per flushed word; pending patterns
+    /// are not counted until [`Simulator::flush`]).
+    pub fn num_patterns(&self) -> usize {
+        self.rounds.len() * 64
+    }
+
+    /// Queue a replay pattern (one bool per combinational input). Patterns
+    /// are packed 64 to a word; a full word is simulated immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern length does not match [`Simulator::num_cis`].
+    pub fn add_pattern(&mut self, pattern: &[bool]) {
+        assert_eq!(pattern.len(), self.num_cis(), "pattern length");
+        self.pending.push(pattern.to_vec());
+        if self.pending.len() == 64 {
+            self.flush();
+        }
+    }
+
+    /// Simulate any queued replay patterns. A partial word is padded by
+    /// cycling through the queued patterns again (deterministic duplicates),
+    /// so every lane carries a counterexample-derived pattern.
+    pub fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let n = self.num_cis();
+        let mut ci_words = vec![0u64; n];
+        for lane in 0..64 {
+            let pattern = &self.pending[lane % self.pending.len()];
+            for (i, w) in ci_words.iter_mut().enumerate() {
+                if pattern[i] {
+                    *w |= 1u64 << lane;
+                }
+            }
+        }
+        self.pending.clear();
+        self.simulate_ci_words(&ci_words);
+    }
+
+    fn simulate_ci_words(&mut self, ci_words: &[u64]) {
+        let (input_words, latch_words) = ci_words.split_at(self.aig.num_inputs());
+        self.rounds
+            .push(simulate_words(self.aig, input_words, latch_words));
+    }
+
+    /// Signature word of `node` in round `r`.
+    pub fn word(&self, r: usize, node: NodeId) -> u64 {
+        self.rounds[r][node.index()]
+    }
+
+    /// Canonical signature key of a node: a hash of the signature with the
+    /// polarity normalized so a node and its complement collide, plus the
+    /// complement flag that was applied. Two nodes are candidate-equivalent
+    /// (up to complement) iff their keys are equal *and*
+    /// [`Simulator::signatures_match`] confirms the full signatures (the
+    /// hash alone can collide).
+    pub fn canonical_key(&self, node: NodeId) -> (u64, bool) {
+        let i = node.index();
+        // Normalize polarity by the first pattern's value so `x` and `!x`
+        // land in the same class.
+        let complement = self.rounds.first().map(|r| r[i] & 1 == 1).unwrap_or(false);
+        let mask = if complement { !0u64 } else { 0 };
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for round in &self.rounds {
+            hash ^= round[i] ^ mask;
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        (hash, complement)
+    }
+
+    /// True when the full signatures of `a` and `b` agree, complementing
+    /// `b`'s when `complement` is set.
+    pub fn signatures_match(&self, a: NodeId, b: NodeId, complement: bool) -> bool {
+        let mask = if complement { !0u64 } else { 0 };
+        self.rounds
+            .iter()
+            .all(|r| r[a.index()] == r[b.index()] ^ mask)
+    }
 }
 
 /// Cycle-accurate sequential simulator.
@@ -238,6 +429,54 @@ mod tests {
 
         assert!(!random_equiv(&g1, &g2, 4, 42));
         assert!(random_equiv(&g1, &g1.clone(), 4, 42));
+    }
+
+    #[test]
+    fn counterexample_replay_refines_classes() {
+        // f = a&b&c and g = a&b differ only on (1,1,0). Seed the simulator
+        // with patterns that cannot tell them apart, then replay the
+        // distinguishing pattern as a SAT counterexample would be.
+        let mut aig = Aig::new("t");
+        let a = aig.input("a");
+        let b = aig.input("b");
+        let c = aig.input("c");
+        let ab = aig.and(a, b);
+        let abc = aig.and(ab, c);
+        aig.output("f", abc);
+        aig.output("g", ab);
+
+        let mut sim = Simulator::empty(&aig, 7);
+        sim.add_pattern(&[true, true, true]);
+        sim.add_pattern(&[false, true, false]);
+        sim.flush();
+        assert_eq!(sim.num_patterns(), 64);
+        let (kf, cf) = sim.canonical_key(abc.node());
+        let (kg, cg) = sim.canonical_key(ab.node());
+        assert_eq!((kf, cf), (kg, cg), "agreeing patterns leave a candidate");
+        assert!(sim.signatures_match(abc.node(), ab.node(), cf ^ cg));
+
+        sim.add_pattern(&[true, true, false]);
+        sim.flush();
+        let (kf, cf) = sim.canonical_key(abc.node());
+        let (kg, cg) = sim.canonical_key(ab.node());
+        assert!(
+            (kf, cf) != (kg, cg) || !sim.signatures_match(abc.node(), ab.node(), cf ^ cg),
+            "replayed counterexample must split the class"
+        );
+    }
+
+    #[test]
+    fn exhaustive_simulator_matches_truth_tables() {
+        let mut g = Aig::new("fa");
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("c");
+        let x = g.xor_many(&[a, b, c]);
+        g.output("x", x);
+        let sim = Simulator::exhaustive(&g);
+        let tts = exhaustive_truth_tables(&g);
+        // The first 8 lanes of round 0 enumerate all 3-input patterns.
+        assert_eq!(sim.word(0, x.node()) & 0xff, tts[0][0]);
     }
 
     #[test]

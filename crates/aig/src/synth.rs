@@ -51,6 +51,11 @@ pub struct Synthesizer {
     /// Keyed by the table itself: ≤6-variable tables are a single inline
     /// word, so the common key is 16 bytes and never heap-allocated.
     cost_memo: FxHashMap<TruthTable, usize>,
+    /// Factored-form cost keyed by the SOP cover. Repeated covers (carry
+    /// chains, buffers, mux slices…) would otherwise rebuild a scratch AIG
+    /// per evaluation; the cover fully determines the cost, so one build
+    /// per distinct cover suffices.
+    sop_cost_memo: FxHashMap<Vec<Cube>, usize>,
 }
 
 /// How a function will be decomposed at the top level.
@@ -120,9 +125,23 @@ impl Synthesizer {
                 step + self.cost(&rest)
             }
             Plan::Mux { var } => 3 + self.cost(&tt.cofactor0(var)) + self.cost(&tt.cofactor1(var)),
-            Plan::Sop { cover, .. } => factored_cost(&cover, tt.num_vars()),
+            Plan::Sop { cover, .. } => self.factored_cost(&cover, tt.num_vars()),
         };
         self.cost_memo.insert(tt.clone(), c);
+        c
+    }
+
+    /// Memoized factored-form cost of an SOP cover (see [`build_factored`]).
+    /// The scratch AIG is only built the first time a cover is seen.
+    fn factored_cost(&mut self, cover: &[Cube], num_leaves: usize) -> usize {
+        if let Some(&c) = self.sop_cost_memo.get(cover) {
+            return c;
+        }
+        let mut scratch = Aig::new("cost");
+        let leaves: Vec<Lit> = (0..num_leaves).map(|_| scratch.input("")).collect();
+        build_factored(&mut scratch, cover, &leaves);
+        let c = scratch.num_ands();
+        self.sop_cost_memo.insert(cover.to_vec(), c);
         c
     }
 
@@ -167,8 +186,8 @@ impl Synthesizer {
         let cover = isop(tt, tt);
         let neg = tt.not();
         let cover_neg = isop(&neg, &neg);
-        let sop_cost = factored_cost(&cover, tt.num_vars());
-        let sop_neg_cost = factored_cost(&cover_neg, tt.num_vars());
+        let sop_cost = self.factored_cost(&cover, tt.num_vars());
+        let sop_neg_cost = self.factored_cost(&cover_neg, tt.num_vars());
         if mux_cost < sop_cost.min(sop_neg_cost) {
             Plan::Mux { var }
         } else if sop_cost <= sop_neg_cost {
@@ -259,13 +278,6 @@ fn most_binate_var(tt: &TruthTable, support: &[usize]) -> usize {
         }
     }
     best
-}
-
-fn factored_cost(cover: &[Cube], num_leaves: usize) -> usize {
-    let mut scratch = Aig::new("cost");
-    let leaves: Vec<Lit> = (0..num_leaves).map(|_| scratch.input("")).collect();
-    build_factored(&mut scratch, cover, &leaves);
-    scratch.num_ands()
 }
 
 /// Build a factored form of an SOP cover (SIS-style literal factoring):
@@ -431,6 +443,21 @@ mod tests {
         assert_eq!(synthesize(&mut aig, &v1, &leaves), leaves[1]);
         assert_eq!(synthesize(&mut aig, &v1.not(), &leaves), !leaves[1]);
         assert_eq!(aig.num_ands(), 0);
+    }
+
+    #[test]
+    fn factored_cost_is_memoized_per_cover() {
+        use crate::isop::isop;
+        let mut s = Synthesizer::new();
+        let a = TruthTable::variable(3, 0);
+        let b = TruthTable::variable(3, 1);
+        let c = TruthTable::variable(3, 2);
+        let maj = a.and(&b).or(&a.and(&c)).or(&b.and(&c));
+        let cover = isop(&maj, &maj);
+        let c1 = s.factored_cost(&cover, 3);
+        let c2 = s.factored_cost(&cover, 3);
+        assert_eq!(c1, c2);
+        assert_eq!(s.sop_cost_memo.len(), 1, "one distinct cover, one entry");
     }
 
     #[test]

@@ -71,7 +71,8 @@ pub fn bench_pulse_sim(c: &mut Criterion) {
     g.finish();
 }
 
-/// `verify` group: SAT equivalence proof of an optimization.
+/// `verify` group: SAT equivalence proof of an optimization — the default
+/// (sweeping) engine and the classic monolithic-miter encoder it replaced.
 pub fn bench_cec(c: &mut Criterion) {
     let aig = xsfq_benchmarks::by_name("int2float").unwrap();
     let optimized = opt::optimize(&aig, Effort::Fast);
@@ -83,6 +84,15 @@ pub fn bench_cec(c: &mut Criterion) {
                 std::hint::black_box(&aig),
                 std::hint::black_box(&optimized)
             ))
+        })
+    });
+    g.bench_function("cec_int2float_monolithic", |b| {
+        b.iter(|| {
+            assert!(xsfq_sat::check_equivalence_monolithic(
+                std::hint::black_box(&aig),
+                std::hint::black_box(&optimized)
+            )
+            .is_equivalent())
         })
     });
     g.finish();

@@ -29,6 +29,10 @@ pub struct FlowOptions {
     pub pipeline_stages: usize,
     /// Window (in levels) for the min-width rank placement search.
     pub rank_window: u32,
+    /// Run SAT sweeping ([`xsfq_sat::sweep::fraig`]) after the structural
+    /// optimization script, merging functionally equivalent nodes the
+    /// rewriting passes cannot see.
+    pub fraig: bool,
     /// Prove the mapped netlist equivalent to the source (combinational
     /// designs; sequential designs are validated by the pulse simulator).
     pub verify: bool,
@@ -42,6 +46,7 @@ impl Default for FlowOptions {
             style: InterconnectStyle::Abutted,
             pipeline_stages: 0,
             rank_window: 3,
+            fraig: false,
             verify: false,
         }
     }
@@ -205,6 +210,13 @@ impl SynthesisFlow {
         self
     }
 
+    /// Enable or disable the post-optimization SAT-sweeping (fraig) pass.
+    #[must_use]
+    pub fn fraig(mut self, fraig: bool) -> Self {
+        self.options.fraig = fraig;
+        self
+    }
+
     /// Enable or disable post-mapping verification.
     #[must_use]
     pub fn verify(mut self, verify: bool) -> Self {
@@ -229,7 +241,13 @@ impl SynthesisFlow {
         if o.pipeline_stages > 0 && aig.num_latches() > 0 {
             return Err(FlowError::PipelineOnSequential);
         }
-        let optimized = opt::optimize(aig, o.effort);
+        let mut optimized = opt::optimize(aig, o.effort);
+        if o.fraig {
+            let swept = xsfq_sat::fraig(&optimized);
+            if swept.num_ands() < optimized.num_ands() {
+                optimized = swept;
+            }
+        }
         let rank_levels = choose_rank_levels(&optimized, o.pipeline_stages, o.rank_window);
         let mapped = map_xsfq(
             &optimized,
@@ -317,6 +335,30 @@ mod tests {
         );
         assert!(piped.report.circuit_ghz > base.report.circuit_ghz);
         assert!(piped.report.jj_clock_tree > 0, "DROCs need a clock tree");
+    }
+
+    #[test]
+    fn fraig_flow_verifies_and_does_not_grow() {
+        // Duplicated mux/xor cones the structural passes may miss; the
+        // fraig-enabled flow must still verify and never end up larger.
+        let mut g = Aig::new("dup");
+        let a = g.input_word("a", 3);
+        let b = g.input_word("b", 3);
+        let mut outs = Vec::new();
+        for i in 0..3 {
+            let x = g.xor(a[i], b[i]);
+            let m = g.mux(a[i], !b[i], b[i]);
+            let both = g.and(x, m);
+            outs.push(both);
+        }
+        g.output_word("o", &outs);
+        let base = SynthesisFlow::new().verify(true).run(&g).unwrap();
+        let swept = SynthesisFlow::new()
+            .fraig(true)
+            .verify(true)
+            .run(&g)
+            .unwrap();
+        assert!(swept.report.aig_nodes <= base.report.aig_nodes);
     }
 
     #[test]

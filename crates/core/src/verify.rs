@@ -14,7 +14,6 @@ use xsfq_aig::hash::FxHashMap;
 use xsfq_aig::{Aig, Lit, NodeKind};
 use xsfq_cells::CellKind;
 use xsfq_netlist::Netlist;
-use xsfq_sat::{SatResult, Solver};
 
 use crate::map::MappedDesign;
 use crate::polarity::{OutputPolarity, PolarityMode};
@@ -166,9 +165,11 @@ fn supported_kind(kind: CellKind) -> bool {
     )
 }
 
-/// Prove two combinational AIGs equivalent using a strash-sharing miter:
-/// identical structures collapse during construction, and the residue goes
-/// to the SAT solver.
+/// Prove two combinational AIGs equivalent by simulation-guided SAT
+/// sweeping ([`xsfq_sat::sweep`]): both designs are imported into one
+/// structurally hashed miter (identical structures collapse during
+/// construction), internal equivalences are merged with small incremental
+/// queries, and only the surviving output pairs are decided by SAT.
 ///
 /// # Panics
 ///
@@ -177,32 +178,7 @@ pub fn prove_equivalent(a: &Aig, b: &Aig) -> bool {
     assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
     assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
     assert_eq!(a.num_latches() + b.num_latches(), 0, "combinational only");
-
-    let mut miter = Aig::new("miter");
-    let inputs: Vec<Lit> = (0..a.num_inputs())
-        .map(|i| miter.input(format!("i{i}")))
-        .collect();
-    let outs_a = import(a, &mut miter, &inputs);
-    let outs_b = import(b, &mut miter, &inputs);
-    let mut diffs = Vec::with_capacity(outs_a.len());
-    for (x, y) in outs_a.iter().zip(&outs_b) {
-        diffs.push(miter.xor(*x, *y));
-    }
-    let diff = miter.or_many(&diffs);
-    if diff == Lit::FALSE {
-        return true; // collapsed structurally
-    }
-    if diff == Lit::TRUE {
-        return false;
-    }
-    miter.output("diff", diff);
-    let miter = miter.compact();
-    let mut solver = Solver::new();
-    let vars: Vec<_> = (0..miter.num_inputs()).map(|_| solver.new_var()).collect();
-    let map = xsfq_sat::cec::encode(&mut solver, &miter, &vars, &[]);
-    let out = xsfq_sat::cec::edge_lit(&map, miter.outputs()[0].lit);
-    solver.add_clause(&[out]);
-    solver.solve() == SatResult::Unsat
+    xsfq_sat::equivalent(a, b)
 }
 
 fn import(src: &Aig, dst: &mut Aig, inputs: &[Lit]) -> Vec<Lit> {

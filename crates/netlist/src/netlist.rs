@@ -7,8 +7,11 @@
 //! paper's Equation 1 (`N_splt = N_gate + N_out − N_inp`) comes from.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use xsfq_cells::{CellKind, CellLibrary};
+
+use crate::stats::NetlistStats;
 
 /// Identifier of a net (single-driver wire).
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -215,6 +218,12 @@ pub struct Netlist {
     /// Cells whose (implicit) clock pin is tied to the one-shot trigger
     /// instead of the regular clock (paper §3.2 initialization strategy).
     trigger_clocked: Vec<CellId>,
+    /// Memoized [`Netlist::stats`] report; every mutation marks it dirty
+    /// (clears it), so report-heavy flows recompute at most once per edit.
+    /// `OnceLock` (not `RefCell`) keeps `Netlist: Send + Sync` — mutation
+    /// already requires `&mut self`, and the fill-once-on-read is
+    /// thread-safe.
+    stats_cache: OnceLock<NetlistStats>,
 }
 
 impl Netlist {
@@ -228,7 +237,24 @@ impl Netlist {
             inputs: Vec::new(),
             outputs: Vec::new(),
             trigger_clocked: Vec::new(),
+            stats_cache: OnceLock::new(),
         }
+    }
+
+    /// Invalidate the cached stats report. Every `&mut self` entry point
+    /// that changes cells, nets or ports must call this.
+    fn mark_stats_dirty(&mut self) {
+        self.stats_cache.take();
+    }
+
+    pub(crate) fn cached_stats(&self) -> Option<NetlistStats> {
+        self.stats_cache.get().cloned()
+    }
+
+    pub(crate) fn store_stats(&self, stats: NetlistStats) {
+        // A concurrent reader may have filled it first; both computed the
+        // same value, so losing the race is fine.
+        let _ = self.stats_cache.set(stats);
     }
 
     /// Design name.
@@ -291,6 +317,7 @@ impl Netlist {
 
     /// Add a primary input; returns its net.
     pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        self.mark_stats_dirty();
         let net = NetId(self.drivers.len() as u32);
         self.drivers.push(Driver::Input(self.inputs.len() as u32));
         self.inputs.push(Port {
@@ -306,6 +333,7 @@ impl Netlist {
     ///
     /// Panics if the input count does not match the cell kind.
     pub fn add_cell(&mut self, kind: CellKind, inputs: &[NetId]) -> PinVec {
+        self.mark_stats_dirty();
         assert_eq!(
             inputs.len(),
             input_pins(kind),
@@ -332,6 +360,7 @@ impl Netlist {
 
     /// Declare a primary output.
     pub fn add_output(&mut self, name: impl Into<String>, net: NetId) {
+        self.mark_stats_dirty();
         self.outputs.push(Port {
             name: name.into(),
             net,
@@ -342,6 +371,7 @@ impl Netlist {
     /// [`Netlist::connect_input`] — needed for feedback loops through
     /// storage cells. Returns the cell id and its output nets.
     pub fn add_cell_deferred(&mut self, kind: CellKind) -> (CellId, PinVec) {
+        self.mark_stats_dirty();
         let cell = CellId(self.cells.len() as u32);
         let mut outs = PinVec::new();
         for pin in 0..output_pins(kind) {
@@ -370,6 +400,7 @@ impl Netlist {
     ///
     /// Panics if the pin index is out of range or the net does not exist.
     pub fn connect_input(&mut self, cell: CellId, pin: usize, net: NetId) {
+        self.mark_stats_dirty();
         assert!(net.index() < self.drivers.len(), "net must exist");
         self.cells[cell.index()].inputs[pin] = net;
     }

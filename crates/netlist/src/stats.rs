@@ -89,7 +89,21 @@ impl Netlist {
     /// Compute the summary report. Works on both logical (multi-fanout) and
     /// physical (splitter-inserted) netlists; depth/delay are exact on the
     /// physical form.
+    ///
+    /// The report is cached on the netlist behind a dirty flag: repeated
+    /// calls without an intervening mutation return a clone of the cached
+    /// value instead of re-running the path analysis (report-heavy flows
+    /// query the same netlist many times).
     pub fn stats(&self) -> NetlistStats {
+        if let Some(cached) = self.cached_stats() {
+            return cached;
+        }
+        let stats = self.compute_stats();
+        self.store_stats(stats.clone());
+        stats
+    }
+
+    fn compute_stats(&self) -> NetlistStats {
         let mut counts: HashMap<CellKind, usize> = HashMap::new();
         let mut s = NetlistStats::default();
         let lib = self.library();
@@ -338,6 +352,25 @@ mod tests {
         assert_eq!(st.depth_logic, 1);
         assert_eq!(st.drocs_preload, 1);
         assert_eq!(st.jj_total, 22 + 4);
+    }
+
+    #[test]
+    fn stats_cache_invalidates_on_mutation() {
+        let mut n = Netlist::new("t", CellLibrary::xsfq_abutted());
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.add_cell(CellKind::La, &[a, b])[0];
+        n.add_output("x", x);
+        let before = n.stats();
+        assert_eq!(before.la_fa, 1);
+        // Cached: a second query matches without recomputation.
+        assert_eq!(n.stats().jj_total, before.jj_total);
+        // Mutation must drop the cache and show the new cell.
+        let y = n.add_cell(CellKind::Fa, &[a, b])[0];
+        n.add_output("y", y);
+        let after = n.stats();
+        assert_eq!(after.la_fa, 2);
+        assert!(after.jj_total > before.jj_total);
     }
 
     #[test]

@@ -1,8 +1,12 @@
-//! Combinational equivalence checking via SAT miters.
+//! Combinational equivalence checking.
 //!
-//! [`check_equivalence`] builds the standard miter — shared inputs, per-output
-//! XORs, disjunction asserted true — and hands it to the CDCL solver. UNSAT
-//! proves equivalence; SAT yields a distinguishing input pattern.
+//! [`check_equivalence`] is the default decision procedure: it delegates to
+//! the simulation-guided SAT-sweeping engine ([`crate::sweep`]), which
+//! merges internally equivalent logic with small incremental queries before
+//! deciding the outputs. [`check_equivalence_monolithic`] keeps the classic
+//! encoding — shared inputs, per-output XORs, disjunction asserted true,
+//! one cold solve — as a cross-check oracle; the `sweep_agreement`
+//! integration test pins the two to identical verdicts.
 //!
 //! This is the verification backbone of the whole flow: every AIG
 //! optimization pass and every xSFQ mapping step is checked against it.
@@ -94,10 +98,27 @@ pub fn edge_lit(map: &HashMap<NodeId, Lit>, l: AigLit) -> Lit {
 /// sound for netlists whose registers were not moved (use bounded sequential
 /// checks for retimed designs).
 ///
+/// Decided by SAT sweeping ([`crate::sweep::check_equivalence_swept`]) with
+/// default options; verdicts and counterexample validity are identical to
+/// [`check_equivalence_monolithic`].
+///
 /// # Panics
 ///
 /// Panics if the interfaces differ.
 pub fn check_equivalence(a: &Aig, b: &Aig) -> EquivResult {
+    crate::sweep::check_equivalence_swept(a, b, &crate::sweep::SweepOptions::default())
+}
+
+/// The classic one-shot miter encoding: every output pair XORed, the
+/// disjunction asserted, one monolithic solve on a cold solver. Kept as the
+/// reference oracle for the sweeping engine (and for callers that want a
+/// single self-contained query). Interface requirements and verdict
+/// semantics match [`check_equivalence`].
+///
+/// # Panics
+///
+/// Panics if the interfaces differ.
+pub fn check_equivalence_monolithic(a: &Aig, b: &Aig) -> EquivResult {
     assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
     assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
     assert_eq!(a.num_latches(), b.num_latches(), "latch counts differ");

@@ -1,9 +1,11 @@
 //! # xsfq-sat — SAT solving and equivalence checking
 //!
-//! A self-contained CDCL SAT solver ([`Solver`]) plus combinational
-//! equivalence checking of AND-Inverter graphs ([`cec`]). In the paper's
-//! toolchain this role is played by ABC's `cec`; here it verifies every
-//! optimization and technology-mapping step of the xSFQ flow.
+//! A self-contained incremental CDCL SAT solver ([`Solver`]), combinational
+//! equivalence checking of AND-Inverter graphs ([`cec`]), and the
+//! simulation-guided SAT-sweeping engine ([`sweep`]) that powers both the
+//! default CEC path and the `fraig` optimization pass. In the paper's
+//! toolchain this role is played by ABC's `cec`/`fraig`; here it verifies
+//! every optimization and technology-mapping step of the xSFQ flow.
 //!
 //! ```
 //! use xsfq_aig::{Aig, build, opt, Lit};
@@ -24,6 +26,8 @@
 
 pub mod cec;
 mod solver;
+pub mod sweep;
 
-pub use cec::{check_equivalence, equivalent, EquivResult};
+pub use cec::{check_equivalence, check_equivalence_monolithic, equivalent, EquivResult};
 pub use solver::{Lit, SatResult, Solver, Var};
+pub use sweep::{check_equivalence_swept, fraig, fraig_with_stats, SweepOptions, SweepStats};

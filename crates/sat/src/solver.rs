@@ -2,6 +2,13 @@
 //! analysis, VSIDS branching, phase saving, Luby restarts and learnt-clause
 //! reduction.
 //!
+//! The solver is *incremental*: clauses (and learnt clauses) are retained
+//! across [`Solver::solve_with_assumptions`] calls, new clauses may be added
+//! between solves, and [`Solver::solve_limited`] bounds a query by conflict
+//! count — which is what lets the SAT-sweeping engine ([`crate::sweep`]) fire
+//! thousands of small equivalence queries at one shared encoding. The
+//! one-shot [`Solver::solve`] is a wrapper over the incremental core.
+//!
 //! The solver is the decision procedure behind combinational equivalence
 //! checking ([`crate::cec`]): every optimization and mapping pass in the
 //! workspace is verified against it in the test suites.
@@ -186,16 +193,11 @@ impl Solver {
     /// Add a clause. Returns `false` if the solver is already in an
     /// unsatisfiable state (conflicting unit clauses).
     ///
-    /// # Panics
-    ///
-    /// Panics if called after a failed solve with outstanding assignments at
-    /// a non-root level (internal misuse; public callers always see the
-    /// solver at level 0 between solves).
+    /// May be called between solves: any outstanding assignments from a
+    /// previous [`SatResult::Sat`] answer are undone first (the model becomes
+    /// invalid, as in MiniSat's incremental interface).
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
-        assert!(
-            self.trail_lim.is_empty(),
-            "clauses must be added at level 0"
-        );
+        self.cancel_until(0);
         if !self.ok {
             return false;
         }
@@ -506,21 +508,39 @@ impl Solver {
     /// Solve under the given assumption literals (forced at decision levels
     /// before any free decisions).
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.solve_limited(assumptions, u64::MAX)
+            .expect("unbounded solve always decides")
+    }
+
+    /// Solve under assumptions with a conflict budget. Returns `None` when
+    /// the budget is exhausted before a verdict (the query is *unknown*;
+    /// clauses learnt so far are retained, so retrying is cheaper).
+    ///
+    /// This is the workhorse of SAT sweeping: candidate equivalences get a
+    /// small budget, and the rare hard pairs are deferred instead of
+    /// blocking the sweep.
+    pub fn solve_limited(&mut self, assumptions: &[Lit], max_conflicts: u64) -> Option<SatResult> {
         if !self.ok {
-            return SatResult::Unsat;
+            return Some(SatResult::Unsat);
         }
         self.cancel_until(0);
         let mut restarts = 0u32;
+        let mut remaining = max_conflicts;
         loop {
-            let budget = luby(restarts) * 256;
+            if remaining == 0 {
+                self.cancel_until(0);
+                return None;
+            }
+            let budget = (luby(restarts) * 256).min(remaining);
             match self.search(assumptions, budget) {
                 Some(result) => {
                     if result == SatResult::Unsat {
                         self.cancel_until(0);
                     }
-                    return result;
+                    return Some(result);
                 }
                 None => {
+                    remaining -= budget;
                     restarts += 1;
                     self.cancel_until(0);
                 }
@@ -733,6 +753,49 @@ mod tests {
             let got = s.solve() == SatResult::Sat;
             assert_eq!(got, brute_sat, "round {round}: clauses {clauses:?}");
         }
+    }
+
+    #[test]
+    fn incremental_clause_adds_between_solves() {
+        // Narrow the same formula across solves; clauses added after a Sat
+        // answer must take effect without rebuilding the solver.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive(), b.positive()]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.add_clause(&[a.negative()]));
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+        assert!(!s.add_clause(&[b.negative()]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn solve_limited_exhausts_budget_and_stays_usable() {
+        // A pigeonhole instance needing many conflicts: with a tiny budget
+        // the query is unknown, and the solver stays usable for an
+        // unbounded retry that benefits from the retained learnt clauses.
+        let mut s = Solver::new();
+        let mut p = [[Var(0); 3]; 4];
+        for pi in p.iter_mut() {
+            for h in pi.iter_mut() {
+                *h = s.new_var();
+            }
+        }
+        for pi in &p {
+            s.add_clause(&[pi[0].positive(), pi[1].positive(), pi[2].positive()]);
+        }
+        #[allow(clippy::needless_range_loop)]
+        for h in 0..3 {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    s.add_clause(&[p[i][h].negative(), p[j][h].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve_limited(&[], 1), None, "1 conflict cannot refute");
+        assert_eq!(s.solve_limited(&[], u64::MAX), Some(SatResult::Unsat));
     }
 
     #[test]

@@ -313,6 +313,17 @@ macro_rules! prop_assert_ne {
             )));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} != {:?}`: {}",
+                l,
+                r,
+                format!($($fmt)*)
+            )));
+        }
+    }};
 }
 
 /// Skip the current case when an assumption does not hold.
