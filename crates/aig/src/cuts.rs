@@ -23,6 +23,7 @@
 
 use crate::tt::TruthTable;
 use crate::{Aig, NodeId, NodeKind};
+use xsfq_exec::ThreadPool;
 
 /// Maximum number of leaves a [`Cut`] can hold inline. Covers every user in
 /// the workspace (`rewrite` uses k = 4, `refactor` clamps to k ≤ 12).
@@ -207,37 +208,84 @@ fn antichain_insert(list: &mut Vec<Cut>, merged: Cut) {
 }
 
 /// Enumerate up to `max_cuts` k-feasible cuts per node (the trivial cut is
-/// always included and not counted against the budget).
+/// always included and not counted against the budget), on the global
+/// executor pool.
 ///
 /// Returns one cut list per node id.
 pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
+    enumerate_cuts_with_pool(aig, k, max_cuts, ThreadPool::global())
+}
+
+/// [`enumerate_cuts`] on an explicit executor pool.
+///
+/// A node's cut list depends only on its fanins' lists, and fanins sit at
+/// strictly lower logic levels — so the nodes of one level are enumerated
+/// in parallel and their lists scattered back before the next level starts.
+/// Each per-node list is computed by the same merge/antichain walk in the
+/// same order as a sequential id-order pass, so the output is identical for
+/// every thread count (the `cut_enumeration_matches_reference` proptest
+/// pins the sequential reference).
+pub fn enumerate_cuts_with_pool(
+    aig: &Aig,
+    k: usize,
+    max_cuts: usize,
+    pool: &ThreadPool,
+) -> Vec<Vec<Cut>> {
     assert!(k <= MAX_CUT_SIZE, "k exceeds MAX_CUT_SIZE");
     let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); aig.num_nodes()];
+    // Constants and combinational inputs carry only their trivial cut.
     for (i, kind) in aig.nodes().iter().enumerate() {
-        let id = NodeId::from_index(i);
-        match *kind {
-            NodeKind::Const0 | NodeKind::Input { .. } | NodeKind::Latch { .. } => {
-                cuts[i] = vec![Cut::trivial(id)];
-            }
-            NodeKind::And { a, b } => {
-                let mut list: Vec<Cut> = Vec::with_capacity(max_cuts + 1);
-                let (ca, cb) = (&cuts[a.node().index()], &cuts[b.node().index()]);
-                for cut_a in ca {
-                    for cut_b in cb {
-                        let Some(merged) = cut_a.merge(cut_b, k) else {
-                            continue;
-                        };
-                        antichain_insert(&mut list, merged);
-                    }
-                }
-                list.sort_by_key(Cut::len);
-                list.truncate(max_cuts);
-                list.push(Cut::trivial(id));
-                cuts[i] = list;
-            }
+        if !kind.is_and() {
+            cuts[i] = vec![Cut::trivial(NodeId::from_index(i))];
         }
     }
+    // AND nodes bucketed by level, ascending; ids stay ascending within a
+    // level (stable sort), which fixes the scatter order.
+    let levels = aig.levels();
+    let mut order: Vec<u32> = (0..aig.num_nodes() as u32)
+        .filter(|&i| aig.nodes()[i as usize].is_and())
+        .collect();
+    order.sort_by_key(|&i| levels[i as usize]);
+    let mut start = 0;
+    while start < order.len() {
+        let level = levels[order[start] as usize];
+        let mut end = start + 1;
+        while end < order.len() && levels[order[end] as usize] == level {
+            end += 1;
+        }
+        let group = &order[start..end];
+        let lists = pool.map_init(
+            group,
+            || (),
+            |(), _, &i| node_cuts(aig, &cuts, i, k, max_cuts),
+        );
+        for (&i, list) in group.iter().zip(lists) {
+            cuts[i as usize] = list;
+        }
+        start = end;
+    }
     cuts
+}
+
+/// Cut list of a single AND node from its fanins' finished lists.
+fn node_cuts(aig: &Aig, cuts: &[Vec<Cut>], i: u32, k: usize, max_cuts: usize) -> Vec<Cut> {
+    let NodeKind::And { a, b } = aig.nodes()[i as usize] else {
+        unreachable!("only AND nodes are enumerated per level");
+    };
+    let mut list: Vec<Cut> = Vec::with_capacity(max_cuts + 1);
+    let (ca, cb) = (&cuts[a.node().index()], &cuts[b.node().index()]);
+    for cut_a in ca {
+        for cut_b in cb {
+            let Some(merged) = cut_a.merge(cut_b, k) else {
+                continue;
+            };
+            antichain_insert(&mut list, merged);
+        }
+    }
+    list.sort_by_key(Cut::len);
+    list.truncate(max_cuts);
+    list.push(Cut::trivial(NodeId::from_index(i as usize)));
+    list
 }
 
 /// Reusable per-cone working state for [`reconvergence_cut_with`],

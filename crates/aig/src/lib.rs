@@ -48,6 +48,13 @@
 //!   variable count, never a heuristic), and every operator has an in-place
 //!   variant (`invert`, `and_with`, `cofactor0_in_place`, …) used by the
 //!   rewriting loops.
+//! * **Parallel resynthesis** — the rewriting passes and cut enumeration
+//!   fan their evaluate phases across the vendored work-stealing executor
+//!   (`xsfq-exec`), with per-thread scratch arenas, and commit replacements
+//!   single-threaded in node-index order; the output is bit-identical for
+//!   every thread count (`tests/parallel_identity.rs`, gated in CI; thread
+//!   count defaults to `available_parallelism`, overridable with the
+//!   `XSFQ_THREADS` environment variable or [`opt::optimize_with`]).
 
 #![warn(missing_docs)]
 

@@ -6,13 +6,36 @@
 //! DAC'06), reconvergence-driven refactoring, and AND-tree balancing. All
 //! passes preserve the PI/PO/latch interface and are verified by CEC in the
 //! test suites.
+//!
+//! # Parallel evaluate, sequential commit
+//!
+//! The resynthesis passes (`rewrite`, `rewrite_zero`, `refactor*`) are split
+//! into two phases per batch of nodes:
+//!
+//! * **evaluate** — per candidate cut: the cut function, the MFFC size and
+//!   the isolation-cost prefilter. These read only the *immutable input
+//!   graph* (plus the finished cut lists), so the batch fans out across the
+//!   [`xsfq_exec::ThreadPool`] with one [`CutScratch`] + [`Synthesizer`]
+//!   arena per worker thread.
+//! * **commit** — the sharing-aware gain measurement (speculative build +
+//!   rollback against the growing output graph) and the winning rebuild.
+//!   Commit order determines node ids and structural-hash sharing, so this
+//!   phase runs single-threaded in ascending node-index order.
+//!
+//! Because every evaluate result is a pure function of `(input graph,
+//! node)`, scheduling cannot change it, and the committed output is
+//! **bit-identical for every thread count** — pinned by the
+//! `parallel_identity` proptest and exercised both ways in CI
+//! (`XSFQ_THREADS=1` and default).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::cuts::{self, Cut, CutScratch};
 use crate::synth::Synthesizer;
+use crate::tt::TruthTable;
 use crate::{Aig, Lit, NodeId, NodeKind};
+use xsfq_exec::ThreadPool;
 
 /// Remove dangling nodes (alias of [`Aig::compact`]).
 pub fn cleanup(aig: &Aig) -> Aig {
@@ -100,39 +123,41 @@ fn collect_supergate(aig: &Aig, id: NodeId, fanouts: &[u32], is_root: bool, leav
 /// 4-feasible cuts, resynthesize the best one, and accept when the new
 /// implementation is smaller than the node's maximum fanout-free cone.
 pub fn rewrite(aig: &Aig) -> Aig {
-    resynthesis_pass(
-        aig,
-        ResynthMode::Rewrite {
-            k: 4,
-            max_cuts: 8,
-            zero_gain: false,
-        },
-    )
+    rewrite_pool(aig, false, ThreadPool::global())
 }
 
 /// Like [`rewrite`] but also accepts size-neutral replacements (ABC's
 /// `rewrite -z`): restructuring toward canonical forms unlocks gains in the
 /// following passes.
 pub fn rewrite_zero(aig: &Aig) -> Aig {
-    resynthesis_pass(
-        aig,
-        ResynthMode::Rewrite {
-            k: 4,
-            max_cuts: 8,
-            zero_gain: true,
-        },
-    )
+    rewrite_pool(aig, true, ThreadPool::global())
 }
 
 /// Reconvergence-driven refactoring (ABC's `refactor`): one larger cut per
 /// node (default 8 leaves), resynthesized through ISOP + factoring.
 pub fn refactor(aig: &Aig) -> Aig {
-    resynthesis_pass(aig, ResynthMode::Refactor { k: 8 })
+    resynthesis_pass(aig, ResynthMode::Refactor { k: 8 }, ThreadPool::global())
 }
 
 /// Like [`refactor`] with a custom cut size (up to 12).
 pub fn refactor_with_cut_size(aig: &Aig, k: usize) -> Aig {
-    resynthesis_pass(aig, ResynthMode::Refactor { k: k.clamp(2, 12) })
+    refactor_with_cut_size_pool(aig, k, ThreadPool::global())
+}
+
+fn refactor_with_cut_size_pool(aig: &Aig, k: usize, pool: &ThreadPool) -> Aig {
+    resynthesis_pass(aig, ResynthMode::Refactor { k: k.clamp(2, 12) }, pool)
+}
+
+fn rewrite_pool(aig: &Aig, zero_gain: bool, pool: &ThreadPool) -> Aig {
+    resynthesis_pass(
+        aig,
+        ResynthMode::Rewrite {
+            k: 4,
+            max_cuts: 8,
+            zero_gain,
+        },
+        pool,
+    )
 }
 
 enum ResynthMode {
@@ -146,7 +171,32 @@ enum ResynthMode {
     },
 }
 
-fn resynthesis_pass(aig: &Aig, mode: ResynthMode) -> Aig {
+/// Nodes evaluated per parallel wave. Bounds the memory held by pending
+/// evaluation results while keeping the pool dispatch overhead amortized;
+/// the batch boundary has no effect on the result (evaluation is pure).
+const EVAL_BATCH: usize = 256;
+
+/// One surviving candidate of the evaluate phase.
+struct Candidate {
+    cut: Cut,
+    tt: TruthTable,
+    mffc: isize,
+}
+
+/// Evaluate-phase output for one AND node: the candidate cuts that passed
+/// the isolation-cost prefilter, in enumeration order.
+struct NodeEval {
+    candidates: Vec<Candidate>,
+}
+
+/// Per-worker evaluate-phase arenas (one per executor thread per batch).
+#[derive(Default)]
+struct EvalScratch {
+    scratch: CutScratch,
+    synth: Synthesizer,
+}
+
+fn resynthesis_pass(aig: &Aig, mode: ResynthMode, pool: &ThreadPool) -> Aig {
     let fanouts = aig.fanout_counts(true);
     let zero_gain = matches!(
         mode,
@@ -157,70 +207,45 @@ fn resynthesis_pass(aig: &Aig, mode: ResynthMode) -> Aig {
     );
     let min_gain = if zero_gain { 0 } else { 1 };
     let enumerated = match &mode {
-        ResynthMode::Rewrite { k, max_cuts, .. } => Some(cuts::enumerate_cuts(aig, *k, *max_cuts)),
+        ResynthMode::Rewrite { k, max_cuts, .. } => {
+            Some(cuts::enumerate_cuts_with_pool(aig, *k, *max_cuts, pool))
+        }
         ResynthMode::Refactor { .. } => None,
     };
     let mut out = Aig::new(aig.name().to_string());
     let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
     map_cis(aig, &mut out, &mut map);
-    let mut synth = Synthesizer::new();
-    // Reused across every node: cone-evaluation scratch, candidate-cut and
-    // leaf-literal buffers (cuts are inline/Copy, so no per-node allocation).
-    let mut scratch = CutScratch::new();
-    let mut candidate_cuts: Vec<Cut> = Vec::new();
+    // One evaluate arena per executor participant, persistent across
+    // batches so the cost memos stay warm for the whole pass. The commit
+    // phase reuses participant 0's synthesizer: its memo entries are pure
+    // function values, so sharing them between the phases (and across
+    // arbitrary evaluation schedules) never changes the committed graph —
+    // with one thread this collapses to the single-synthesizer walk the
+    // sequential pass always did.
+    let mut states: Vec<EvalScratch> = (0..pool.num_threads())
+        .map(|_| EvalScratch::default())
+        .collect();
     let mut leaf_lits: Vec<Lit> = Vec::new();
 
-    for (i, kind) in aig.nodes().iter().enumerate() {
-        let NodeKind::And { a, b } = *kind else {
-            continue;
-        };
-        let id = NodeId::from_index(i);
-        candidate_cuts.clear();
-        match &mode {
-            ResynthMode::Rewrite { .. } => candidate_cuts.extend(
-                enumerated.as_ref().unwrap()[i]
-                    .iter()
-                    .filter(|c| c.len() >= 2 && c.leaves() != [id]),
-            ),
-            ResynthMode::Refactor { k } => {
-                let cut = cuts::reconvergence_cut_with(aig, id, *k, &mut scratch);
-                if cut.len() >= 2 {
-                    candidate_cuts.push(cut);
-                }
-            }
+    let and_ids: Vec<u32> = (0..aig.num_nodes() as u32)
+        .filter(|&i| aig.nodes()[i as usize].is_and())
+        .collect();
+    for batch in and_ids.chunks(EVAL_BATCH) {
+        let evals = pool.map_reuse(batch, &mut states, |st, _, &i| {
+            evaluate_node(aig, &mode, enumerated.as_deref(), &fanouts, i, st)
+        });
+        for (&i, eval) in batch.iter().zip(&evals) {
+            commit_node(
+                aig,
+                &mut out,
+                &mut map,
+                &mut states[0].synth,
+                &mut leaf_lits,
+                min_gain,
+                i as usize,
+                eval,
+            );
         }
-        // Choose the cut with the best *sharing-aware* gain: build each
-        // candidate on top of the output graph, count the nodes actually
-        // created, then roll back. The winner is rebuilt for real.
-        let mut best: Option<(isize, &Cut)> = None; // (gain, cut)
-        for cut in &candidate_cuts {
-            let tt = cuts::cut_function_with(aig, id, cut.leaves(), &mut scratch);
-            let mffc = cuts::mffc_size_with(aig, id, cut.leaves(), &fanouts, &mut scratch) as isize;
-            // Cheap pre-filter on the isolation estimate.
-            if synth.cost(&tt) as isize - mffc > 2 {
-                continue;
-            }
-            leaf_lits.clear();
-            leaf_lits.extend(cut.leaves().iter().map(|l| map[l.index()]));
-            let watermark = out.num_nodes();
-            synth.build(&mut out, &tt, &leaf_lits);
-            let added = (out.num_nodes() - watermark) as isize;
-            out.truncate_nodes(watermark);
-            let gain = mffc - added;
-            if gain >= min_gain && best.is_none_or(|(g, _)| gain > g) {
-                best = Some((gain, cut));
-            }
-        }
-        map[i] = if let Some((_, cut)) = best {
-            let tt = cuts::cut_function_with(aig, id, cut.leaves(), &mut scratch);
-            leaf_lits.clear();
-            leaf_lits.extend(cut.leaves().iter().map(|l| map[l.index()]));
-            synth.build(&mut out, &tt, &leaf_lits)
-        } else {
-            let fa = map[a.node().index()].complement_if(a.is_complement());
-            let fb = map[b.node().index()].complement_if(b.is_complement());
-            out.and(fa, fb)
-        };
     }
     finish(aig, &mut out, &map);
     let out = out.compact();
@@ -231,6 +256,98 @@ fn resynthesis_pass(aig: &Aig, mode: ResynthMode) -> Aig {
     } else {
         aig.clone()
     }
+}
+
+/// Evaluate phase for one node: collect candidate cuts and precompute the
+/// data the commit phase needs. Reads only the immutable input graph, so
+/// results are independent of scheduling and thread count.
+fn evaluate_node(
+    aig: &Aig,
+    mode: &ResynthMode,
+    enumerated: Option<&[Vec<Cut>]>,
+    fanouts: &[u32],
+    i: u32,
+    st: &mut EvalScratch,
+) -> NodeEval {
+    let id = NodeId::from_index(i as usize);
+    let mut candidates = Vec::new();
+    match mode {
+        ResynthMode::Rewrite { .. } => {
+            for cut in enumerated.expect("rewrite enumerates cuts")[i as usize]
+                .iter()
+                .filter(|c| c.len() >= 2 && c.leaves() != [id])
+            {
+                push_candidate(aig, id, *cut, fanouts, st, &mut candidates);
+            }
+        }
+        ResynthMode::Refactor { k } => {
+            let cut = cuts::reconvergence_cut_with(aig, id, *k, &mut st.scratch);
+            if cut.len() >= 2 {
+                push_candidate(aig, id, cut, fanouts, st, &mut candidates);
+            }
+        }
+    }
+    NodeEval { candidates }
+}
+
+fn push_candidate(
+    aig: &Aig,
+    id: NodeId,
+    cut: Cut,
+    fanouts: &[u32],
+    st: &mut EvalScratch,
+    candidates: &mut Vec<Candidate>,
+) {
+    let tt = cuts::cut_function_with(aig, id, cut.leaves(), &mut st.scratch);
+    let mffc = cuts::mffc_size_with(aig, id, cut.leaves(), fanouts, &mut st.scratch) as isize;
+    // Cheap pre-filter on the isolation estimate (the synthesis cost is a
+    // pure function of the table, so per-thread memos agree).
+    if st.synth.cost(&tt) as isize - mffc > 2 {
+        return;
+    }
+    candidates.push(Candidate { cut, tt, mffc });
+}
+
+/// Commit phase for one node: measure each surviving candidate's
+/// *sharing-aware* gain by building it on top of the output graph, counting
+/// the nodes actually created and rolling back; rebuild the winner for real.
+#[allow(clippy::too_many_arguments)]
+fn commit_node(
+    aig: &Aig,
+    out: &mut Aig,
+    map: &mut [Lit],
+    synth: &mut Synthesizer,
+    leaf_lits: &mut Vec<Lit>,
+    min_gain: isize,
+    i: usize,
+    eval: &NodeEval,
+) {
+    let NodeKind::And { a, b } = aig.nodes()[i] else {
+        unreachable!("commit only visits AND nodes");
+    };
+    let mut best: Option<(isize, usize)> = None; // (gain, candidate index)
+    for (ci, cand) in eval.candidates.iter().enumerate() {
+        leaf_lits.clear();
+        leaf_lits.extend(cand.cut.leaves().iter().map(|l| map[l.index()]));
+        let watermark = out.num_nodes();
+        synth.build(out, &cand.tt, leaf_lits);
+        let added = (out.num_nodes() - watermark) as isize;
+        out.truncate_nodes(watermark);
+        let gain = cand.mffc - added;
+        if gain >= min_gain && best.is_none_or(|(g, _)| gain > g) {
+            best = Some((gain, ci));
+        }
+    }
+    map[i] = if let Some((_, ci)) = best {
+        let cand = &eval.candidates[ci];
+        leaf_lits.clear();
+        leaf_lits.extend(cand.cut.leaves().iter().map(|l| map[l.index()]));
+        synth.build(out, &cand.tt, leaf_lits)
+    } else {
+        let fa = map[a.node().index()].complement_if(a.is_complement());
+        let fb = map[b.node().index()].complement_if(b.is_complement());
+        out.and(fa, fb)
+    };
 }
 
 fn map_cis(aig: &Aig, out: &mut Aig, map: &mut [Lit]) {
@@ -283,6 +400,16 @@ pub enum Effort {
 /// assert!(opt.num_ands() <= 7, "full adder optimizes to ≤ 7 nodes");
 /// ```
 pub fn optimize(aig: &Aig, effort: Effort) -> Aig {
+    optimize_with(aig, effort, ThreadPool::global())
+}
+
+/// [`optimize`] on an explicit executor pool.
+///
+/// The result is bit-identical for every pool size (including 1): the
+/// parallel evaluate phases are pure functions of the input graph and every
+/// replacement is committed single-threaded in node-index order. The
+/// `parallel_identity` proptest gates this in CI.
+pub fn optimize_with(aig: &Aig, effort: Effort, pool: &ThreadPool) -> Aig {
     let (rounds, refactor_k) = match effort {
         Effort::Fast => (1, 8),
         Effort::Standard => (3, 8),
@@ -294,11 +421,11 @@ pub fn optimize(aig: &Aig, effort: Effort) -> Aig {
         // Mirrors ABC's resyn2 rhythm: balance, rewrite, refactor, then
         // zero-gain rewriting to expose further gains.
         let mut cur = balance(&best);
-        cur = rewrite(&cur);
-        cur = refactor_with_cut_size(&cur, refactor_k);
+        cur = rewrite_pool(&cur, false, pool);
+        cur = refactor_with_cut_size_pool(&cur, refactor_k, pool);
         cur = balance(&cur);
-        cur = rewrite_zero(&cur);
-        cur = rewrite(&cur);
+        cur = rewrite_pool(&cur, true, pool);
+        cur = rewrite_pool(&cur, false, pool);
         if cur.num_ands() < best.num_ands()
             || (cur.num_ands() == best.num_ands() && cur.depth() < best.depth())
         {

@@ -56,6 +56,12 @@ pub struct Synthesizer {
     /// per evaluation; the cover fully determines the cost, so one build
     /// per distinct cover suffices.
     sop_cost_memo: FxHashMap<Vec<Cube>, usize>,
+    /// Per-build node memo. Entries are only valid for one `build` call
+    /// (they bind leaf literals); the map is kept on the struct and cleared
+    /// per call so the commit phase of the rewriting passes — thousands of
+    /// `build`s per pass — reuses one allocation instead of building a
+    /// fresh `FxHashMap` each time.
+    build_memo: FxHashMap<TruthTable, Lit>,
 }
 
 /// How a function will be decomposed at the top level.
@@ -103,8 +109,13 @@ impl Synthesizer {
     /// Build `tt` over `leaves` in `aig`; see [`synthesize`].
     pub fn build(&mut self, aig: &mut Aig, tt: &TruthTable, leaves: &[Lit]) -> Lit {
         assert_eq!(leaves.len(), tt.num_vars(), "leaf count must match table");
-        let mut build_memo = FxHashMap::default();
-        self.build_rec(aig, tt, leaves, &mut build_memo)
+        // Take the retained memo (stale entries bind other leaves — clear),
+        // recurse, and put it back so its buckets survive to the next call.
+        let mut build_memo = std::mem::take(&mut self.build_memo);
+        build_memo.clear();
+        let lit = self.build_rec(aig, tt, leaves, &mut build_memo);
+        self.build_memo = build_memo;
+        lit
     }
 
     /// Memoized AND-node cost of building `tt` (isolation estimate).

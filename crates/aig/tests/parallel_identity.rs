@@ -1,0 +1,97 @@
+//! CI gate for the work-stealing executor: `optimize` must be
+//! **bit-identical** across thread counts — same node table (ids, kinds and
+//! fanin literals, which fixes the structural-hash state), same interface.
+//!
+//! This is the contract that makes the parallel evaluate phases safe: they
+//! are pure functions of the input graph, and all replacements are
+//! committed single-threaded in node-index order. Run in CI as a named
+//! step, like `sweep_agreement`.
+
+use proptest::prelude::*;
+
+use xsfq_aig::opt::{self, Effort};
+use xsfq_aig::{Aig, Lit};
+use xsfq_exec::ThreadPool;
+
+/// Random DAG from a recipe of (op, operand, operand) triples.
+fn circuit_from_recipe(recipe: &[(u8, usize, usize)], inputs: usize) -> Aig {
+    let mut g = Aig::new("rand");
+    let mut pool: Vec<Lit> = (0..inputs).map(|i| g.input(format!("x{i}"))).collect();
+    for &(op, i, j) in recipe {
+        let a = pool[i % pool.len()];
+        let b = pool[j % pool.len()];
+        let lit = match op % 6 {
+            0 => g.and(a, b),
+            1 => g.or(a, b),
+            2 => g.xor(a, b),
+            3 => g.nand(a, b),
+            4 => g.mux(a, b, !a),
+            _ => g.xnor(a, b),
+        };
+        pool.push(lit);
+    }
+    // Several outputs so optimization sees shared logic, not one cone.
+    let n = pool.len();
+    g.output("o0", pool[n - 1]);
+    g.output("o1", pool[n / 2]);
+    g.output("o2", !pool[2 * n / 3]);
+    g
+}
+
+/// Node-table + interface equality: node ids and fanin literals fix the
+/// strash state, so this is bit-identity of the whole graph.
+fn assert_identical(a: &Aig, b: &Aig) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.nodes(), b.nodes(), "node tables differ");
+    prop_assert_eq!(a.inputs(), b.inputs());
+    prop_assert_eq!(a.outputs(), b.outputs());
+    prop_assert_eq!(a.latches(), b.latches());
+    prop_assert_eq!(a.name(), b.name());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `optimize(aig, effort)` with 1 thread vs. N threads: bit-identical
+    /// output AIGs (same node order, same strash state).
+    #[test]
+    fn parallel_optimize_is_bit_identical(
+        recipe in prop::collection::vec((any::<u8>(), 0usize..64, 0usize..64), 8..120),
+        inputs in 2usize..8,
+        effort_sel in 0u8..3,
+    ) {
+        let g = circuit_from_recipe(&recipe, inputs);
+        let effort = match effort_sel {
+            0 => Effort::Fast,
+            1 => Effort::Standard,
+            _ => Effort::High,
+        };
+        let sequential = ThreadPool::new(1);
+        let parallel = ThreadPool::new(4);
+        let a = opt::optimize_with(&g, effort, &sequential);
+        let b = opt::optimize_with(&g, effort, &parallel);
+        assert_identical(&a, &b)?;
+        // And against the default-pool entry point the flow uses.
+        let c = opt::optimize(&g, effort);
+        assert_identical(&a, &c)?;
+    }
+}
+
+/// Deterministic (non-proptest) smoke over a structured circuit big enough
+/// to exercise multiple evaluate batches and steal traffic.
+#[test]
+fn parallel_optimize_identical_on_multiplier() {
+    let mut g = Aig::new("mul8");
+    let a = g.input_word("a", 8);
+    let b = g.input_word("b", 8);
+    let p = xsfq_aig::build::array_multiplier(&mut g, &a, &b);
+    g.output_word("p", &p);
+    let sequential = ThreadPool::new(1);
+    let a1 = opt::optimize_with(&g, Effort::Standard, &sequential);
+    for threads in [2, 4, 7] {
+        let pool = ThreadPool::new(threads);
+        let an = opt::optimize_with(&g, Effort::Standard, &pool);
+        assert_eq!(a1.nodes(), an.nodes(), "threads = {threads}");
+        assert_eq!(a1.outputs(), an.outputs(), "threads = {threads}");
+    }
+}

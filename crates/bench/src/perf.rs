@@ -14,7 +14,11 @@ use xsfq_aig::opt::{self, Effort};
 use xsfq_core::{map_xsfq, MapOptions, OutputPolarity, SynthesisFlow};
 use xsfq_pulse::Harness;
 
-/// `optimize` group: the ABC-style resynthesis script on ISCAS85/EPFL blocks.
+/// `optimize` group: the ABC-style resynthesis script on ISCAS85/EPFL
+/// blocks. `voter` is the largest EPFL circuit in the suite (≈7.5k ANDs);
+/// it runs twice — on the default executor pool and pinned to one worker
+/// thread — so each `BENCH_<n>.json` records the work-stealing speedup of
+/// the machine it was measured on (the results are bit-identical).
 pub fn bench_optimize(c: &mut Criterion) {
     let aig = xsfq_benchmarks::by_name("c880").unwrap();
     let mut g = c.benchmark_group("optimize");
@@ -25,6 +29,14 @@ pub fn bench_optimize(c: &mut Criterion) {
     let int2float = xsfq_benchmarks::by_name("int2float").unwrap();
     g.bench_function("int2float_standard", |b| {
         b.iter(|| opt::optimize(std::hint::black_box(&int2float), Effort::Standard))
+    });
+    let voter = xsfq_benchmarks::by_name("voter").unwrap();
+    g.bench_function("voter_fast", |b| {
+        b.iter(|| opt::optimize(std::hint::black_box(&voter), Effort::Fast))
+    });
+    let single = xsfq_exec::ThreadPool::new(1);
+    g.bench_function("voter_fast_t1", |b| {
+        b.iter(|| opt::optimize_with(std::hint::black_box(&voter), Effort::Fast, &single))
     });
     g.finish();
 }

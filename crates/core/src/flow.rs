@@ -9,6 +9,7 @@ use std::fmt;
 use xsfq_aig::opt::{self, Effort};
 use xsfq_aig::Aig;
 use xsfq_cells::{CellKind, InterconnectStyle};
+use xsfq_exec::ThreadPool;
 use xsfq_netlist::Netlist;
 
 use crate::map::{map_xsfq, MapOptions, MappedDesign};
@@ -36,6 +37,11 @@ pub struct FlowOptions {
     /// Prove the mapped netlist equivalent to the source (combinational
     /// designs; sequential designs are validated by the pulse simulator).
     pub verify: bool,
+    /// Worker threads for the parallel optimization passes. `None` uses the
+    /// process-wide executor pool (sized by `XSFQ_THREADS`, defaulting to
+    /// `available_parallelism`); `Some(n)` runs this flow on a private
+    /// `n`-thread pool. The optimized AIG is bit-identical either way.
+    pub threads: Option<usize>,
 }
 
 impl Default for FlowOptions {
@@ -48,6 +54,7 @@ impl Default for FlowOptions {
             rank_window: 3,
             fraig: false,
             verify: false,
+            threads: None,
         }
     }
 }
@@ -224,6 +231,15 @@ impl SynthesisFlow {
         self
     }
 
+    /// Run the optimization passes on a private pool of `threads` worker
+    /// threads (clamped to ≥ 1) instead of the process-wide executor. The
+    /// result is bit-identical for every thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = Some(threads.max(1));
+        self
+    }
+
     /// Current options.
     pub fn options(&self) -> &FlowOptions {
         &self.options
@@ -241,7 +257,15 @@ impl SynthesisFlow {
         if o.pipeline_stages > 0 && aig.num_latches() > 0 {
             return Err(FlowError::PipelineOnSequential);
         }
-        let mut optimized = opt::optimize(aig, o.effort);
+        let private_pool;
+        let pool = match o.threads {
+            Some(n) => {
+                private_pool = ThreadPool::new(n);
+                &private_pool
+            }
+            None => ThreadPool::global(),
+        };
+        let mut optimized = opt::optimize_with(aig, o.effort, pool);
         if o.fraig {
             let swept = xsfq_sat::fraig(&optimized);
             if swept.num_ands() < optimized.num_ands() {
@@ -359,6 +383,21 @@ mod tests {
             .run(&g)
             .unwrap();
         assert!(swept.report.aig_nodes <= base.report.aig_nodes);
+    }
+
+    #[test]
+    fn threads_knob_gives_bit_identical_flows() {
+        let mut g = Aig::new("mul6");
+        let a = g.input_word("a", 6);
+        let b = g.input_word("b", 6);
+        let p = build::array_multiplier(&mut g, &a, &b);
+        g.output_word("p", &p);
+        let one = SynthesisFlow::new().threads(1).run(&g).unwrap();
+        let four = SynthesisFlow::new().threads(4).run(&g).unwrap();
+        assert_eq!(one.optimized.nodes(), four.optimized.nodes());
+        assert_eq!(one.optimized.outputs(), four.optimized.outputs());
+        assert_eq!(one.report.jj_total, four.report.jj_total);
+        assert_eq!(one.report.la_fa, four.report.la_fa);
     }
 
     #[test]

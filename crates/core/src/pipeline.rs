@@ -12,17 +12,27 @@ use xsfq_aig::{Aig, NodeKind};
 
 /// Choose the rank levels for `arch_stages` architectural pipeline stages.
 ///
-/// Returns `2 × arch_stages` cut levels in ascending order. The final rank
-/// sits past every node (`depth + 1`), registering the primary outputs; the
-/// interior ranks divide the logic into equal-delay segments, nudged within
-/// `window` levels to minimize the number of crossing signals.
+/// Returns `2 × stages` cut levels in **strictly increasing** order, where
+/// `stages = min(arch_stages, ⌈depth / 2⌉)` — a fabric of depth `d` can
+/// host at most `⌈d / 2⌉` architectural stages, because the `2·stages − 1`
+/// interior ranks need distinct levels in `1..=depth`. Requesting more
+/// stages than the fabric can hold saturates (rather than emitting the
+/// duplicate or out-of-range ranks that would silently corrupt the stage
+/// balance). The final rank sits past every node (`depth + 1`), registering
+/// the primary outputs; the interior ranks divide the logic into
+/// equal-delay segments, nudged within `window` levels to minimize the
+/// number of crossing signals, and always satisfy `1 ≤ rank ≤ depth`.
 ///
-/// Returns an empty vector for `arch_stages == 0`.
+/// Returns an empty vector for `arch_stages == 0` or a depth-0 (wire-only)
+/// design.
 pub fn choose_rank_levels(aig: &Aig, arch_stages: usize, window: u32) -> Vec<u32> {
+    let depth = aig.depth() as u32;
+    // Saturate the stage count to what the fabric can hold: the 2s − 1
+    // interior cuts need distinct levels in 1..=depth, so 2s − 1 ≤ depth.
+    let arch_stages = arch_stages.min((depth as usize).div_ceil(2));
     if arch_stages == 0 {
         return Vec::new();
     }
-    let depth = aig.depth() as u32;
     let ranks = 2 * arch_stages as u32;
     let mut levels = Vec::with_capacity(ranks as usize);
     let widths = crossing_widths(aig);
@@ -50,6 +60,17 @@ pub fn choose_rank_levels(aig: &Aig, arch_stages: usize, window: u32) -> Vec<u32
         }
         levels.push(best);
     }
+    // The monotonicity bump can overshoot `depth` on shallow fabrics;
+    // saturation guarantees a feasible assignment exists, so repair from
+    // the top down (each cut capped one below its successor). This keeps
+    // strict monotonicity and clamps every interior cut into 1..=depth.
+    let n = levels.len();
+    levels[n - 1] = levels[n - 1].min(depth);
+    for j in (0..n - 1).rev() {
+        levels[j] = levels[j].min(levels[j + 1] - 1);
+    }
+    debug_assert!(levels[0] >= 1 && levels[n - 1] <= depth);
+    debug_assert!(levels.windows(2).all(|w| w[0] < w[1]));
     levels.push(depth + 1); // output rank
     levels
 }
@@ -125,6 +146,43 @@ mod tests {
                 "final rank registers the outputs"
             );
         }
+    }
+
+    /// Regression: with `depth < 2 × arch_stages` the old monotonicity bump
+    /// (`best = prev + 1`) produced duplicate and out-of-range ranks — e.g.
+    /// a depth-2 adder at 2 stages emitted `[1, 2, 3, 3]`, colliding with
+    /// the output rank and silently corrupting the stage balance. The stage
+    /// count must saturate and every invariant must hold on shallow fabrics.
+    #[test]
+    fn shallow_fabric_saturates_stages_and_keeps_invariants() {
+        for width in 1..=4 {
+            let g = adder(width);
+            let depth = g.depth() as u32;
+            for stages in 1..=4usize {
+                for window in 0..=3 {
+                    let ranks = choose_rank_levels(&g, stages, window);
+                    let effective = stages.min((depth as usize).div_ceil(2));
+                    assert_eq!(
+                        ranks.len(),
+                        2 * effective,
+                        "width {width} stages {stages}: {ranks:?}"
+                    );
+                    for w in ranks.windows(2) {
+                        assert!(w[0] < w[1], "must strictly increase: {ranks:?}");
+                    }
+                    let (&last, interior) = ranks.split_last().unwrap();
+                    assert_eq!(last, depth + 1, "final rank registers outputs");
+                    for &r in interior {
+                        assert!((1..=depth).contains(&r), "interior in range: {ranks:?}");
+                    }
+                }
+            }
+        }
+        // A wire-only design has no fabric to cut: no ranks at all.
+        let mut g = Aig::new("wire");
+        let a = g.input("a");
+        g.output("o", a);
+        assert!(choose_rank_levels(&g, 2, 3).is_empty());
     }
 
     #[test]

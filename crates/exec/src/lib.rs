@@ -1,0 +1,623 @@
+//! # xsfq-exec — vendored work-stealing executor
+//!
+//! A zero-dependency (std-only) work-stealing runtime for the synthesis
+//! passes: [`Deque`] is a fixed-capacity Chase-Lev work-stealing deque and
+//! [`ThreadPool`] a persistent pool of parked worker threads driving a
+//! deterministic data-parallel map ([`ThreadPool::map_init`]). The container
+//! has no crates.io access, so this plays the role rayon-core would
+//! otherwise play — scoped down to the one primitive the optimization
+//! passes need: *map an index range over immutable shared data, with
+//! per-thread mutable scratch, into a result slot per index*.
+//!
+//! # Why the commit phase stays single-threaded
+//!
+//! The resynthesis passes ([`rewrite`](../xsfq_aig/opt/fn.rewrite.html) and
+//! friends) split every pass into an **evaluate** phase — per-node cut
+//! functions, MFFC sizes and synthesis costs, all pure functions of the
+//! *input* graph — and a **commit** phase that builds replacements into the
+//! *output* graph. Only the evaluate phase runs on this executor: commit
+//! order determines node ids, structural-hash sharing and therefore the
+//! result graph, so commits are merged single-threaded in ascending node
+//! index. Because evaluation results are pure (scheduling cannot change
+//! them), the final graph is **bit-identical** for every thread count; the
+//! `parallel_identity` proptest in `xsfq-aig` pins this in CI.
+//!
+//! # Deque invariants (Chase-Lev)
+//!
+//! * Tasks are plain `usize` indices into the caller's item slice.
+//! * Exactly one owner thread calls [`Deque::push`] / [`Deque::pop`]
+//!   (bottom end, LIFO); any number of threads call [`Deque::steal`]
+//!   (top end, FIFO). Ownership is by convention — the pool gives each
+//!   participant its own deque.
+//! * Capacity is fixed at construction and must cover every task pushed;
+//!   [`ThreadPool::map_init`] pre-distributes all indices before the
+//!   parallel section starts, so the buffer never needs to grow and
+//!   `Empty` is a *stable* answer once all pushes have happened-before the
+//!   steal (a `Retry` only signals a lost CAS race, not emptiness).
+//! * Memory orderings follow Lê et al., *Correct and Efficient
+//!   Work-Stealing for Weak Memory Models* (PPoPP'13): the owner's `pop`
+//!   publishes its bottom decrement with a `SeqCst` fence before reading
+//!   `top`; stealers race on a `SeqCst` compare-exchange of `top`, so every
+//!   task is handed to exactly one thread.
+
+#![warn(missing_docs)]
+
+use std::cell::UnsafeCell;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{fence, AtomicIsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Result of a [`Deque::steal`] attempt.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Steal {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race against the owner or another stealer; try again.
+    Retry,
+    /// Stole the given task.
+    Success(usize),
+}
+
+/// A fixed-capacity Chase-Lev work-stealing deque over `usize` tasks.
+///
+/// See the module docs for the ownership and capacity invariants.
+pub struct Deque {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    buf: Box<[UnsafeCell<usize>]>,
+    mask: usize,
+}
+
+// SAFETY: the buffer is only written by the owner (`push`) before
+// publication of `bottom`; concurrent reads race only with slots that the
+// top/bottom indices prove reachable, and the CAS on `top` ensures a slot's
+// value is consumed exactly once.
+unsafe impl Sync for Deque {}
+unsafe impl Send for Deque {}
+
+impl Deque {
+    /// Deque able to hold `cap` outstanding tasks (rounded up to a power of
+    /// two, minimum 2).
+    pub fn with_capacity(cap: usize) -> Deque {
+        let cap = cap.max(2).next_power_of_two();
+        Deque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buf: (0..cap).map(|_| UnsafeCell::new(0)).collect(),
+            mask: cap - 1,
+        }
+    }
+
+    /// Push a task on the bottom end. Owner thread only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deque is full (the fixed capacity must be sized to the
+    /// total task count — see the module docs).
+    pub fn push(&self, task: usize) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        assert!(
+            (b - t) as usize <= self.mask,
+            "deque overflow: capacity must cover all outstanding tasks"
+        );
+        unsafe { *self.buf[b as usize & self.mask].get() = task };
+        // Publish the slot before the new bottom becomes visible to stealers.
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Pop a task from the bottom end (most recently pushed). Owner only.
+    pub fn pop(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        // The store of `bottom` must be visible before `top` is read, or a
+        // concurrent stealer and this pop could both take the last task.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let task = unsafe { *self.buf[b as usize & self.mask].get() };
+            if t == b {
+                // Single task left: race the stealers for it.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                won.then_some(task)
+            } else {
+                Some(task)
+            }
+        } else {
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Try to steal a task from the top end (least recently pushed).
+    pub fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            let task = unsafe { *self.buf[t as usize & self.mask].get() };
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                return Steal::Retry;
+            }
+            Steal::Success(task)
+        } else {
+            Steal::Empty
+        }
+    }
+}
+
+/// Below this many items [`ThreadPool::map_init`] runs inline on the calling
+/// thread: waking the pool costs more than the work. Results are identical
+/// either way (evaluation is scheduling-independent by construction).
+pub const SEQUENTIAL_CUTOFF: usize = 64;
+
+type Job = *const (dyn Fn(usize) + Sync);
+
+/// Raw job pointer made sendable; validity is guaranteed by the dispatch
+/// protocol (the dispatcher blocks until every worker finished the job).
+struct SendJob(Job);
+unsafe impl Send for SendJob {}
+
+struct JobSlot {
+    epoch: u64,
+    job: Option<SendJob>,
+    running: usize,
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    slot: Mutex<JobSlot>,
+    work: Condvar,
+    done: Condvar,
+}
+
+/// Persistent work-stealing thread pool.
+///
+/// `ThreadPool::new(n)` spawns `n - 1` parked workers; the calling thread is
+/// always participant 0 of a parallel section, so `n == 1` means fully
+/// sequential (no threads are spawned at all). One pool may be shared by
+/// many callers — parallel sections are serialized through an internal lock,
+/// never nested.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Serializes whole parallel sections (the pool runs one job at a time).
+    run_lock: Mutex<()>,
+}
+
+impl ThreadPool {
+    /// Pool with `threads` participants (clamped to at least 1).
+    pub fn new(threads: usize) -> ThreadPool {
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(JobSlot {
+                epoch: 0,
+                job: None,
+                running: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..threads.max(1))
+            .map(|wid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("xsfq-exec-{wid}"))
+                    .spawn(move || worker_loop(&shared, wid))
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            handles,
+            run_lock: Mutex::new(()),
+        }
+    }
+
+    /// The process-wide pool: sized by the `XSFQ_THREADS` environment
+    /// variable when it holds a positive integer, otherwise by
+    /// [`std::thread::available_parallelism`] (so `0`, empty or malformed
+    /// values keep the hardware default rather than silently serializing).
+    pub fn global() -> &'static ThreadPool {
+        static POOL: OnceLock<ThreadPool> = OnceLock::new();
+        POOL.get_or_init(|| ThreadPool::new(default_threads()))
+    }
+
+    /// Number of participants (workers + the calling thread).
+    pub fn num_threads(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Deterministic parallel map with per-thread state.
+    ///
+    /// Computes `f(&mut state, i, &items[i])` for every index and returns
+    /// the results in item order. Each participating thread builds its own
+    /// `state` with `init` once per call; `f` must derive its result from
+    /// `(i, items[i])` alone (state may cache/memoize but not change
+    /// results), which makes the output independent of scheduling and
+    /// thread count — the property the `optimize` determinism gate pins.
+    ///
+    /// Work distribution: indices are pre-pushed in contiguous blocks onto
+    /// one Chase-Lev deque per participant; each participant drains its own
+    /// deque bottom-up (ascending index order) and steals from the top of
+    /// the others when empty.
+    pub fn map_init<I, T, S>(
+        &self,
+        items: &[I],
+        init: impl Fn() -> S + Sync,
+        f: impl Fn(&mut S, usize, &I) -> T + Sync,
+    ) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        S: Send,
+    {
+        let mut states: Vec<S> = (0..self.num_threads()).map(|_| init()).collect();
+        self.map_reuse(items, &mut states, f)
+    }
+
+    /// [`ThreadPool::map_init`] with caller-owned per-thread states.
+    ///
+    /// Participant `wid` works on `states[wid]` exclusively; the slice must
+    /// hold at least [`ThreadPool::num_threads`] entries. Callers that map
+    /// many batches reuse one state vector so per-thread arenas and memo
+    /// tables stay warm across batches — the resynthesis passes' evaluate
+    /// phase does exactly this. As with `map_init`, `f` must derive its
+    /// result from `(i, items[i])` alone; state may only cache.
+    ///
+    /// If `f` panics, the panic propagates after all workers stop, and
+    /// results computed so far are **leaked** (not dropped): slots are
+    /// written in steal order, so which are initialized is unknowable
+    /// without extra bookkeeping, and leaking is the safe failure mode.
+    pub fn map_reuse<I, T, S>(
+        &self,
+        items: &[I],
+        states: &mut [S],
+        f: impl Fn(&mut S, usize, &I) -> T + Sync,
+    ) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        S: Send,
+    {
+        let n = items.len();
+        let threads = self.num_threads();
+        assert!(
+            states.len() >= threads,
+            "need one state per participant ({} < {threads})",
+            states.len()
+        );
+        if threads == 1 || n < SEQUENTIAL_CUTOFF {
+            let state = &mut states[0];
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(state, i, item))
+                .collect();
+        }
+
+        // One deque per participant, blocks of consecutive indices, pushed
+        // in reverse so the owner pops them in ascending order.
+        let chunk = n.div_ceil(threads);
+        let deques: Vec<Deque> = (0..threads)
+            .map(|p| {
+                let lo = (p * chunk).min(n);
+                let hi = ((p + 1) * chunk).min(n);
+                let d = Deque::with_capacity(chunk);
+                for i in (lo..hi).rev() {
+                    d.push(i);
+                }
+                d
+            })
+            .collect();
+
+        let mut results: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+        // SAFETY: MaybeUninit contents are allowed to be uninitialized; the
+        // vector never drops T (only the transmuted result does, once every
+        // slot has been written exactly once).
+        unsafe { results.set_len(n) };
+        let out = SendPtr(results.as_mut_ptr() as *mut T);
+        let states_ptr = SendPtr(states.as_mut_ptr());
+
+        let body = move |wid: usize| {
+            // SAFETY: participant indices are distinct, so each `&mut S`
+            // aliases nothing (bounds asserted above).
+            let state = unsafe { &mut *states_ptr.slot(wid) };
+            let mine = &deques[wid];
+            loop {
+                let task = mine.pop().or_else(|| {
+                    // All pushes happened before dispatch, so Empty is
+                    // stable; only Retry (a lost CAS) warrants another lap.
+                    loop {
+                        let mut saw_retry = false;
+                        for off in 1..threads {
+                            match deques[(wid + off) % threads].steal() {
+                                Steal::Success(t) => return Some(t),
+                                Steal::Retry => saw_retry = true,
+                                Steal::Empty => {}
+                            }
+                        }
+                        if !saw_retry {
+                            return None;
+                        }
+                        std::hint::spin_loop();
+                    }
+                });
+                let Some(i) = task else { break };
+                let value = f(state, i, &items[i]);
+                // SAFETY: the deque protocol hands index `i` to exactly one
+                // thread, so this slot is written exactly once.
+                unsafe { out.slot(i).write(value) };
+            }
+        };
+        self.run(&body);
+
+        // SAFETY: every index was executed (each deque was drained), so all
+        // `n` slots are initialized; MaybeUninit<T> and T share layout.
+        let mut results = ManuallyDrop::new(results);
+        unsafe { Vec::from_raw_parts(results.as_mut_ptr() as *mut T, n, results.capacity()) }
+    }
+
+    /// Run `body(participant_index)` on every participant and wait for all
+    /// of them. Parallel sections are serialized; nesting (calling back into
+    /// the same pool from inside `body`) would deadlock and is forbidden.
+    fn run(&self, body: &(dyn Fn(usize) + Sync)) {
+        if self.handles.is_empty() {
+            body(0);
+            return;
+        }
+        // A panicking section poisons the lock while unwinding; that is
+        // benign here (the section waited for every worker before
+        // unwinding), so recover instead of propagating the poison.
+        let _section = self
+            .run_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        {
+            let mut slot = self.shared.slot.lock().expect("job slot poisoned");
+            // SAFETY: `body` outlives the job because this function blocks
+            // below until `running` returns to zero.
+            let body_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(body) };
+            slot.job = Some(SendJob(body_static));
+            slot.epoch += 1;
+            slot.running = self.handles.len();
+            self.shared.work.notify_all();
+        }
+        // The dispatcher is participant 0.
+        let main_result = panic::catch_unwind(AssertUnwindSafe(|| body(0)));
+        let worker_panicked = {
+            let mut slot = self.shared.slot.lock().expect("job slot poisoned");
+            while slot.running > 0 {
+                slot = self.shared.done.wait(slot).expect("job slot poisoned");
+            }
+            slot.job = None;
+            std::mem::replace(&mut slot.panicked, false)
+        };
+        if let Err(payload) = main_result {
+            panic::resume_unwind(payload);
+        }
+        if worker_panicked {
+            panic!("a worker thread panicked during a parallel section");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock().expect("job slot poisoned");
+            slot.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.num_threads())
+            .finish()
+    }
+}
+
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Pointer to slot `i`. A method (rather than direct field access) so
+    /// closures capture the whole `SendPtr` — the `Sync` carrier — instead
+    /// of the raw `*mut T` field, which is not `Sync`.
+    #[inline]
+    unsafe fn slot(&self, i: usize) -> *mut T {
+        self.0.add(i)
+    }
+}
+
+fn worker_loop(shared: &Shared, wid: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock().expect("job slot poisoned");
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.epoch != seen {
+                    seen = slot.epoch;
+                    break slot.job.as_ref().expect("job published with epoch").0;
+                }
+                slot = shared.work.wait(slot).expect("job slot poisoned");
+            }
+        };
+        // SAFETY: the dispatcher keeps `job` alive until `running` drops to
+        // zero, which only happens after this call returns.
+        let result = panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*job)(wid) }));
+        let mut slot = shared.slot.lock().expect("job slot poisoned");
+        if result.is_err() {
+            slot.panicked = true;
+        }
+        slot.running -= 1;
+        if slot.running == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    let hardware = || std::thread::available_parallelism().map_or(1, |n| n.get());
+    match std::env::var("XSFQ_THREADS") {
+        // `0` means "no override"; a malformed value must not silently
+        // collapse the pool to one thread, so it also falls through to the
+        // hardware default.
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => hardware(),
+        },
+        Err(_) => hardware(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deque_lifo_pop_fifo_steal() {
+        let d = Deque::with_capacity(8);
+        for i in 0..4 {
+            d.push(i);
+        }
+        assert_eq!(d.steal(), Steal::Success(0));
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.steal(), Steal::Success(1));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn deque_concurrent_steal_takes_each_task_once() {
+        let d = Arc::new(Deque::with_capacity(1 << 12));
+        let n = 4000usize;
+        for i in 0..n {
+            d.push(i);
+        }
+        let mut stolen: Vec<Vec<usize>> = Vec::new();
+        std::thread::scope(|s| {
+            let mut joins = Vec::new();
+            for _ in 0..3 {
+                let d = Arc::clone(&d);
+                joins.push(s.spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match d.steal() {
+                            Steal::Success(t) => got.push(t),
+                            Steal::Retry => std::hint::spin_loop(),
+                            Steal::Empty => break,
+                        }
+                    }
+                    got
+                }));
+            }
+            let mut own = Vec::new();
+            while let Some(t) = d.pop() {
+                own.push(t);
+            }
+            stolen.push(own);
+            for j in joins {
+                stolen.push(j.join().unwrap());
+            }
+        });
+        let mut all: Vec<usize> = stolen.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>(), "each task exactly once");
+    }
+
+    #[test]
+    fn map_init_matches_sequential_map() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        let got = pool.map_init(
+            &items,
+            || 0u64,
+            |acc, _, &x| {
+                *acc += x; // per-thread state must not affect results
+                x * x + 1
+            },
+        );
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn map_init_is_identical_across_pool_sizes() {
+        let items: Vec<u32> = (0..500).rev().collect();
+        let run = |threads| {
+            ThreadPool::new(threads).map_init(&items, Vec::<u32>::new, |scratch, i, &x| {
+                scratch.push(x);
+                (i as u32).wrapping_mul(x).rotate_left(x % 31)
+            })
+        };
+        let base = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), base, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_jobs() {
+        let pool = ThreadPool::new(3);
+        for round in 0..10u64 {
+            let items: Vec<u64> = (0..200 + round).collect();
+            let got = pool.map_init(&items, || (), |_, _, &x| x + round);
+            assert!(got.iter().zip(&items).all(|(g, &x)| *g == x + round));
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        let pool = ThreadPool::new(4);
+        let items = [1usize, 2, 3];
+        assert_eq!(
+            pool.map_init(&items, || (), |_, _, &x| x * 2),
+            vec![2, 4, 6]
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(2);
+        let items: Vec<usize> = (0..SEQUENTIAL_CUTOFF * 4).collect();
+        let boom = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map_init(
+                &items,
+                || (),
+                |_, _, &x| {
+                    assert!(x != 100, "intentional test panic");
+                    x
+                },
+            )
+        }));
+        assert!(boom.is_err());
+        // The pool must stay usable after a panicked section.
+        let ok = pool.map_init(&items, || (), |_, _, &x| x + 1);
+        assert_eq!(ok[0], 1);
+    }
+}

@@ -33,6 +33,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`aig`] | AND-Inverter graphs and optimization passes (ABC substitute) |
+//! | [`exec`] | vendored work-stealing executor (Chase-Lev deques + thread pool) |
 //! | [`sat`] | CDCL SAT solver + combinational equivalence checking |
 //! | [`cells`] | xSFQ / RSFQ standard-cell libraries (paper Table 2) |
 //! | [`netlist`] | technology netlists, splitter insertion, JJ accounting |
@@ -47,6 +48,7 @@ pub use xsfq_baselines as baselines;
 pub use xsfq_benchmarks as benchmarks;
 pub use xsfq_cells as cells;
 pub use xsfq_core as core;
+pub use xsfq_exec as exec;
 pub use xsfq_netlist as netlist;
 pub use xsfq_pulse as pulse;
 pub use xsfq_sat as sat;
