@@ -32,6 +32,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::cuts::{self, Cut, CutScratch};
+use crate::pass::{PassCtx, PassRegistry, Script};
 use crate::synth::Synthesizer;
 use crate::tt::TruthTable;
 use crate::{Aig, Lit, NodeId, NodeKind};
@@ -49,8 +50,48 @@ pub fn cleanup(aig: &Aig) -> Aig {
 /// lowest-level operands first). Levels of the output graph are maintained
 /// incrementally as nodes are created — one O(1) update per fresh AND —
 /// instead of re-scanning the node table.
+///
+/// Like the resynthesis passes, `balance` follows the evaluate/commit mold:
+/// super-gate leaf collection is a pure function of the input graph and fans
+/// out across the executor, while the tree rebuild commits single-threaded
+/// in node-index order — the output is bit-identical for every thread count
+/// (gated by the `parallel_identity` suite).
 pub fn balance(aig: &Aig) -> Aig {
+    balance_with(aig, ThreadPool::global())
+}
+
+/// [`balance`] on an explicit executor pool.
+pub fn balance_with(aig: &Aig, pool: &ThreadPool) -> Aig {
+    balance_counted(aig, pool).0
+}
+
+/// [`balance_with`] that also reports how many multi-input super-gates were
+/// rebuilt (the pass's commit counter).
+pub(crate) fn balance_counted(aig: &Aig, pool: &ThreadPool) -> (Aig, u64) {
     let fanouts = aig.fanout_counts(true);
+    let and_ids: Vec<u32> = (0..aig.num_nodes() as u32)
+        .filter(|&i| aig.nodes()[i as usize].is_and())
+        .collect();
+
+    // An AND is *absorbed* when a parent super-gate expands through it
+    // (the exact `collect_supergate` rule); its own rebuilt tree is dead,
+    // so only non-absorbed roots count as committed super-gates.
+    let mut absorbed = vec![false; aig.num_nodes()];
+    for kind in aig.nodes() {
+        let NodeKind::And { a, b } = *kind else {
+            continue;
+        };
+        for f in [a, b] {
+            if !f.is_complement() && aig.node(f.node()).is_and() && fanouts[f.node().index()] == 1 {
+                absorbed[f.node().index()] = true;
+            }
+        }
+    }
+
+    // Commit: rebuild level-minimal trees single-threaded in node-index
+    // order (tree shape depends on the mapped levels of the growing output
+    // graph, which fixes node ids and strash state).
+    let mut commits = 0u64;
     let mut out = Aig::new(aig.name().to_string());
     let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
     map_cis(aig, &mut out, &mut map);
@@ -67,38 +108,56 @@ pub fn balance(aig: &Aig) -> Aig {
         r
     };
 
-    for (i, kind) in aig.nodes().iter().enumerate() {
-        let NodeKind::And { .. } = kind else {
-            continue;
-        };
-        let id = NodeId::from_index(i);
-        // Collect the super-gate leaves of this AND tree.
-        let mut leaves: Vec<Lit> = Vec::new();
-        collect_supergate(aig, id, &fanouts, true, &mut leaves);
-        // Map leaves into the new graph and combine lowest-level first.
-        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = leaves
-            .iter()
-            .map(|l| {
-                let mapped = map[l.node().index()].complement_if(l.is_complement());
-                Reverse((levels[mapped.node().index()], mapped.raw()))
-            })
-            .collect();
-        let mut result = Lit::TRUE;
-        if let Some(Reverse((_, first))) = heap.pop() {
-            result = Lit::from_raw(first);
-            while let Some(Reverse((_, next))) = heap.pop() {
-                result = and_leveled(&mut out, &mut levels, result, Lit::from_raw(next));
-                heap.push(Reverse((levels[result.node().index()], result.raw())));
-                let Some(Reverse((_, top))) = heap.pop() else {
-                    unreachable!()
-                };
-                result = Lit::from_raw(top);
+    // Evaluate in EVAL_BATCH waves (like the resynthesis passes) so the
+    // pending leaf lists stay bounded — a chain of single-fanout ANDs
+    // would otherwise hold O(n²) leaves live at once. Super-gate leaf
+    // collection reads only the immutable input graph, so the batch fans
+    // out across the pool and the boundary cannot change the result.
+    for batch in and_ids.chunks(EVAL_BATCH) {
+        let leaves_per: Vec<Vec<Lit>> = pool.map_init(
+            batch,
+            || (),
+            |_, _, &i| {
+                let mut leaves = Vec::new();
+                collect_supergate(
+                    aig,
+                    NodeId::from_index(i as usize),
+                    &fanouts,
+                    true,
+                    &mut leaves,
+                );
+                leaves
+            },
+        );
+        for (&i, leaves) in batch.iter().zip(&leaves_per) {
+            if leaves.len() > 2 && !absorbed[i as usize] {
+                commits += 1;
             }
+            // Map leaves into the new graph and combine lowest-level first.
+            let mut heap: BinaryHeap<Reverse<(u32, u32)>> = leaves
+                .iter()
+                .map(|l| {
+                    let mapped = map[l.node().index()].complement_if(l.is_complement());
+                    Reverse((levels[mapped.node().index()], mapped.raw()))
+                })
+                .collect();
+            let mut result = Lit::TRUE;
+            if let Some(Reverse((_, first))) = heap.pop() {
+                result = Lit::from_raw(first);
+                while let Some(Reverse((_, next))) = heap.pop() {
+                    result = and_leveled(&mut out, &mut levels, result, Lit::from_raw(next));
+                    heap.push(Reverse((levels[result.node().index()], result.raw())));
+                    let Some(Reverse((_, top))) = heap.pop() else {
+                        unreachable!()
+                    };
+                    result = Lit::from_raw(top);
+                }
+            }
+            map[i as usize] = result;
         }
-        map[i] = result;
     }
     finish(aig, &mut out, &map);
-    out.compact()
+    (out.compact(), commits)
 }
 
 /// Collect the operand literals of the AND tree rooted at `id`, expanding
@@ -123,32 +182,35 @@ fn collect_supergate(aig: &Aig, id: NodeId, fanouts: &[u32], is_root: bool, leav
 /// 4-feasible cuts, resynthesize the best one, and accept when the new
 /// implementation is smaller than the node's maximum fanout-free cone.
 pub fn rewrite(aig: &Aig) -> Aig {
-    rewrite_pool(aig, false, ThreadPool::global())
+    rewrite_ctx(aig, false, &mut PassCtx::new(ThreadPool::global()))
 }
 
 /// Like [`rewrite`] but also accepts size-neutral replacements (ABC's
 /// `rewrite -z`): restructuring toward canonical forms unlocks gains in the
 /// following passes.
 pub fn rewrite_zero(aig: &Aig) -> Aig {
-    rewrite_pool(aig, true, ThreadPool::global())
+    rewrite_ctx(aig, true, &mut PassCtx::new(ThreadPool::global()))
 }
 
 /// Reconvergence-driven refactoring (ABC's `refactor`): one larger cut per
 /// node (default 8 leaves), resynthesized through ISOP + factoring.
 pub fn refactor(aig: &Aig) -> Aig {
-    resynthesis_pass(aig, ResynthMode::Refactor { k: 8 }, ThreadPool::global())
+    refactor_with_cut_size(aig, 8)
 }
 
 /// Like [`refactor`] with a custom cut size (up to 12).
 pub fn refactor_with_cut_size(aig: &Aig, k: usize) -> Aig {
-    refactor_with_cut_size_pool(aig, k, ThreadPool::global())
+    refactor_ctx(aig, k, &mut PassCtx::new(ThreadPool::global()))
 }
 
-fn refactor_with_cut_size_pool(aig: &Aig, k: usize, pool: &ThreadPool) -> Aig {
-    resynthesis_pass(aig, ResynthMode::Refactor { k: k.clamp(2, 12) }, pool)
+/// [`refactor`] against a pass context (pool + shared arenas + commit
+/// counter) — the form the script engine invokes.
+pub(crate) fn refactor_ctx(aig: &Aig, k: usize, ctx: &mut PassCtx) -> Aig {
+    resynthesis_pass(aig, ResynthMode::Refactor { k: k.clamp(2, 12) }, ctx)
 }
 
-fn rewrite_pool(aig: &Aig, zero_gain: bool, pool: &ThreadPool) -> Aig {
+/// [`rewrite`] against a pass context — the form the script engine invokes.
+pub(crate) fn rewrite_ctx(aig: &Aig, zero_gain: bool, ctx: &mut PassCtx) -> Aig {
     resynthesis_pass(
         aig,
         ResynthMode::Rewrite {
@@ -156,7 +218,7 @@ fn rewrite_pool(aig: &Aig, zero_gain: bool, pool: &ThreadPool) -> Aig {
             max_cuts: 8,
             zero_gain,
         },
-        pool,
+        ctx,
     )
 }
 
@@ -189,14 +251,16 @@ struct NodeEval {
     candidates: Vec<Candidate>,
 }
 
-/// Per-worker evaluate-phase arenas (one per executor thread per batch).
+/// Per-worker evaluate-phase arenas (one per executor thread, owned by the
+/// [`PassCtx`] so they persist across all passes of a script).
 #[derive(Default)]
-struct EvalScratch {
-    scratch: CutScratch,
-    synth: Synthesizer,
+pub(crate) struct EvalScratch {
+    pub(crate) scratch: CutScratch,
+    pub(crate) synth: Synthesizer,
 }
 
-fn resynthesis_pass(aig: &Aig, mode: ResynthMode, pool: &ThreadPool) -> Aig {
+fn resynthesis_pass(aig: &Aig, mode: ResynthMode, ctx: &mut PassCtx) -> Aig {
+    let pool = ctx.pool();
     let fanouts = aig.fanout_counts(true);
     let zero_gain = matches!(
         mode,
@@ -215,27 +279,27 @@ fn resynthesis_pass(aig: &Aig, mode: ResynthMode, pool: &ThreadPool) -> Aig {
     let mut out = Aig::new(aig.name().to_string());
     let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
     map_cis(aig, &mut out, &mut map);
-    // One evaluate arena per executor participant, persistent across
-    // batches so the cost memos stay warm for the whole pass. The commit
-    // phase reuses participant 0's synthesizer: its memo entries are pure
-    // function values, so sharing them between the phases (and across
-    // arbitrary evaluation schedules) never changes the committed graph —
-    // with one thread this collapses to the single-synthesizer walk the
-    // sequential pass always did.
-    let mut states: Vec<EvalScratch> = (0..pool.num_threads())
-        .map(|_| EvalScratch::default())
-        .collect();
+    // One evaluate arena per executor participant, owned by the pass
+    // context so the cost memos stay warm for the whole pass — and for
+    // every later pass of the same script. The commit phase reuses
+    // participant 0's synthesizer: its memo entries are pure function
+    // values, so sharing them between the phases (and across arbitrary
+    // evaluation schedules or earlier passes) never changes the committed
+    // graph — with one thread this collapses to the single-synthesizer
+    // walk the sequential pass always did.
+    let states = &mut ctx.arenas;
+    let mut commits = 0u64;
     let mut leaf_lits: Vec<Lit> = Vec::new();
 
     let and_ids: Vec<u32> = (0..aig.num_nodes() as u32)
         .filter(|&i| aig.nodes()[i as usize].is_and())
         .collect();
     for batch in and_ids.chunks(EVAL_BATCH) {
-        let evals = pool.map_reuse(batch, &mut states, |st, _, &i| {
+        let evals = pool.map_reuse(batch, states, |st, _, &i| {
             evaluate_node(aig, &mode, enumerated.as_deref(), &fanouts, i, st)
         });
         for (&i, eval) in batch.iter().zip(&evals) {
-            commit_node(
+            commits += u64::from(commit_node(
                 aig,
                 &mut out,
                 &mut map,
@@ -244,10 +308,11 @@ fn resynthesis_pass(aig: &Aig, mode: ResynthMode, pool: &ThreadPool) -> Aig {
                 min_gain,
                 i as usize,
                 eval,
-            );
+            ));
         }
     }
     finish(aig, &mut out, &map);
+    ctx.add_commits(commits);
     let out = out.compact();
     // The gain estimates are heuristic; never accept a larger graph
     // (zero-gain mode intentionally tolerates equal size).
@@ -310,7 +375,8 @@ fn push_candidate(
 
 /// Commit phase for one node: measure each surviving candidate's
 /// *sharing-aware* gain by building it on top of the output graph, counting
-/// the nodes actually created and rolling back; rebuild the winner for real.
+/// the nodes actually created and rolling back; rebuild the winner for
+/// real. Returns whether a replacement was accepted.
 #[allow(clippy::too_many_arguments)]
 fn commit_node(
     aig: &Aig,
@@ -321,7 +387,7 @@ fn commit_node(
     min_gain: isize,
     i: usize,
     eval: &NodeEval,
-) {
+) -> bool {
     let NodeKind::And { a, b } = aig.nodes()[i] else {
         unreachable!("commit only visits AND nodes");
     };
@@ -348,6 +414,7 @@ fn commit_node(
         let fb = map[b.node().index()].complement_if(b.is_complement());
         out.and(fa, fb)
     };
+    best.is_some()
 }
 
 fn map_cis(aig: &Aig, out: &mut Aig, map: &mut [Lit]) {
@@ -372,14 +439,20 @@ fn finish(aig: &Aig, out: &mut Aig, map: &[Lit]) {
 }
 
 /// Optimization effort for [`optimize`].
+///
+/// Each level is a thin facade over a preset pass script
+/// ([`Script::preset`]); the pass manager in [`crate::pass`] is the
+/// general mechanism.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
 pub enum Effort {
-    /// One balance + rewrite round.
+    /// One balance + rewrite round (`c; repeat 1 { b; rw; rf; b; rwz; rw }`).
     Fast,
-    /// Up to three rounds of balance/rewrite/refactor (≈ ABC `resyn2`).
+    /// Up to three rounds of balance/rewrite/refactor (≈ ABC `resyn2`;
+    /// `c; repeat 3 { b; rw; rf; b; rwz; rw }`).
     #[default]
     Standard,
-    /// Up to six rounds with larger refactoring cuts.
+    /// Up to six rounds with larger refactoring cuts
+    /// (`c; repeat 6 { b; rw; rf -K 10; b; rwz; rw }`).
     High,
 }
 
@@ -405,37 +478,17 @@ pub fn optimize(aig: &Aig, effort: Effort) -> Aig {
 
 /// [`optimize`] on an explicit executor pool.
 ///
-/// The result is bit-identical for every pool size (including 1): the
-/// parallel evaluate phases are pure functions of the input graph and every
-/// replacement is committed single-threaded in node-index order. The
-/// `parallel_identity` proptest gates this in CI.
+/// Expands the effort level to its preset script and runs it through the
+/// pass manager — `script_golden` pins the expansion to the legacy
+/// hard-coded loop node-for-node. The result is bit-identical for every
+/// pool size (including 1): the parallel evaluate phases are pure functions
+/// of the input graph and every replacement is committed single-threaded in
+/// node-index order. The `parallel_identity` proptest gates this in CI.
 pub fn optimize_with(aig: &Aig, effort: Effort, pool: &ThreadPool) -> Aig {
-    let (rounds, refactor_k) = match effort {
-        Effort::Fast => (1, 8),
-        Effort::Standard => (3, 8),
-        Effort::High => (6, 10),
-    };
-    let mut best = aig.compact();
-    for _ in 0..rounds {
-        let before = best.num_ands();
-        // Mirrors ABC's resyn2 rhythm: balance, rewrite, refactor, then
-        // zero-gain rewriting to expose further gains.
-        let mut cur = balance(&best);
-        cur = rewrite_pool(&cur, false, pool);
-        cur = refactor_with_cut_size_pool(&cur, refactor_k, pool);
-        cur = balance(&cur);
-        cur = rewrite_pool(&cur, true, pool);
-        cur = rewrite_pool(&cur, false, pool);
-        if cur.num_ands() < best.num_ands()
-            || (cur.num_ands() == best.num_ands() && cur.depth() < best.depth())
-        {
-            best = cur;
-        }
-        if best.num_ands() >= before {
-            break;
-        }
-    }
-    best
+    let compiled = Script::preset(effort)
+        .compile(&PassRegistry::structural())
+        .expect("preset scripts compile against the structural registry");
+    compiled.run(aig, &mut PassCtx::new(pool))
 }
 
 #[cfg(test)]

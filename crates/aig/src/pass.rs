@@ -1,0 +1,984 @@
+//! Composable pass manager: first-class optimization passes, ABC-style
+//! scripts, and per-pass telemetry.
+//!
+//! The paper's flow (§3.1.3) runs a fixed ABC recipe. This module makes the
+//! recipe a value instead of a hard-coded loop:
+//!
+//! * [`Pass`] — one transformation (`balance`, `rewrite`, …) with a name,
+//!   run against a [`PassCtx`] that carries the executor pool, the shared
+//!   per-worker synthesis arenas, and the telemetry sink.
+//! * [`PassRegistry`] — name → pass factory. [`PassRegistry::structural`]
+//!   registers the built-in AIG passes; downstream crates register more
+//!   (`xsfq-sat` adds `fraig`).
+//! * [`Script`] — a parsed ABC-style pass script (`"b; rw; rf; b; rwz;
+//!   rw"`), with a `repeat N { … }` keep-best construct and the named
+//!   presets `fast` / `standard` / `high` that expand to **bit-identical**
+//!   sequences to the legacy [`Effort`](crate::opt::Effort) paths (pinned
+//!   by the `script_golden` test suite).
+//! * [`PassStat`] — per-pass telemetry (wall time, node/depth deltas,
+//!   commit counts) recorded by the script engine and surfaced through the
+//!   flow report and `perf_summary`.
+//!
+//! # Script grammar
+//!
+//! ```text
+//! script :=  stmt (';' stmt)*            -- empty statements are ignored
+//! stmt   :=  'repeat' INT '{' script '}'
+//!         |  PRESET                       -- fast | standard | high (inlined)
+//!         |  PASS ARG*                    -- e.g. "rf -K 10"
+//! ```
+//!
+//! Built-in pass names (aliases in parentheses): `b` (`balance`), `rw`
+//! (`rewrite`), `rwz` (`rewrite_zero`), `rf` (`refactor`, optional
+//! `-K <2..=12>` cut size), `c` (`cleanup`). The synthesis flow also
+//! registers `f` (`fraig`). A `repeat N { body }` block runs `body` up to
+//! `N` times starting from its input, keeps the best graph seen (fewest AND
+//! nodes, ties broken by depth), and stops early when a round fails to
+//! shrink the graph — exactly the legacy `optimize` loop.
+//!
+//! ```
+//! use xsfq_aig::pass::{PassCtx, PassRegistry, Script};
+//! use xsfq_aig::{build, Aig};
+//! use xsfq_exec::ThreadPool;
+//!
+//! let mut g = Aig::new("fa");
+//! let a = g.input("a");
+//! let b = g.input("b");
+//! let c = g.input("cin");
+//! let (s, co) = build::full_adder(&mut g, a, b, c);
+//! g.output("s", s);
+//! g.output("cout", co);
+//!
+//! let script = Script::parse("b; rw; rf; b; rwz; rw").unwrap();
+//! let compiled = script.compile(&PassRegistry::structural()).unwrap();
+//! let mut ctx = PassCtx::new(ThreadPool::global());
+//! let out = compiled.run(&g, &mut ctx);
+//! assert!(out.num_ands() <= g.num_ands());
+//! assert_eq!(ctx.telemetry().len(), 6, "one stat per executed pass");
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+use crate::opt::{self, EvalScratch};
+use crate::Aig;
+use xsfq_exec::ThreadPool;
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+/// Per-pass telemetry recorded by the script engine.
+#[derive(Clone, Debug)]
+pub struct PassStat {
+    /// Canonical pass name as scripted (e.g. `"rf -K 10"`).
+    pub name: String,
+    /// Wall-clock time of the pass in nanoseconds.
+    pub wall_ns: u64,
+    /// AND nodes before the pass.
+    pub nodes_before: usize,
+    /// AND nodes after the pass.
+    pub nodes_after: usize,
+    /// AIG depth before the pass.
+    pub depth_before: usize,
+    /// AIG depth after the pass.
+    pub depth_after: usize,
+    /// Pass-specific commit counter: accepted cut replacements for the
+    /// resynthesis passes, rebuilt super-gates for `balance`, proven merges
+    /// for `fraig`, zero for `cleanup`.
+    pub commits: u64,
+}
+
+impl fmt::Display for PassStat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {} nodes, depth {} -> {}, {} commits, {:.2} ms",
+            self.name,
+            self.nodes_before,
+            self.nodes_after,
+            self.depth_before,
+            self.depth_after,
+            self.commits,
+            self.wall_ns as f64 / 1e6,
+        )
+    }
+}
+
+/// Observer hook invoked after every executed pass.
+pub trait PassObserver {
+    /// Called once per executed pass, in execution order.
+    fn on_pass(&mut self, stat: &PassStat);
+}
+
+// ---------------------------------------------------------------------------
+// PassCtx
+// ---------------------------------------------------------------------------
+
+/// Execution context threaded through every pass of a script run.
+///
+/// Carries the executor pool, one evaluate-phase arena
+/// (cut scratch + synthesizer) per pool participant — shared across passes
+/// so cost memos stay warm for the whole script — the commit counter
+/// passes report into, and the telemetry sink. Arena sharing cannot change
+/// results: the memoized synthesis costs are pure functions of the truth
+/// table (the invariant the `parallel_identity` and `script_golden` suites
+/// pin).
+pub struct PassCtx<'p, 'o> {
+    pool: &'p ThreadPool,
+    pub(crate) arenas: Vec<EvalScratch>,
+    commits: u64,
+    telemetry: Vec<PassStat>,
+    observer: Option<&'o mut dyn PassObserver>,
+}
+
+impl<'p, 'o> PassCtx<'p, 'o> {
+    /// Context running on `pool`, with one evaluate arena per participant.
+    pub fn new(pool: &'p ThreadPool) -> Self {
+        PassCtx {
+            pool,
+            arenas: (0..pool.num_threads())
+                .map(|_| EvalScratch::default())
+                .collect(),
+            commits: 0,
+            telemetry: Vec::new(),
+            observer: None,
+        }
+    }
+
+    /// [`PassCtx::new`] with an observer notified after every pass.
+    pub fn with_observer(pool: &'p ThreadPool, observer: &'o mut dyn PassObserver) -> Self {
+        let mut ctx = PassCtx::new(pool);
+        ctx.observer = Some(observer);
+        ctx
+    }
+
+    /// The executor pool passes should fan their evaluate phases across.
+    pub fn pool(&self) -> &'p ThreadPool {
+        self.pool
+    }
+
+    /// Report `n` committed transformations (accepted replacements, merges,
+    /// rebuilt trees) for the currently running pass.
+    pub fn add_commits(&mut self, n: u64) {
+        self.commits += n;
+    }
+
+    /// Telemetry of every pass executed through this context so far.
+    pub fn telemetry(&self) -> &[PassStat] {
+        &self.telemetry
+    }
+
+    /// Drain the recorded telemetry.
+    pub fn take_telemetry(&mut self) -> Vec<PassStat> {
+        std::mem::take(&mut self.telemetry)
+    }
+
+    /// Run one pass with telemetry: time it, diff node/depth counts, and
+    /// attribute the commit counter delta.
+    fn run_instrumented(&mut self, pass: &dyn Pass, aig: &Aig) -> Aig {
+        let nodes_before = aig.num_ands();
+        let depth_before = aig.depth();
+        let commits_before = self.commits;
+        let start = Instant::now();
+        let out = pass.run(aig, self);
+        let stat = PassStat {
+            name: pass.name().to_string(),
+            wall_ns: start.elapsed().as_nanos() as u64,
+            nodes_before,
+            nodes_after: out.num_ands(),
+            depth_before,
+            depth_after: out.depth(),
+            commits: self.commits - commits_before,
+        };
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_pass(&stat);
+        }
+        self.telemetry.push(stat);
+        out
+    }
+}
+
+impl fmt::Debug for PassCtx<'_, '_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassCtx")
+            .field("threads", &self.pool.num_threads())
+            .field("commits", &self.commits)
+            .field("passes_run", &self.telemetry.len())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass trait + built-in passes
+// ---------------------------------------------------------------------------
+
+/// One named AIG transformation.
+///
+/// Passes must preserve the PI/PO/latch interface and the function of every
+/// output (scripted flows are CEC-checked against their source in the test
+/// suites), and must be deterministic for every pool size — evaluate in
+/// parallel, commit in a canonical order (see `xsfq_exec`'s module docs).
+pub trait Pass: Send + Sync {
+    /// Canonical scripted name (used in telemetry and error messages).
+    fn name(&self) -> &str;
+    /// Apply the pass.
+    fn run(&self, aig: &Aig, ctx: &mut PassCtx) -> Aig;
+}
+
+struct BalancePass;
+
+impl Pass for BalancePass {
+    fn name(&self) -> &str {
+        "b"
+    }
+    fn run(&self, aig: &Aig, ctx: &mut PassCtx) -> Aig {
+        let (out, commits) = opt::balance_counted(aig, ctx.pool());
+        ctx.add_commits(commits);
+        out
+    }
+}
+
+struct RewritePass {
+    zero_gain: bool,
+}
+
+impl Pass for RewritePass {
+    fn name(&self) -> &str {
+        if self.zero_gain {
+            "rwz"
+        } else {
+            "rw"
+        }
+    }
+    fn run(&self, aig: &Aig, ctx: &mut PassCtx) -> Aig {
+        opt::rewrite_ctx(aig, self.zero_gain, ctx)
+    }
+}
+
+struct RefactorPass {
+    k: usize,
+    name: String,
+}
+
+impl RefactorPass {
+    fn new(k: usize) -> Self {
+        RefactorPass {
+            name: if k == 8 {
+                "rf".to_string()
+            } else {
+                format!("rf -K {k}")
+            },
+            k,
+        }
+    }
+}
+
+impl Pass for RefactorPass {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn run(&self, aig: &Aig, ctx: &mut PassCtx) -> Aig {
+        opt::refactor_ctx(aig, self.k, ctx)
+    }
+}
+
+struct CleanupPass;
+
+impl Pass for CleanupPass {
+    fn name(&self) -> &str {
+        "c"
+    }
+    fn run(&self, aig: &Aig, _ctx: &mut PassCtx) -> Aig {
+        aig.compact()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// A pass factory: builds a pass instance from its script arguments.
+pub type PassFactory = Box<dyn Fn(&[String]) -> Result<Box<dyn Pass>, ScriptError> + Send + Sync>;
+
+/// Name → pass factory registry a [`Script`] is compiled against.
+///
+/// [`PassRegistry::structural`] covers the built-in AIG passes; crates that
+/// own heavier passes extend it (`xsfq_sat::pass::register` adds `fraig`,
+/// and `xsfq_core::flow_registry` returns the full synthesis-flow set).
+#[derive(Default)]
+pub struct PassRegistry {
+    entries: Vec<(Vec<&'static str>, PassFactory)>,
+}
+
+impl PassRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registry of the built-in structural passes: `b`/`balance`,
+    /// `rw`/`rewrite`, `rwz`/`rewrite_zero`, `rf`/`refactor` (optional
+    /// `-K <cut size>`), `c`/`cleanup`.
+    pub fn structural() -> Self {
+        let mut reg = Self::new();
+        reg.register(&["b", "balance"], |args| {
+            no_args("b", args)?;
+            Ok(Box::new(BalancePass))
+        });
+        reg.register(&["rw", "rewrite"], |args| {
+            no_args("rw", args)?;
+            Ok(Box::new(RewritePass { zero_gain: false }))
+        });
+        reg.register(&["rwz", "rewrite_zero"], |args| {
+            no_args("rwz", args)?;
+            Ok(Box::new(RewritePass { zero_gain: true }))
+        });
+        reg.register(&["rf", "refactor"], |args| {
+            let k = match args {
+                [] => 8,
+                [flag, value] if flag == "-K" => {
+                    value.parse::<usize>().map_err(|_| ScriptError::BadArgs {
+                        pass: "rf".into(),
+                        msg: format!("cut size `{value}` is not a number"),
+                    })?
+                }
+                _ => {
+                    return Err(ScriptError::BadArgs {
+                        pass: "rf".into(),
+                        msg: format!("expected `rf` or `rf -K <k>`, got args {args:?}"),
+                    })
+                }
+            };
+            if !(2..=12).contains(&k) {
+                return Err(ScriptError::BadArgs {
+                    pass: "rf".into(),
+                    msg: format!("cut size {k} outside 2..=12"),
+                });
+            }
+            Ok(Box::new(RefactorPass::new(k)))
+        });
+        reg.register(&["c", "cleanup"], |args| {
+            no_args("c", args)?;
+            Ok(Box::new(CleanupPass))
+        });
+        reg
+    }
+
+    /// Register a pass under one or more aliases. Later registrations win
+    /// on alias collision.
+    /// # Panics
+    ///
+    /// Panics when an alias is one of the script parser's reserved words
+    /// (`repeat`, `fast`, `standard`, `high`, `{`, `}`, `;`) — the parser
+    /// intercepts those before registry lookup, so such a pass could never
+    /// be invoked from a script.
+    pub fn register(
+        &mut self,
+        aliases: &[&'static str],
+        factory: impl Fn(&[String]) -> Result<Box<dyn Pass>, ScriptError> + Send + Sync + 'static,
+    ) {
+        const RESERVED: [&str; 7] = ["repeat", "fast", "standard", "high", "{", "}", ";"];
+        for alias in aliases {
+            assert!(
+                !RESERVED.contains(alias),
+                "`{alias}` is reserved by the script grammar and cannot name a pass"
+            );
+        }
+        self.entries
+            .insert(0, (aliases.to_vec(), Box::new(factory)));
+    }
+
+    /// Build the pass registered under `name` with `args`.
+    pub fn build(&self, name: &str, args: &[String]) -> Result<Box<dyn Pass>, ScriptError> {
+        for (aliases, factory) in &self.entries {
+            if aliases.contains(&name) {
+                return factory(args);
+            }
+        }
+        Err(ScriptError::UnknownPass(name.to_string()))
+    }
+
+    /// Every *effective* alias (for diagnostics): lookup order, shadowed
+    /// registrations omitted.
+    pub fn names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = Vec::new();
+        for (aliases, _) in &self.entries {
+            for alias in aliases {
+                if !names.contains(alias) {
+                    names.push(alias);
+                }
+            }
+        }
+        names
+    }
+}
+
+impl fmt::Debug for PassRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassRegistry")
+            .field("passes", &self.names())
+            .finish()
+    }
+}
+
+fn no_args(pass: &str, args: &[String]) -> Result<(), ScriptError> {
+    if args.is_empty() {
+        Ok(())
+    } else {
+        Err(ScriptError::BadArgs {
+            pass: pass.to_string(),
+            msg: format!("takes no arguments, got {args:?}"),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Script errors
+// ---------------------------------------------------------------------------
+
+/// Error from parsing or compiling a [`Script`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScriptError {
+    /// The script text does not match the grammar.
+    Parse(String),
+    /// A pass name is not in the registry the script was compiled against.
+    UnknownPass(String),
+    /// A pass rejected its arguments.
+    BadArgs {
+        /// Pass name.
+        pass: String,
+        /// What was wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptError::Parse(msg) => write!(f, "script parse error: {msg}"),
+            ScriptError::UnknownPass(name) => write!(f, "unknown pass `{name}`"),
+            ScriptError::BadArgs { pass, msg } => write!(f, "pass `{pass}`: {msg}"),
+        }
+    }
+}
+
+impl Error for ScriptError {}
+
+// ---------------------------------------------------------------------------
+// Script AST + parser
+// ---------------------------------------------------------------------------
+
+/// One statement of a [`Script`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScriptStmt {
+    /// Run one pass.
+    Pass {
+        /// Registered pass name.
+        name: String,
+        /// Arguments (e.g. `["-K", "10"]`).
+        args: Vec<String>,
+    },
+    /// Keep-best loop: run `body` up to `times` times starting from the
+    /// incoming graph, keep the best result (fewest AND nodes, ties broken
+    /// by depth), stop early when a round does not shrink the best graph.
+    Repeat {
+        /// Maximum rounds.
+        times: usize,
+        /// Statements run each round.
+        body: Vec<ScriptStmt>,
+    },
+}
+
+/// A parsed, registry-independent pass script. See the
+/// [module docs](self) for the grammar.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Script {
+    stmts: Vec<ScriptStmt>,
+}
+
+impl Script {
+    /// Parse an ABC-style script. Preset names (`fast`, `standard`,
+    /// `high`) appearing as statements are inlined.
+    pub fn parse(text: &str) -> Result<Script, ScriptError> {
+        let tokens = tokenize(text);
+        let mut pos = 0;
+        let stmts = parse_stmts(&tokens, &mut pos, false)?;
+        if pos != tokens.len() {
+            return Err(ScriptError::Parse(format!("unexpected `{}`", tokens[pos])));
+        }
+        Ok(Script { stmts })
+    }
+
+    /// The named preset (`"fast"`, `"standard"`, `"high"`), if any.
+    pub fn named(name: &str) -> Option<Script> {
+        let effort = match name {
+            "fast" => opt::Effort::Fast,
+            "standard" => opt::Effort::Standard,
+            "high" => opt::Effort::High,
+            _ => return None,
+        };
+        Some(Script::preset(effort))
+    }
+
+    /// The preset script matching a legacy [`Effort`](opt::Effort) level.
+    /// Bit-identical to the pre-pass-manager `optimize` paths (pinned by
+    /// the `script_golden` suite):
+    ///
+    /// * `Fast` → `c; repeat 1 { b; rw; rf; b; rwz; rw }`
+    /// * `Standard` → `c; repeat 3 { b; rw; rf; b; rwz; rw }`
+    /// * `High` → `c; repeat 6 { b; rw; rf -K 10; b; rwz; rw }`
+    pub fn preset(effort: opt::Effort) -> Script {
+        let (rounds, refactor_k) = match effort {
+            opt::Effort::Fast => (1, 8),
+            opt::Effort::Standard => (3, 8),
+            opt::Effort::High => (6, 10),
+        };
+        let pass = |name: &str| ScriptStmt::Pass {
+            name: name.to_string(),
+            args: Vec::new(),
+        };
+        let refactor = if refactor_k == 8 {
+            pass("rf")
+        } else {
+            ScriptStmt::Pass {
+                name: "rf".to_string(),
+                args: vec!["-K".to_string(), refactor_k.to_string()],
+            }
+        };
+        Script {
+            stmts: vec![
+                pass("c"),
+                ScriptStmt::Repeat {
+                    times: rounds,
+                    body: vec![
+                        pass("b"),
+                        pass("rw"),
+                        refactor,
+                        pass("b"),
+                        pass("rwz"),
+                        pass("rw"),
+                    ],
+                },
+            ],
+        }
+    }
+
+    /// Statements of the script.
+    pub fn stmts(&self) -> &[ScriptStmt] {
+        &self.stmts
+    }
+
+    /// Concatenate two scripts (`self` then `other`).
+    #[must_use]
+    pub fn then(mut self, other: Script) -> Script {
+        self.stmts.extend(other.stmts);
+        self
+    }
+
+    /// Number of pass invocations an execution performs at most (repeat
+    /// bodies count `times` times).
+    pub fn max_passes(&self) -> usize {
+        fn count(stmts: &[ScriptStmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    ScriptStmt::Pass { .. } => 1,
+                    ScriptStmt::Repeat { times, body } => times * count(body),
+                })
+                .sum()
+        }
+        count(&self.stmts)
+    }
+
+    /// Resolve every pass against `registry`, producing an executable
+    /// script.
+    pub fn compile(&self, registry: &PassRegistry) -> Result<CompiledScript, ScriptError> {
+        fn compile_stmts(
+            stmts: &[ScriptStmt],
+            registry: &PassRegistry,
+        ) -> Result<Vec<CompiledStmt>, ScriptError> {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    ScriptStmt::Pass { name, args } => {
+                        Ok(CompiledStmt::Pass(registry.build(name, args)?))
+                    }
+                    ScriptStmt::Repeat { times, body } => Ok(CompiledStmt::Repeat {
+                        times: *times,
+                        body: compile_stmts(body, registry)?,
+                    }),
+                })
+                .collect()
+        }
+        Ok(CompiledScript {
+            stmts: compile_stmts(&self.stmts, registry)?,
+        })
+    }
+}
+
+impl Default for Script {
+    /// The `standard` preset.
+    fn default() -> Self {
+        Script::preset(opt::Effort::Standard)
+    }
+}
+
+impl fmt::Display for Script {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn write_stmts(stmts: &[ScriptStmt], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            for (i, s) in stmts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "; ")?;
+                }
+                match s {
+                    ScriptStmt::Pass { name, args } => {
+                        write!(f, "{name}")?;
+                        for a in args {
+                            write!(f, " {a}")?;
+                        }
+                    }
+                    ScriptStmt::Repeat { times, body } => {
+                        write!(f, "repeat {times} {{ ")?;
+                        write_stmts(body, f)?;
+                        write!(f, " }}")?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        write_stmts(&self.stmts, f)
+    }
+}
+
+fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        match ch {
+            ';' | '{' | '}' => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+                tokens.push(ch.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+/// Parse `;`-separated statements until end of input (`in_block == false`)
+/// or a closing `}` (`in_block == true`, brace consumed by the caller).
+fn parse_stmts(
+    tokens: &[String],
+    pos: &mut usize,
+    in_block: bool,
+) -> Result<Vec<ScriptStmt>, ScriptError> {
+    let mut stmts = Vec::new();
+    loop {
+        // Skip statement separators.
+        while *pos < tokens.len() && tokens[*pos] == ";" {
+            *pos += 1;
+        }
+        if *pos >= tokens.len() || (in_block && tokens[*pos] == "}") {
+            return Ok(stmts);
+        }
+        let tok = tokens[*pos].as_str();
+        match tok {
+            "{" | "}" => {
+                return Err(ScriptError::Parse(format!("unexpected `{tok}`")));
+            }
+            "repeat" => {
+                *pos += 1;
+                let times = tokens
+                    .get(*pos)
+                    .and_then(|t| t.parse::<usize>().ok())
+                    .ok_or_else(|| {
+                        ScriptError::Parse("`repeat` needs a round count".to_string())
+                    })?;
+                if times == 0 {
+                    return Err(ScriptError::Parse("`repeat 0` is empty".to_string()));
+                }
+                *pos += 1;
+                if tokens.get(*pos).map(String::as_str) != Some("{") {
+                    return Err(ScriptError::Parse("`repeat N` needs a `{ … }` body".into()));
+                }
+                *pos += 1;
+                let body = parse_stmts(tokens, pos, true)?;
+                if tokens.get(*pos).map(String::as_str) != Some("}") {
+                    return Err(ScriptError::Parse("unclosed `{`".to_string()));
+                }
+                *pos += 1;
+                if body.is_empty() {
+                    return Err(ScriptError::Parse("empty `repeat` body".to_string()));
+                }
+                stmts.push(ScriptStmt::Repeat { times, body });
+            }
+            preset @ ("fast" | "standard" | "high") => {
+                *pos += 1;
+                stmts.extend(Script::named(preset).expect("preset exists").stmts);
+            }
+            _ => {
+                let name = tok.to_string();
+                *pos += 1;
+                let mut args = Vec::new();
+                // Arguments run to the next separator.
+                while *pos < tokens.len() {
+                    match tokens[*pos].as_str() {
+                        ";" | "{" | "}" => break,
+                        a => {
+                            args.push(a.to_string());
+                            *pos += 1;
+                        }
+                    }
+                }
+                stmts.push(ScriptStmt::Pass { name, args });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled script + execution
+// ---------------------------------------------------------------------------
+
+enum CompiledStmt {
+    Pass(Box<dyn Pass>),
+    Repeat {
+        times: usize,
+        body: Vec<CompiledStmt>,
+    },
+}
+
+/// A [`Script`] resolved against a [`PassRegistry`], ready to run.
+///
+/// Compiled scripts are `Sync`, so one compilation can drive many designs
+/// concurrently (the flow's `run_many` does exactly that).
+pub struct CompiledScript {
+    stmts: Vec<CompiledStmt>,
+}
+
+impl CompiledScript {
+    /// Execute the script, recording one [`PassStat`] per executed pass
+    /// into `ctx`. The output is bit-identical for every pool size.
+    pub fn run(&self, aig: &Aig, ctx: &mut PassCtx) -> Aig {
+        run_seq(&self.stmts, aig, ctx)
+    }
+}
+
+impl fmt::Debug for CompiledScript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn count(stmts: &[CompiledStmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    CompiledStmt::Pass(_) => 1,
+                    CompiledStmt::Repeat { body, .. } => count(body),
+                })
+                .sum()
+        }
+        f.debug_struct("CompiledScript")
+            .field("distinct_passes", &count(&self.stmts))
+            .finish()
+    }
+}
+
+fn run_seq(stmts: &[CompiledStmt], aig: &Aig, ctx: &mut PassCtx) -> Aig {
+    let Some(first) = stmts.first() else {
+        return aig.clone();
+    };
+    let mut cur = run_stmt(first, aig, ctx);
+    for stmt in &stmts[1..] {
+        cur = run_stmt(stmt, &cur, ctx);
+    }
+    cur
+}
+
+fn run_stmt(stmt: &CompiledStmt, aig: &Aig, ctx: &mut PassCtx) -> Aig {
+    match stmt {
+        CompiledStmt::Pass(pass) => ctx.run_instrumented(pass.as_ref(), aig),
+        CompiledStmt::Repeat { times, body } => {
+            // The legacy optimize loop: run the body on the best graph so
+            // far, keep the result only when it improves (fewer ANDs, or
+            // equal ANDs and lower depth), stop once a round does not
+            // shrink the best size.
+            let mut best = aig.clone();
+            for _ in 0..*times {
+                let before = best.num_ands();
+                let cur = run_seq(body, &best, ctx);
+                if cur.num_ands() < best.num_ands()
+                    || (cur.num_ands() == best.num_ands() && cur.depth() < best.depth())
+                {
+                    best = cur;
+                }
+                if best.num_ands() >= before {
+                    break;
+                }
+            }
+            best
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build;
+
+    fn adder() -> Aig {
+        let mut g = Aig::new("add4");
+        let a = g.input_word("a", 4);
+        let b = g.input_word("b", 4);
+        let (s, c) = build::ripple_add(&mut g, &a, &b, crate::Lit::FALSE);
+        g.output_word("s", &s);
+        g.output("c", c);
+        g
+    }
+
+    #[test]
+    fn parse_roundtrips_through_display() {
+        for text in [
+            "b; rw; rf; b; rwz; rwz",
+            "c; repeat 3 { b; rw; rf; b; rwz; rw }",
+            "rf -K 10",
+            "c; repeat 2 { b; repeat 2 { rw; rwz }; rf }",
+        ] {
+            let script = Script::parse(text).unwrap();
+            let rendered = script.to_string();
+            assert_eq!(Script::parse(&rendered).unwrap(), script, "{text}");
+        }
+    }
+
+    #[test]
+    fn presets_parse_by_name() {
+        for (name, effort) in [
+            ("fast", opt::Effort::Fast),
+            ("standard", opt::Effort::Standard),
+            ("high", opt::Effort::High),
+        ] {
+            assert_eq!(Script::parse(name).unwrap(), Script::preset(effort));
+            assert_eq!(Script::named(name).unwrap(), Script::preset(effort));
+        }
+        // Presets inline into surrounding scripts.
+        let s = Script::parse("fast; c").unwrap();
+        assert_eq!(
+            s.stmts().len(),
+            Script::preset(opt::Effort::Fast).stmts().len() + 1
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(matches!(
+            Script::parse("repeat { b }"),
+            Err(ScriptError::Parse(_))
+        ));
+        assert!(matches!(
+            Script::parse("repeat 2 { b"),
+            Err(ScriptError::Parse(_))
+        ));
+        assert!(matches!(
+            Script::parse("repeat 2 }"),
+            Err(ScriptError::Parse(_))
+        ));
+        assert!(matches!(
+            Script::parse("repeat 2 { }"),
+            Err(ScriptError::Parse(_))
+        ));
+        let reg = PassRegistry::structural();
+        assert!(matches!(
+            Script::parse("nosuch").unwrap().compile(&reg),
+            Err(ScriptError::UnknownPass(_))
+        ));
+        assert!(matches!(
+            Script::parse("rf -K 99").unwrap().compile(&reg),
+            Err(ScriptError::BadArgs { .. })
+        ));
+        assert!(matches!(
+            Script::parse("b -K 3").unwrap().compile(&reg),
+            Err(ScriptError::BadArgs { .. })
+        ));
+    }
+
+    #[test]
+    fn script_runs_and_records_telemetry() {
+        let g = adder();
+        let compiled = Script::parse("c; b; rw")
+            .unwrap()
+            .compile(&PassRegistry::structural())
+            .unwrap();
+        let mut ctx = PassCtx::new(ThreadPool::global());
+        let out = compiled.run(&g, &mut ctx);
+        assert!(out.num_ands() <= g.num_ands());
+        let stats = ctx.telemetry();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats[0].name, "c");
+        assert_eq!(stats[1].name, "b");
+        assert_eq!(stats[2].name, "rw");
+        assert_eq!(stats[0].nodes_before, g.num_ands());
+        assert_eq!(stats[2].nodes_after, out.num_ands());
+        // Stats chain: each pass starts where the previous ended.
+        assert_eq!(stats[1].nodes_after, stats[2].nodes_before);
+    }
+
+    #[test]
+    fn observer_sees_every_pass() {
+        struct Count(usize);
+        impl PassObserver for Count {
+            fn on_pass(&mut self, _stat: &PassStat) {
+                self.0 += 1;
+            }
+        }
+        let g = adder();
+        let compiled = Script::parse("b; rw; b")
+            .unwrap()
+            .compile(&PassRegistry::structural())
+            .unwrap();
+        let mut count = Count(0);
+        let pool = ThreadPool::new(1);
+        let mut ctx = PassCtx::with_observer(&pool, &mut count);
+        compiled.run(&g, &mut ctx);
+        assert_eq!(ctx.telemetry().len(), 3);
+        drop(ctx);
+        assert_eq!(count.0, 3);
+    }
+
+    #[test]
+    fn repeat_keeps_best_and_stops_early() {
+        let g = adder();
+        let reg = PassRegistry::structural();
+        // A repeat of a no-op pass must terminate after one round (no
+        // improvement) and return an unchanged graph.
+        let compiled = Script::parse("repeat 5 { c }")
+            .unwrap()
+            .compile(&reg)
+            .unwrap();
+        let mut ctx = PassCtx::new(ThreadPool::global());
+        let out = compiled.run(&g.compact(), &mut ctx);
+        assert_eq!(out.nodes(), g.compact().nodes());
+        assert_eq!(ctx.telemetry().len(), 1, "early exit after round 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved by the script grammar")]
+    fn registering_a_reserved_name_panics() {
+        let mut reg = PassRegistry::structural();
+        reg.register(&["fast"], |_| Ok(Box::new(CleanupPass)));
+    }
+
+    #[test]
+    fn max_passes_counts_repeat_expansion() {
+        let s = Script::parse("c; repeat 3 { b; rw }").unwrap();
+        assert_eq!(s.max_passes(), 1 + 3 * 2);
+    }
+}

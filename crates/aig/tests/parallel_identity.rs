@@ -10,44 +10,12 @@
 use proptest::prelude::*;
 
 use xsfq_aig::opt::{self, Effort};
-use xsfq_aig::{Aig, Lit};
+use xsfq_aig::pass::{PassCtx, PassRegistry, Script};
+use xsfq_aig::Aig;
 use xsfq_exec::ThreadPool;
 
-/// Random DAG from a recipe of (op, operand, operand) triples.
-fn circuit_from_recipe(recipe: &[(u8, usize, usize)], inputs: usize) -> Aig {
-    let mut g = Aig::new("rand");
-    let mut pool: Vec<Lit> = (0..inputs).map(|i| g.input(format!("x{i}"))).collect();
-    for &(op, i, j) in recipe {
-        let a = pool[i % pool.len()];
-        let b = pool[j % pool.len()];
-        let lit = match op % 6 {
-            0 => g.and(a, b),
-            1 => g.or(a, b),
-            2 => g.xor(a, b),
-            3 => g.nand(a, b),
-            4 => g.mux(a, b, !a),
-            _ => g.xnor(a, b),
-        };
-        pool.push(lit);
-    }
-    // Several outputs so optimization sees shared logic, not one cone.
-    let n = pool.len();
-    g.output("o0", pool[n - 1]);
-    g.output("o1", pool[n / 2]);
-    g.output("o2", !pool[2 * n / 3]);
-    g
-}
-
-/// Node-table + interface equality: node ids and fanin literals fix the
-/// strash state, so this is bit-identity of the whole graph.
-fn assert_identical(a: &Aig, b: &Aig) -> Result<(), TestCaseError> {
-    prop_assert_eq!(a.nodes(), b.nodes(), "node tables differ");
-    prop_assert_eq!(a.inputs(), b.inputs());
-    prop_assert_eq!(a.outputs(), b.outputs());
-    prop_assert_eq!(a.latches(), b.latches());
-    prop_assert_eq!(a.name(), b.name());
-    Ok(())
-}
+mod common;
+use common::{assert_identical, circuit_from_recipe};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -74,6 +42,48 @@ proptest! {
         // And against the default-pool entry point the flow uses.
         let c = opt::optimize(&g, effort);
         assert_identical(&a, &c)?;
+    }
+
+    /// `balance` follows the same evaluate/commit mold: bit-identical
+    /// output for every thread count.
+    #[test]
+    fn parallel_balance_is_bit_identical(
+        recipe in prop::collection::vec((any::<u8>(), 0usize..64, 0usize..64), 8..120),
+        inputs in 2usize..8,
+    ) {
+        let g = circuit_from_recipe(&recipe, inputs);
+        let sequential = ThreadPool::new(1);
+        let a = opt::balance_with(&g, &sequential);
+        for threads in [2usize, 5] {
+            let pool = ThreadPool::new(threads);
+            let b = opt::balance_with(&g, &pool);
+            assert_identical(&a, &b)?;
+        }
+        // The global-pool entry point agrees.
+        assert_identical(&a, &opt::balance(&g))?;
+    }
+
+    /// Arbitrary scripted pass sequences (not just the presets) stay
+    /// bit-identical across pool sizes — the pass manager inherits the
+    /// evaluate/commit determinism of every pass it schedules.
+    #[test]
+    fn scripted_passes_are_bit_identical_across_pools(
+        recipe in prop::collection::vec((any::<u8>(), 0usize..64, 0usize..64), 8..80),
+        inputs in 2usize..8,
+        picks in prop::collection::vec(0usize..6, 1..6),
+    ) {
+        const TOKENS: [&str; 6] = ["b", "rw", "rwz", "rf", "rf -K 5", "c"];
+        let g = circuit_from_recipe(&recipe, inputs);
+        let text = picks.iter().map(|&i| TOKENS[i]).collect::<Vec<_>>().join("; ");
+        let compiled = Script::parse(&text)
+            .unwrap()
+            .compile(&PassRegistry::structural())
+            .unwrap();
+        let sequential = ThreadPool::new(1);
+        let parallel = ThreadPool::new(4);
+        let a = compiled.run(&g, &mut PassCtx::new(&sequential));
+        let b = compiled.run(&g, &mut PassCtx::new(&parallel));
+        assert_identical(&a, &b)?;
     }
 }
 

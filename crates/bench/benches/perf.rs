@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main};
 
-use xsfq_bench::perf::{bench_cec, bench_mapping, bench_optimize, bench_pulse_sim, bench_spice};
+use xsfq_bench::perf::{
+    bench_cec, bench_flow, bench_mapping, bench_optimize, bench_pulse_sim, bench_spice,
+};
 
 criterion_group!(
     benches,
@@ -13,6 +15,7 @@ criterion_group!(
     bench_mapping,
     bench_pulse_sim,
     bench_cec,
-    bench_spice
+    bench_spice,
+    bench_flow
 );
 criterion_main!(benches);

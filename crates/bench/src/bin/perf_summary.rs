@@ -5,12 +5,17 @@
 //!
 //! ```text
 //! cargo run --release -p xsfq-bench --bin perf_summary -- \
-//!     [--out BENCH_1.json] [--baseline old.json] [--groups optimize,map]
+//!     [--out BENCH_1.json] [--baseline old.json] [--groups optimize,map,flow]
 //! ```
 //!
 //! With `--baseline`, the old file's `current_ns` values are embedded as
 //! `baseline_ns` and per-benchmark speedups are reported — that is how a PR
 //! records before/after numbers measured on the same machine.
+//!
+//! The `flow` group additionally exports the pass manager's per-pass
+//! telemetry: one `flowpass/<design>/<index>_<pass>` row per executed
+//! script pass (wall time, node/depth deltas, commit count), so the perf
+//! trajectory shows *which pass* moved when a flow regresses.
 
 use std::collections::BTreeMap;
 
@@ -20,7 +25,7 @@ use xsfq_bench::perf;
 fn parse_args() -> (String, Option<String>, Vec<String>) {
     let mut out = "BENCH_1.json".to_string();
     let mut baseline = None;
-    let mut groups: Vec<String> = ["optimize", "map", "pulse", "verify", "spice"]
+    let mut groups: Vec<String> = ["optimize", "map", "pulse", "verify", "spice", "flow"]
         .iter()
         .map(|s| s.to_string())
         .collect();
@@ -93,9 +98,19 @@ fn main() {
             "pulse" => perf::bench_pulse_sim(&mut criterion),
             "verify" => perf::bench_cec(&mut criterion),
             "spice" => perf::bench_spice(&mut criterion),
-            other => panic!("unknown group {other} (expected optimize|map|pulse|verify|spice)"),
+            "flow" => perf::bench_flow(&mut criterion),
+            other => {
+                panic!("unknown group {other} (expected optimize|map|pulse|verify|spice|flow)")
+            }
         }
     }
+    // The flow group carries the pass manager's per-pass telemetry rows
+    // alongside its criterion timings.
+    let pass_rows = if groups.iter().any(|g| g == "flow") {
+        perf::flow_pass_rows()
+    } else {
+        Vec::new()
+    };
 
     let mut body = String::new();
     body.push_str("{\n");
@@ -117,7 +132,27 @@ fn main() {
             ));
         }
         body.push('}');
-        body.push_str(if i + 1 == results.len() { "\n" } else { ",\n" });
+        let last = i + 1 == results.len() && pass_rows.is_empty();
+        body.push_str(if last { "\n" } else { ",\n" });
+    }
+    for (i, row) in pass_rows.iter().enumerate() {
+        body.push_str(&format!(
+            "  \"{}\": {{\"current_ns\": {:.1}, \"nodes_in\": {}, \"nodes_out\": {}, \
+             \"depth_in\": {}, \"depth_out\": {}, \"commits\": {}",
+            row.key, row.wall_ns, row.nodes.0, row.nodes.1, row.depth.0, row.depth.1, row.commits
+        ));
+        if let Some(base) = baseline.as_ref().and_then(|b| b.get(&row.key)) {
+            body.push_str(&format!(
+                ", \"baseline_ns\": {base:.1}, \"speedup\": {:.2}",
+                base / row.wall_ns
+            ));
+        }
+        body.push('}');
+        body.push_str(if i + 1 == pass_rows.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
     }
     body.push_str("}\n");
     std::fs::write(&out, &body).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));

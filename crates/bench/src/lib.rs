@@ -14,7 +14,7 @@ use std::fmt::Write as _;
 use xsfq_aig::opt::Effort;
 use xsfq_baselines::pbmap_with_effort;
 use xsfq_cells::{CellKind, CellLibrary};
-use xsfq_core::{FlowOptions, OutputPolarity, PolarityMode, SynthesisFlow};
+use xsfq_core::{OutputPolarity, PolarityMode, SynthesisFlow};
 use xsfq_netlist::Netlist;
 use xsfq_pulse::{wave, Harness, PulseSim};
 
@@ -165,10 +165,7 @@ impl EvalRow {
 /// Run one circuit through both flows.
 pub fn evaluate(name: &str, effort: Effort) -> EvalRow {
     let aig = xsfq_benchmarks::by_name(name).unwrap_or_else(|| panic!("unknown circuit {name}"));
-    let flow = SynthesisFlow::with_options(FlowOptions {
-        effort,
-        ..Default::default()
-    });
+    let flow = SynthesisFlow::new().effort(effort);
     let r = flow.run(&aig).expect("flow");
     let b = pbmap_with_effort(&aig, effort);
     EvalRow {
@@ -187,12 +184,10 @@ pub fn table3() -> Vec<(String, f64)> {
     let mut rows = Vec::new();
     for b in xsfq_benchmarks::table3_circuits() {
         let aig = (b.build)();
-        let r = SynthesisFlow::with_options(FlowOptions {
-            effort: EVAL_EFFORT,
-            ..Default::default()
-        })
-        .run(&aig)
-        .expect("flow");
+        let r = SynthesisFlow::new()
+            .effort(EVAL_EFFORT)
+            .run(&aig)
+            .expect("flow");
         rows.push((b.name.to_string(), r.report.duplication_percent));
     }
     // The paper's remark: a monotone (SOP-form) voter has 0% duplication.
@@ -288,13 +283,11 @@ pub fn table5() -> Vec<Table5Row> {
     let aig = xsfq_benchmarks::by_name("c6288").unwrap();
     let mut rows = Vec::new();
     for stages in [0usize, 1, 2] {
-        let r = SynthesisFlow::with_options(FlowOptions {
-            effort: EVAL_EFFORT,
-            pipeline_stages: stages,
-            ..Default::default()
-        })
-        .run(&aig)
-        .expect("flow");
+        let r = SynthesisFlow::new()
+            .effort(EVAL_EFFORT)
+            .pipeline_stages(stages)
+            .run(&aig)
+            .expect("flow");
         rows.push(Table5Row {
             stages: (stages, 2 * stages),
             jj: r.report.jj_total,
@@ -504,9 +497,9 @@ pub fn fig7() -> String {
     g.output("out1", q1);
     let r = SynthesisFlow::new().run(&g).expect("flow");
 
-    let stats = r.netlist.stats();
+    let stats = r.netlist().stats();
     let t = stats.critical_delay_ps + 60.0;
-    let mut sim = PulseSim::new(&r.netlist);
+    let mut sim = PulseSim::new(r.netlist());
     sim.trigger(0.0);
     let edges = 12;
     for e in 1..=edges {
@@ -525,11 +518,11 @@ pub fn fig7() -> String {
     };
     let out0 = wave::Track {
         label: "out[0]".into(),
-        pulses: sim.pulses(r.netlist.outputs()[0].net).to_vec(),
+        pulses: sim.pulses(r.netlist().outputs()[0].net).to_vec(),
     };
     let out1 = wave::Track {
         label: "out[1]".into(),
-        pulses: sim.pulses(r.netlist.outputs()[1].net).to_vec(),
+        pulses: sim.pulses(r.netlist().outputs()[1].net).to_vec(),
     };
     let mut out = String::new();
     out.push_str("Figure 7 — 2-bit xSFQ counter, pulse-level (trigger cycle then e/r phases)\n");
@@ -542,7 +535,7 @@ pub fn fig7() -> String {
         .iter()
         .map(|p| *p == OutputPolarity::Negative)
         .collect();
-    let harness = Harness::new(&r.netlist, negs);
+    let harness = Harness::new(r.netlist(), negs);
     let res = harness.run(&vec![vec![]; 6]);
     let counts: Vec<u8> = res
         .outputs

@@ -11,6 +11,7 @@
 use criterion::Criterion;
 
 use xsfq_aig::opt::{self, Effort};
+use xsfq_aig::pass::Script;
 use xsfq_core::{map_xsfq, MapOptions, OutputPolarity, SynthesisFlow};
 use xsfq_pulse::Harness;
 
@@ -78,7 +79,7 @@ pub fn bench_pulse_sim(c: &mut Criterion) {
         .collect();
     let mut g = c.benchmark_group("pulse");
     g.bench_function("full_adder_8_cycles", |b| {
-        b.iter(|| Harness::new(&r.netlist, negs.clone()).run(std::hint::black_box(&vectors)))
+        b.iter(|| Harness::new(r.netlist(), negs.clone()).run(std::hint::black_box(&vectors)))
     });
     g.finish();
 }
@@ -108,6 +109,78 @@ pub fn bench_cec(c: &mut Criterion) {
         })
     });
     g.finish();
+}
+
+/// The EPFL designs the `flow` group batches (small enough for CI smoke,
+/// heavy enough that each design dominates the dispatch cost).
+const FLOW_BATCH: [&str; 4] = ["int2float", "dec", "priority", "cavlc"];
+
+/// `flow` group: whole-design batching. `run_many_epfl4` schedules four
+/// EPFL designs across the executor pool; `run_each_epfl4` runs the same
+/// designs as sequential `run` calls. The reports are identical — the pair
+/// exists so every `BENCH_<n>.json` records the flow-level speedup of its
+/// machine (1.0× on a single-core container, like the `voter_fast` pair).
+pub fn bench_flow(c: &mut Criterion) {
+    let designs: Vec<xsfq_aig::Aig> = FLOW_BATCH
+        .iter()
+        .map(|n| xsfq_benchmarks::by_name(n).unwrap())
+        .collect();
+    let flow = SynthesisFlow::new().script(Script::named("fast").unwrap());
+    let mut g = c.benchmark_group("flow");
+    g.sample_size(10);
+    g.bench_function("run_many_epfl4", |b| {
+        b.iter(|| flow.run_many(std::hint::black_box(&designs)).unwrap())
+    });
+    g.bench_function("run_each_epfl4", |b| {
+        b.iter(|| {
+            std::hint::black_box(&designs)
+                .iter()
+                .map(|d| flow.run(d).unwrap())
+                .collect::<Vec<_>>()
+        })
+    });
+    g.finish();
+}
+
+/// One per-pass telemetry row for the machine-readable perf summary.
+#[derive(Clone, Debug)]
+pub struct FlowPassRow {
+    /// Row key: `flowpass/<design>/<index>_<pass>` (index keeps repeated
+    /// pass names unique and the execution order sortable).
+    pub key: String,
+    /// Wall time of the pass in nanoseconds.
+    pub wall_ns: f64,
+    /// AND nodes before/after the pass.
+    pub nodes: (usize, usize),
+    /// Depth before/after the pass.
+    pub depth: (usize, usize),
+    /// Pass commit counter.
+    pub commits: u64,
+}
+
+/// Run the standard-preset flow on representative designs and export one
+/// row per executed pass — the per-pass telemetry `BENCH_<n>.json` carries
+/// alongside the criterion groups. Pass sequences are deterministic per
+/// design (early exit depends only on the graph), so row keys are stable
+/// across machines and PRs.
+pub fn flow_pass_rows() -> Vec<FlowPassRow> {
+    let mut rows = Vec::new();
+    for name in ["c880", "int2float"] {
+        let aig = xsfq_benchmarks::by_name(name).unwrap();
+        let r = SynthesisFlow::new().run(&aig).expect("flow");
+        for (i, p) in r.report.passes.iter().enumerate() {
+            // Keys must stay single-token: "rf -K 10" → "rf-K10".
+            let pass = p.name.replace(' ', "");
+            rows.push(FlowPassRow {
+                key: format!("flowpass/{name}/{i:02}_{pass}"),
+                wall_ns: p.wall_ns as f64,
+                nodes: (p.nodes_before, p.nodes_after),
+                depth: (p.depth_before, p.depth_after),
+                commits: p.commits,
+            });
+        }
+    }
+    rows
 }
 
 /// `spice` group: RCSJ transient of a 4-stage JTL.

@@ -1,27 +1,47 @@
-//! The end-to-end synthesis flow (the paper's §3 + §4 methodology):
-//! optimize the AIG with stock passes, choose output polarities, map to
-//! clock-free dual-rail xSFQ cells, insert pipeline ranks and splitters,
-//! and report the numbers the evaluation tables are built from.
+//! The end-to-end synthesis flow (the paper's §3 + §4 methodology) as a
+//! staged pipeline over the composable pass manager: run a pass script on
+//! the AIG, choose output polarities, map to clock-free dual-rail xSFQ
+//! cells, insert pipeline ranks and splitters, and report the numbers the
+//! evaluation tables are built from.
+//!
+//! Every stage is observable ([`FlowObserver`]), the optimization recipe is
+//! a first-class [`Script`] (the legacy [`Effort`] knob is a facade over
+//! the `fast`/`standard`/`high` presets), and whole designs batch across
+//! the executor with [`SynthesisFlow::run_many`].
 
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
-use xsfq_aig::opt::{self, Effort};
+use xsfq_aig::opt::Effort;
+use xsfq_aig::pass::{
+    CompiledScript, PassCtx, PassObserver, PassRegistry, PassStat, Script, ScriptError,
+};
 use xsfq_aig::Aig;
 use xsfq_cells::{CellKind, InterconnectStyle};
 use xsfq_exec::ThreadPool;
 use xsfq_netlist::Netlist;
 
-use crate::map::{map_xsfq, MapOptions, MappedDesign};
+use crate::map::{map_with_assignment, MapOptions, MappedDesign};
 use crate::pipeline::choose_rank_levels;
-use crate::polarity::PolarityMode;
+use crate::polarity::{assign_polarities, PolarityMode};
 use crate::verify::verify_mapping;
+
+/// The pass registry the synthesis flow compiles scripts against: the
+/// structural AIG passes plus `f`/`fraig` from `xsfq-sat`.
+pub fn flow_registry() -> PassRegistry {
+    let mut registry = PassRegistry::structural();
+    xsfq_sat::pass::register(&mut registry);
+    registry
+}
 
 /// Flow configuration (builder-style).
 #[derive(Clone, Debug)]
 pub struct FlowOptions {
-    /// AIG optimization effort.
-    pub effort: Effort,
+    /// AIG optimization pass script (see [`xsfq_aig::pass`] for the
+    /// grammar). Defaults to the `standard` preset; the legacy
+    /// [`SynthesisFlow::effort`] builder swaps in the matching preset.
+    pub script: Script,
     /// Output polarity strategy.
     pub polarity: PolarityMode,
     /// Interconnect style / library variant.
@@ -30,9 +50,9 @@ pub struct FlowOptions {
     pub pipeline_stages: usize,
     /// Window (in levels) for the min-width rank placement search.
     pub rank_window: u32,
-    /// Run SAT sweeping ([`xsfq_sat::sweep::fraig`]) after the structural
-    /// optimization script, merging functionally equivalent nodes the
-    /// rewriting passes cannot see.
+    /// Append a SAT-sweeping pass ([`xsfq_sat::pass::FraigPass`]) after the
+    /// script, merging functionally equivalent nodes the rewriting passes
+    /// cannot see. (Compatibility knob — scripts can simply end in `f`.)
     pub fraig: bool,
     /// Prove the mapped netlist equivalent to the source (combinational
     /// designs; sequential designs are validated by the pulse simulator).
@@ -47,7 +67,7 @@ pub struct FlowOptions {
 impl Default for FlowOptions {
     fn default() -> Self {
         FlowOptions {
-            effort: Effort::Standard,
+            script: Script::preset(Effort::Standard),
             polarity: PolarityMode::Heuristic,
             style: InterconnectStyle::Abutted,
             pipeline_stages: 0,
@@ -62,6 +82,8 @@ impl Default for FlowOptions {
 /// Error raised by [`SynthesisFlow::run`].
 #[derive(Debug)]
 pub enum FlowError {
+    /// The optimization script failed to parse or compile.
+    Script(ScriptError),
     /// Pipelining was requested for a sequential design.
     PipelineOnSequential,
     /// Post-mapping verification failed.
@@ -71,6 +93,7 @@ pub enum FlowError {
 impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            FlowError::Script(e) => write!(f, "{e}"),
             FlowError::PipelineOnSequential => {
                 write!(f, "pipeline stages require a combinational design")
             }
@@ -81,7 +104,92 @@ impl fmt::Display for FlowError {
 
 impl Error for FlowError {}
 
-/// Per-design report — the row format of the paper's Tables 3–6.
+impl From<ScriptError> for FlowError {
+    fn from(e: ScriptError) -> Self {
+        FlowError::Script(e)
+    }
+}
+
+/// The flow's pipeline segments, in execution order.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FlowStage {
+    /// Pass-script optimization of the AIG.
+    Optimize,
+    /// Rank-level selection for architectural pipelining.
+    Pipeline,
+    /// Output polarity assignment (§3.1.4–3.1.5).
+    Polarity,
+    /// Dual-rail technology mapping + splitter insertion.
+    Map,
+    /// SAT proof that mapping preserved the function.
+    Verify,
+}
+
+impl FlowStage {
+    /// Stable lowercase name (telemetry keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowStage::Optimize => "optimize",
+            FlowStage::Pipeline => "pipeline",
+            FlowStage::Polarity => "polarity",
+            FlowStage::Map => "map",
+            FlowStage::Verify => "verify",
+        }
+    }
+}
+
+impl fmt::Display for FlowStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Wall-clock telemetry for one executed flow stage.
+#[derive(Copy, Clone, Debug)]
+pub struct StageStat {
+    /// Which stage ran.
+    pub stage: FlowStage,
+    /// Wall-clock time in nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// Observer over a flow run: stage completions plus the per-pass telemetry
+/// of the optimization script.
+///
+/// All methods default to no-ops so implementors subscribe only to what
+/// they need. [`SynthesisFlow::run_observed`] drives it; plain
+/// [`SynthesisFlow::run`] records the same telemetry into
+/// [`FlowReport::passes`] / [`FlowReport::stages`] without callbacks.
+pub trait FlowObserver {
+    /// Called after every stage, in execution order.
+    fn on_stage(&mut self, _stat: &StageStat) {}
+    /// Called after every optimization pass, in execution order.
+    fn on_pass(&mut self, _stat: &PassStat) {}
+}
+
+/// Owns the optional [`FlowObserver`] for one flow run: forwards
+/// script-engine pass telemetry (as a [`PassObserver`]) and stage
+/// completions to it.
+struct ObserverProxy<'o>(Option<&'o mut dyn FlowObserver>);
+
+impl ObserverProxy<'_> {
+    fn on_stage(&mut self, stat: &StageStat) {
+        if let Some(obs) = self.0.as_deref_mut() {
+            obs.on_stage(stat);
+        }
+    }
+}
+
+impl PassObserver for ObserverProxy<'_> {
+    fn on_pass(&mut self, stat: &PassStat) {
+        if let Some(obs) = self.0.as_deref_mut() {
+            obs.on_pass(stat);
+        }
+    }
+}
+
+/// Per-design report — the row format of the paper's Tables 3–6, plus the
+/// stage/pass telemetry of the run that produced it.
 #[derive(Clone, Debug)]
 pub struct FlowReport {
     /// Design name.
@@ -115,6 +223,10 @@ pub struct FlowReport {
     /// Architectural clock frequency (GHz) — half the circuit clock, since
     /// a logical cycle spans the excite and relax phases (§4.2.2).
     pub arch_ghz: f64,
+    /// Per-pass telemetry of the optimization script, in execution order.
+    pub passes: Vec<PassStat>,
+    /// Wall-clock telemetry per flow stage, in execution order.
+    pub stages: Vec<StageStat>,
 }
 
 impl fmt::Display for FlowReport {
@@ -144,13 +256,40 @@ pub struct FlowResult {
     pub optimized: Aig,
     /// Full mapping artifacts (logical + physical netlists, polarity data).
     pub mapped: MappedDesign,
-    /// Convenience alias of `mapped.physical`.
-    pub netlist: Netlist,
     /// The table-row report.
     pub report: FlowReport,
 }
 
+impl FlowResult {
+    /// The physical (splitter-inserted) netlist — borrows
+    /// `mapped.physical` instead of cloning it per run.
+    pub fn netlist(&self) -> &Netlist {
+        &self.mapped.physical
+    }
+}
+
+/// The pool a flow runs on: private when `threads(n)` was set, otherwise
+/// the process-wide executor.
+enum FlowPool {
+    Private(ThreadPool),
+    Global,
+}
+
+impl FlowPool {
+    fn get(&self) -> &ThreadPool {
+        match self {
+            FlowPool::Private(pool) => pool,
+            FlowPool::Global => ThreadPool::global(),
+        }
+    }
+}
+
 /// The xSFQ synthesis flow.
+///
+/// The optimization recipe is a pass script: either a preset via
+/// [`SynthesisFlow::effort`] or any ABC-style script via
+/// [`SynthesisFlow::script_str`] (grammar in [`xsfq_aig::pass`]). Batches
+/// of designs run concurrently through [`SynthesisFlow::run_many`].
 ///
 /// ```
 /// use xsfq_aig::{Aig, build};
@@ -169,6 +308,12 @@ pub struct FlowResult {
 /// // Figure 5ii: the flow lands on 10 LA/FA cells and 58 JJs.
 /// assert_eq!(result.report.la_fa, 10);
 /// assert_eq!(result.report.jj_total, 58);
+/// // Every optimization pass left a telemetry row.
+/// assert!(!result.report.passes.is_empty());
+///
+/// // The same flow, scripted explicitly:
+/// let scripted = SynthesisFlow::new().script_str("standard")?.run(&aig)?;
+/// assert_eq!(scripted.report.jj_total, result.report.jj_total);
 /// # Ok(())
 /// # }
 /// ```
@@ -178,8 +323,8 @@ pub struct SynthesisFlow {
 }
 
 impl SynthesisFlow {
-    /// Flow with default options (standard effort, heuristic polarity,
-    /// abutted interconnect, no pipelining, no verification).
+    /// Flow with default options (standard-preset script, heuristic
+    /// polarity, abutted interconnect, no pipelining, no verification).
     pub fn new() -> Self {
         Self::default()
     }
@@ -189,11 +334,29 @@ impl SynthesisFlow {
         SynthesisFlow { options }
     }
 
-    /// Set the optimization effort.
+    /// Set the optimization effort — a compatibility facade that installs
+    /// the matching preset script ([`Script::preset`]).
     #[must_use]
     pub fn effort(mut self, effort: Effort) -> Self {
-        self.options.effort = effort;
+        self.options.script = Script::preset(effort);
         self
+    }
+
+    /// Set the optimization pass script.
+    #[must_use]
+    pub fn script(mut self, script: Script) -> Self {
+        self.options.script = script;
+        self
+    }
+
+    /// Parse and set the optimization pass script (ABC-style, e.g.
+    /// `"b; rw; rf; b; rwz; rw"` or `"standard; f"`).
+    ///
+    /// # Errors
+    ///
+    /// [`ScriptError`] when the text does not match the script grammar.
+    pub fn script_str(self, text: &str) -> Result<Self, ScriptError> {
+        Ok(self.script(Script::parse(text)?))
     }
 
     /// Set the polarity mode.
@@ -217,7 +380,7 @@ impl SynthesisFlow {
         self
     }
 
-    /// Enable or disable the post-optimization SAT-sweeping (fraig) pass.
+    /// Enable or disable the post-script SAT-sweeping (fraig) pass.
     #[must_use]
     pub fn fraig(mut self, fraig: bool) -> Self {
         self.options.fraig = fraig;
@@ -245,45 +408,145 @@ impl SynthesisFlow {
         &self.options
     }
 
+    /// The effective script (options script plus the compatibility `fraig`
+    /// suffix), compiled against [`flow_registry`].
+    fn compiled_script(&self) -> Result<CompiledScript, FlowError> {
+        let mut script = self.options.script.clone();
+        if self.options.fraig {
+            script = script.then(Script::parse("f").expect("`f` parses"));
+        }
+        Ok(script.compile(&flow_registry())?)
+    }
+
+    fn flow_pool(&self) -> FlowPool {
+        match self.options.threads {
+            Some(n) => FlowPool::Private(ThreadPool::new(n)),
+            None => FlowPool::Global,
+        }
+    }
+
     /// Run the flow on a design.
     ///
     /// # Errors
     ///
-    /// [`FlowError::PipelineOnSequential`] when pipeline stages are
-    /// requested for a design with latches; [`FlowError::Verification`]
-    /// when the mapped netlist fails the equivalence proof.
+    /// [`FlowError::Script`] when the configured script does not compile
+    /// against [`flow_registry`]; [`FlowError::PipelineOnSequential`] when
+    /// pipeline stages are requested for a design with latches;
+    /// [`FlowError::Verification`] when the mapped netlist fails the
+    /// equivalence proof.
     pub fn run(&self, aig: &Aig) -> Result<FlowResult, FlowError> {
+        let compiled = self.compiled_script()?;
+        let pool = self.flow_pool();
+        self.run_compiled(aig, &compiled, pool.get(), None)
+    }
+
+    /// [`SynthesisFlow::run`] with an observer receiving stage and
+    /// per-pass telemetry as the flow executes.
+    pub fn run_observed(
+        &self,
+        aig: &Aig,
+        observer: &mut dyn FlowObserver,
+    ) -> Result<FlowResult, FlowError> {
+        let compiled = self.compiled_script()?;
+        let pool = self.flow_pool();
+        self.run_compiled(aig, &compiled, pool.get(), Some(observer))
+    }
+
+    /// Run the flow over a batch of designs, scheduling **whole designs**
+    /// across the executor pool (flow-level parallelism for benchmark
+    /// sweeps and serving workloads).
+    ///
+    /// Results come back in input order and are identical to running
+    /// [`SynthesisFlow::run`] per design: each design's passes execute on a
+    /// sequential inner pool (the executor forbids nested parallel
+    /// sections), and the optimization output is bit-identical for every
+    /// thread count by construction.
+    ///
+    /// # Errors
+    ///
+    /// The first error in design order, if any design fails.
+    pub fn run_many(&self, designs: &[Aig]) -> Result<Vec<FlowResult>, FlowError> {
+        let compiled = self.compiled_script()?;
+        let pool = self.flow_pool();
+        let results = pool.get().map_init_coarse(
+            designs,
+            || (),
+            |_, _, aig| {
+                let inner = ThreadPool::new(1);
+                self.run_compiled(aig, &compiled, &inner, None)
+            },
+        );
+        results.into_iter().collect()
+    }
+
+    /// The staged pipeline body: Optimize → Pipeline → Polarity → Map →
+    /// Verify, with per-stage timing and (optional) observer callbacks.
+    fn run_compiled(
+        &self,
+        aig: &Aig,
+        compiled: &CompiledScript,
+        pool: &ThreadPool,
+        observer: Option<&mut dyn FlowObserver>,
+    ) -> Result<FlowResult, FlowError> {
         let o = &self.options;
         if o.pipeline_stages > 0 && aig.num_latches() > 0 {
             return Err(FlowError::PipelineOnSequential);
         }
-        let private_pool;
-        let pool = match o.threads {
-            Some(n) => {
-                private_pool = ThreadPool::new(n);
-                &private_pool
-            }
-            None => ThreadPool::global(),
+        let mut proxy = ObserverProxy(observer);
+        let mut stages: Vec<StageStat> = Vec::new();
+        let note = |stage: FlowStage,
+                    start: Instant,
+                    stages: &mut Vec<StageStat>,
+                    proxy: &mut ObserverProxy<'_>| {
+            let stat = StageStat {
+                stage,
+                wall_ns: start.elapsed().as_nanos() as u64,
+            };
+            proxy.on_stage(&stat);
+            stages.push(stat);
         };
-        let mut optimized = opt::optimize_with(aig, o.effort, pool);
-        if o.fraig {
-            let swept = xsfq_sat::fraig(&optimized);
-            if swept.num_ands() < optimized.num_ands() {
-                optimized = swept;
-            }
-        }
+
+        // -- Optimize: the pass script, with per-pass telemetry.
+        let start = Instant::now();
+        let (optimized, passes) = {
+            let mut ctx = PassCtx::with_observer(pool, &mut proxy);
+            let optimized = compiled.run(aig, &mut ctx);
+            let passes = ctx.take_telemetry();
+            (optimized, passes)
+        };
+        note(FlowStage::Optimize, start, &mut stages, &mut proxy);
+
+        // -- Pipeline: rank-level selection (no-op for 0 stages).
+        let start = Instant::now();
         let rank_levels = choose_rank_levels(&optimized, o.pipeline_stages, o.rank_window);
-        let mapped = map_xsfq(
+        note(FlowStage::Pipeline, start, &mut stages, &mut proxy);
+
+        // -- Polarity: output phase assignment.
+        let start = Instant::now();
+        let (assignment, _requirements) = assign_polarities(&optimized, o.polarity);
+        note(FlowStage::Polarity, start, &mut stages, &mut proxy);
+
+        // -- Map: dual-rail mapping + splitter insertion.
+        let start = Instant::now();
+        let mapped = map_with_assignment(
             &optimized,
             &MapOptions {
                 polarity: o.polarity,
                 style: o.style,
                 rank_levels,
             },
+            assignment,
         );
+        note(FlowStage::Map, start, &mut stages, &mut proxy);
+
+        // -- Verify: SAT proof the mapping preserved the function.
         if o.verify && aig.num_latches() == 0 {
-            verify_mapping(&optimized, &mapped, o.polarity).map_err(FlowError::Verification)?;
+            let start = Instant::now();
+            let verdict = verify_mapping(&optimized, &mapped, o.polarity);
+            note(FlowStage::Verify, start, &mut stages, &mut proxy);
+            verdict.map_err(FlowError::Verification)?;
         }
+
         let stats = mapped.physical.stats();
         let splitter_jj = u64::from(mapped.physical.library().jj(CellKind::Splitter));
         let circuit_ghz = stats.circuit_clock_ghz();
@@ -303,12 +566,12 @@ impl SynthesisFlow {
             critical_delay_ps: stats.critical_delay_ps,
             circuit_ghz,
             arch_ghz: circuit_ghz / 2.0,
+            passes,
+            stages,
         };
-        let netlist = mapped.physical.clone();
         Ok(FlowResult {
             optimized,
             mapped,
-            netlist,
             report,
         })
     }
@@ -383,6 +646,18 @@ mod tests {
             .run(&g)
             .unwrap();
         assert!(swept.report.aig_nodes <= base.report.aig_nodes);
+        // The compatibility knob appends `f` to the script: its telemetry
+        // row must be there.
+        assert_eq!(swept.report.passes.last().unwrap().name, "f");
+        // And `script_str("standard; f")` is the same flow.
+        let scripted = SynthesisFlow::new()
+            .script_str("standard; f")
+            .unwrap()
+            .verify(true)
+            .run(&g)
+            .unwrap();
+        assert_eq!(scripted.optimized.nodes(), swept.optimized.nodes());
+        assert_eq!(scripted.report.jj_total, swept.report.jj_total);
     }
 
     #[test]
@@ -411,6 +686,23 @@ mod tests {
     }
 
     #[test]
+    fn bad_scripts_are_rejected() {
+        assert!(SynthesisFlow::new().script_str("repeat {").is_err());
+        // Unknown passes surface at run time (compile against the flow
+        // registry).
+        let flow = SynthesisFlow::new().script_str("b; nosuch").unwrap();
+        let mut g = Aig::new("t");
+        let a = g.input("a");
+        let b = g.input("b");
+        let o = g.and(a, b);
+        g.output("o", o);
+        assert!(matches!(
+            flow.run(&g),
+            Err(FlowError::Script(ScriptError::UnknownPass(_)))
+        ));
+    }
+
+    #[test]
     fn sequential_flow_reports_drocs_and_trigger() {
         let mut g = Aig::new("cnt2");
         let q0 = g.latch("q0", false);
@@ -425,7 +717,7 @@ mod tests {
         assert!(r.report.jj_total > 0);
         assert!(r.report.jj_clock_tree > 0);
         // Trigger merger is counted once (5 JJ).
-        let stats = r.netlist.stats();
+        let stats = r.netlist().stats();
         assert_eq!(r.report.jj_total, stats.jj_total + 5);
     }
 
@@ -451,5 +743,91 @@ mod tests {
                 .unwrap();
             assert!(r.report.jj_total > 0);
         }
+    }
+
+    #[test]
+    fn observer_sees_stages_and_passes() {
+        #[derive(Default)]
+        struct Recorder {
+            stages: Vec<FlowStage>,
+            passes: usize,
+        }
+        impl FlowObserver for Recorder {
+            fn on_stage(&mut self, stat: &StageStat) {
+                self.stages.push(stat.stage);
+            }
+            fn on_pass(&mut self, _stat: &PassStat) {
+                self.passes += 1;
+            }
+        }
+        let mut g = Aig::new("fa");
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("cin");
+        let (s, co) = build::full_adder(&mut g, a, b, c);
+        g.output("s", s);
+        g.output("cout", co);
+        let mut rec = Recorder::default();
+        let r = SynthesisFlow::new()
+            .verify(true)
+            .run_observed(&g, &mut rec)
+            .unwrap();
+        assert_eq!(
+            rec.stages,
+            vec![
+                FlowStage::Optimize,
+                FlowStage::Pipeline,
+                FlowStage::Polarity,
+                FlowStage::Map,
+                FlowStage::Verify
+            ]
+        );
+        assert_eq!(rec.passes, r.report.passes.len());
+        assert!(rec.passes > 0);
+        // Report telemetry matches the observed stage sequence.
+        let reported: Vec<FlowStage> = r.report.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(reported, rec.stages);
+    }
+
+    #[test]
+    fn run_many_matches_sequential_runs() {
+        let mut designs = Vec::new();
+        for bits in [3usize, 4, 5, 6] {
+            let mut g = Aig::new(format!("mul{bits}"));
+            let a = g.input_word("a", bits);
+            let b = g.input_word("b", bits);
+            let p = build::array_multiplier(&mut g, &a, &b);
+            g.output_word("p", &p);
+            designs.push(g);
+        }
+        let flow = SynthesisFlow::new().effort(Effort::Fast);
+        let batch = flow.run_many(&designs).unwrap();
+        assert_eq!(batch.len(), designs.len());
+        for (g, r) in designs.iter().zip(&batch) {
+            let single = flow.run(g).unwrap();
+            assert_eq!(r.report.name, single.report.name);
+            assert_eq!(r.optimized.nodes(), single.optimized.nodes());
+            assert_eq!(r.report.jj_total, single.report.jj_total);
+            assert_eq!(r.report.la_fa, single.report.la_fa);
+            assert_eq!(r.report.passes.len(), single.report.passes.len());
+        }
+    }
+
+    #[test]
+    fn run_many_propagates_the_first_error() {
+        let mut comb = Aig::new("comb");
+        let a = comb.input("a");
+        let b = comb.input("b");
+        let o = comb.and(a, b);
+        comb.output("o", o);
+        let mut seq = Aig::new("seq");
+        let q = seq.latch("q", false);
+        seq.set_latch_next(q, !q);
+        seq.output("o", q);
+        let err = SynthesisFlow::new()
+            .pipeline_stages(1)
+            .run_many(&[comb, seq])
+            .unwrap_err();
+        assert!(matches!(err, FlowError::PipelineOnSequential));
     }
 }

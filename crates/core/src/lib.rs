@@ -41,6 +41,9 @@ pub mod pipeline;
 pub mod polarity;
 pub mod verify;
 
-pub use flow::{FlowError, FlowOptions, FlowReport, FlowResult, SynthesisFlow};
+pub use flow::{
+    flow_registry, FlowError, FlowObserver, FlowOptions, FlowReport, FlowResult, FlowStage,
+    StageStat, SynthesisFlow,
+};
 pub use map::{map_xsfq, MapOptions, MappedDesign};
 pub use polarity::{OutputPolarity, PolarityAssignment, PolarityMode, RailRequirements};

@@ -293,6 +293,49 @@ impl ThreadPool {
         T: Send,
         S: Send,
     {
+        self.map_reuse_cutoff(items, states, SEQUENTIAL_CUTOFF, f)
+    }
+
+    /// [`ThreadPool::map_init`] for **coarse-grained** items: parallelizes
+    /// from two items up instead of applying [`SEQUENTIAL_CUTOFF`].
+    ///
+    /// The cutoff exists because dispatching the pool costs more than a
+    /// fine-grained item (a node evaluation); when each item is itself a
+    /// whole synthesis run — the flow's `run_many` scheduling entire
+    /// designs — the dispatch cost is noise and a handful of items should
+    /// still fan out.
+    ///
+    /// The nesting rule is unchanged: `f` must not run a parallel section
+    /// on the *same* pool (use a private 1-thread pool for inner work).
+    pub fn map_init_coarse<I, T, S>(
+        &self,
+        items: &[I],
+        init: impl Fn() -> S + Sync,
+        f: impl Fn(&mut S, usize, &I) -> T + Sync,
+    ) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        S: Send,
+    {
+        let mut states: Vec<S> = (0..self.num_threads()).map(|_| init()).collect();
+        self.map_reuse_cutoff(items, &mut states, 2, f)
+    }
+
+    /// Shared body of [`ThreadPool::map_reuse`] / [`ThreadPool::map_init_coarse`]:
+    /// inputs shorter than `cutoff` run inline on the calling thread.
+    fn map_reuse_cutoff<I, T, S>(
+        &self,
+        items: &[I],
+        states: &mut [S],
+        cutoff: usize,
+        f: impl Fn(&mut S, usize, &I) -> T + Sync,
+    ) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        S: Send,
+    {
         let n = items.len();
         let threads = self.num_threads();
         assert!(
@@ -300,7 +343,7 @@ impl ThreadPool {
             "need one state per participant ({} < {threads})",
             states.len()
         );
-        if threads == 1 || n < SEQUENTIAL_CUTOFF {
+        if threads == 1 || n < cutoff {
             let state = &mut states[0];
             return items
                 .iter()
@@ -589,6 +632,19 @@ mod tests {
             let got = pool.map_init(&items, || (), |_, _, &x| x + round);
             assert!(got.iter().zip(&items).all(|(g, &x)| *g == x + round));
         }
+    }
+
+    #[test]
+    fn map_init_coarse_parallelizes_small_inputs() {
+        let pool = ThreadPool::new(4);
+        // Below SEQUENTIAL_CUTOFF, yet items must still be distributed:
+        // record which participant handled each item via the state.
+        let items: Vec<usize> = (0..8).collect();
+        let got = pool.map_init_coarse(&items, || (), |_, _, &x| x * 3);
+        assert_eq!(got, items.iter().map(|&x| x * 3).collect::<Vec<_>>());
+        // Identical results for every pool size (the determinism contract).
+        let seq = ThreadPool::new(1).map_init_coarse(&items, || (), |_, _, &x| x * 3);
+        assert_eq!(got, seq);
     }
 
     #[test]

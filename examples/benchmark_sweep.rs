@@ -2,49 +2,75 @@
 //! path-balanced RSFQ baseline) and print the JJ comparison — a compact
 //! version of the paper's Tables 4 and 6.
 //!
+//! The xSFQ side runs as **one batch**: [`SynthesisFlow::run_many`]
+//! schedules whole designs across the executor pool (reports are identical
+//! to per-design `run` calls — flow-level parallelism, same results). Pass
+//! `--script '<pass script>'` to replace the `standard` preset, e.g.
+//! `--script 'fast; f'` (grammar documented in `xsfq::aig::pass`).
+//!
 //! ```sh
-//! cargo run --release --example benchmark_sweep [circuit ...]
+//! cargo run --release --example benchmark_sweep [--script '<script>'] [circuit ...]
 //! ```
 
-use xsfq::aig::opt::Effort;
 use xsfq::baselines;
 use xsfq::core::SynthesisFlow;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let names: Vec<String> = if args.is_empty() {
-        vec![
-            "c880".into(),
-            "int2float".into(),
-            "dec".into(),
-            "priority".into(),
-            "cavlc".into(),
-            "s27".into(),
-            "s386".into(),
+    let mut script = "standard".to_string();
+    let mut names: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--script" {
+            script = args.next().ok_or("--script needs a pass script")?;
+        } else {
+            names.push(arg);
+        }
+    }
+    if names.is_empty() {
+        names = [
+            "c880",
+            "int2float",
+            "dec",
+            "priority",
+            "cavlc",
+            "s27",
+            "s386",
         ]
-    } else {
-        args
-    };
-    println!(
-        "{:<12} {:>7} {:>9} {:>11} {:>9} {:>9}",
-        "circuit", "nodes", "xSFQ JJ", "RSFQ JJ(+clk)", "savings", "dupl"
-    );
-    for name in names {
-        let Some(aig) = xsfq::benchmarks::by_name(&name) else {
+        .map(String::from)
+        .to_vec();
+    }
+
+    let mut designs = Vec::new();
+    for name in &names {
+        let Some(aig) = xsfq::benchmarks::by_name(name) else {
             eprintln!("unknown benchmark '{name}' — see xsfq_benchmarks::all()");
             continue;
         };
-        let r = SynthesisFlow::new().effort(Effort::Standard).run(&aig)?;
-        let b = baselines::pbmap(&aig);
+        designs.push(aig);
+    }
+
+    // One flow, one batch: designs are scheduled whole across the pool.
+    let flow = SynthesisFlow::new().script_str(&script)?;
+    let results = flow.run_many(&designs)?;
+
+    println!("script: {}", flow.options().script);
+    println!(
+        "{:<12} {:>7} {:>9} {:>11} {:>9} {:>9} {:>11}",
+        "circuit", "nodes", "xSFQ JJ", "RSFQ JJ(+clk)", "savings", "dupl", "opt (ms)"
+    );
+    for (aig, r) in designs.iter().zip(&results) {
+        let b = baselines::pbmap(aig);
         let rsfq = b.jj_with_clock_tree();
+        let opt_ns: u64 = r.report.passes.iter().map(|p| p.wall_ns).sum();
         println!(
-            "{:<12} {:>7} {:>9} {:>13} {:>8.1}x {:>8.0}%",
-            name,
+            "{:<12} {:>7} {:>9} {:>13} {:>8.1}x {:>8.0}% {:>10.1}",
+            r.report.name,
             r.optimized.num_ands(),
             r.report.jj_total,
             rsfq,
             rsfq as f64 / r.report.jj_total as f64,
             r.report.duplication_percent,
+            opt_ns as f64 / 1e6,
         );
     }
     Ok(())

@@ -26,12 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "flip-flops: {} DROC pairs, trigger-clocked first ranks: {}\n",
         g.num_latches(),
-        r.netlist.trigger_clocked().len()
+        r.netlist().trigger_clocked().len()
     );
 
     // Raw pulse view (the Figure 7 rendering).
-    let t = r.netlist.stats().critical_delay_ps + 60.0;
-    let mut sim = PulseSim::new(&r.netlist);
+    let t = r.netlist().stats().critical_delay_ps + 60.0;
+    let mut sim = PulseSim::new(r.netlist());
     sim.trigger(0.0);
     for e in 1..=12 {
         sim.clock(e as f64 * t);
@@ -48,11 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         wave::Track {
             label: "out[0]".into(),
-            pulses: sim.pulses(r.netlist.outputs()[0].net).to_vec(),
+            pulses: sim.pulses(r.netlist().outputs()[0].net).to_vec(),
         },
         wave::Track {
             label: "out[1]".into(),
-            pulses: sim.pulses(r.netlist.outputs()[1].net).to_vec(),
+            pulses: sim.pulses(r.netlist().outputs()[1].net).to_vec(),
         },
     ];
     print!("{}", wave::render(&tracks, 13.0 * t, t / 4.0, t));
@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|p| *p == OutputPolarity::Negative)
         .collect();
-    let res = Harness::new(&r.netlist, negs).run(&vec![vec![]; 6]);
+    let res = Harness::new(r.netlist(), negs).run(&vec![vec![]; 6]);
     let counts: Vec<u8> = res
         .outputs
         .iter()

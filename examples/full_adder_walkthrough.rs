@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vectors: Vec<Vec<bool>> = (0..8)
         .map(|p| (0..3).map(|i| p >> i & 1 == 1).collect())
         .collect();
-    let res = Harness::new(&r.netlist, negs).run(&vectors);
+    let res = Harness::new(r.netlist(), negs).run(&vectors);
     println!("\npulse-level check (excite/relax protocol):");
     println!(" a b c | s cout");
     for (v, o) in vectors.iter().zip(&res.outputs) {

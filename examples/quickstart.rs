@@ -18,21 +18,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     aig.output("carry", carry);
     println!("input design: {aig}");
 
-    // 2. Run the flow: optimize → choose polarities → map → splitters.
+    // 2. Run the flow: a pass script optimizes the AIG, then polarities are
+    //    chosen, the graph is mapped, and splitters inserted. The script is
+    //    ABC-style — `"standard"` is the default preset, and any recipe
+    //    like `"b; rw; rf; b; rwz; rw"` or `"standard; f"` works.
     //    `verify(true)` adds a SAT proof that the netlist matches.
-    let result = SynthesisFlow::new().verify(true).run(&aig)?;
+    let result = SynthesisFlow::new()
+        .script_str("standard")?
+        .verify(true)
+        .run(&aig)?;
     println!("report:       {}", result.report);
 
-    // 3. Inspect the mapped netlist.
-    let stats = result.netlist.stats();
+    // 3. Per-pass telemetry: every scripted pass reports wall time and
+    //    node/depth deltas (the rows behind BENCH_<n>.json).
+    println!("passes:");
+    for stat in &result.report.passes {
+        println!("  {stat}");
+    }
+
+    // 4. Inspect the mapped netlist.
+    let stats = result.netlist().stats();
     println!(
         "cells: {} LA/FA + {} splitters = {} JJs ({} clocked cells — clock-free!)",
         stats.la_fa, stats.splitters, stats.jj_total, stats.clocked_cells
     );
 
-    // 4. Export structural Verilog.
+    // 5. Export structural Verilog.
     let mut verilog = Vec::new();
-    writers::write_verilog(&result.netlist, &mut verilog)?;
+    writers::write_verilog(result.netlist(), &mut verilog)?;
     println!("\n--- netlist.v (first lines) ---");
     for line in String::from_utf8(verilog)?.lines().take(12) {
         println!("{line}");

@@ -23,7 +23,7 @@
 //! aig.output("cout", cout);
 //!
 //! let result = SynthesisFlow::new().run(&aig)?;
-//! assert!(result.netlist.stats().jj_total > 0);
+//! assert!(result.netlist().stats().jj_total > 0);
 //! # Ok(())
 //! # }
 //! ```
@@ -32,7 +32,7 @@
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`aig`] | AND-Inverter graphs and optimization passes (ABC substitute) |
+//! | [`aig`] | AND-Inverter graphs and optimization passes (ABC substitute), incl. the `pass` script engine |
 //! | [`exec`] | vendored work-stealing executor (Chase-Lev deques + thread pool) |
 //! | [`sat`] | CDCL SAT solver + combinational equivalence checking |
 //! | [`cells`] | xSFQ / RSFQ standard-cell libraries (paper Table 2) |

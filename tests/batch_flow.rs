@@ -1,0 +1,65 @@
+//! Batch synthesis: `SynthesisFlow::run_many` over EPFL benchmark designs
+//! must return exactly the reports sequential `run` calls produce (the
+//! acceptance criterion of the pass-manager redesign), while scheduling
+//! whole designs across the executor pool.
+
+use xsfq::aig::pass::Script;
+use xsfq::core::SynthesisFlow;
+
+const DESIGNS: [&str; 4] = ["int2float", "dec", "priority", "cavlc"];
+
+#[test]
+fn run_many_over_epfl_matches_sequential_runs() {
+    let designs: Vec<_> = DESIGNS
+        .iter()
+        .map(|n| xsfq::benchmarks::by_name(n).unwrap())
+        .collect();
+    let flow = SynthesisFlow::new().script(Script::named("fast").unwrap());
+    let batch = flow.run_many(&designs).unwrap();
+    assert_eq!(batch.len(), designs.len());
+    for (g, r) in designs.iter().zip(&batch) {
+        let single = flow.run(g).unwrap();
+        assert_eq!(r.report.name, single.report.name);
+        // Bit-identical optimization result…
+        assert_eq!(r.optimized.nodes(), single.optimized.nodes());
+        assert_eq!(r.optimized.outputs(), single.optimized.outputs());
+        // …and identical mapped numbers.
+        assert_eq!(r.report.aig_nodes, single.report.aig_nodes);
+        assert_eq!(r.report.aig_depth, single.report.aig_depth);
+        assert_eq!(r.report.la_fa, single.report.la_fa);
+        assert_eq!(r.report.splitters, single.report.splitters);
+        assert_eq!(r.report.jj_total, single.report.jj_total);
+        assert_eq!(r.report.depth_logic, single.report.depth_logic);
+        // Same pass sequence executed (telemetry row per pass).
+        let names: Vec<&str> = r.report.passes.iter().map(|p| p.name.as_str()).collect();
+        let single_names: Vec<&str> = single
+            .report
+            .passes
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect();
+        assert_eq!(names, single_names);
+    }
+}
+
+#[test]
+fn run_many_respects_the_threads_knob() {
+    let designs: Vec<_> = DESIGNS
+        .iter()
+        .take(2)
+        .map(|n| xsfq::benchmarks::by_name(n).unwrap())
+        .collect();
+    let base = SynthesisFlow::new()
+        .script(Script::named("fast").unwrap())
+        .run_many(&designs)
+        .unwrap();
+    let pinned = SynthesisFlow::new()
+        .script(Script::named("fast").unwrap())
+        .threads(3)
+        .run_many(&designs)
+        .unwrap();
+    for (a, b) in base.iter().zip(&pinned) {
+        assert_eq!(a.optimized.nodes(), b.optimized.nodes());
+        assert_eq!(a.report.jj_total, b.report.jj_total);
+    }
+}

@@ -34,7 +34,7 @@ fn full_adder_flow_matches_paper_and_simulates() {
         .iter()
         .map(|p| *p == OutputPolarity::Negative)
         .collect();
-    let harness = Harness::new(&r.netlist, negs);
+    let harness = Harness::new(r.netlist(), negs);
     let vectors: Vec<Vec<bool>> = (0..8)
         .map(|p| (0..3).map(|i| p >> i & 1 == 1).collect())
         .collect();
@@ -80,7 +80,7 @@ fn polarity_modes_agree_on_alu() {
             .unwrap();
         let negs: Vec<bool> = match mode {
             PolarityMode::DualRail => r
-                .netlist
+                .netlist()
                 .outputs()
                 .iter()
                 .map(|p| p.name.ends_with("_n"))
@@ -93,7 +93,7 @@ fn polarity_modes_agree_on_alu() {
                 .map(|p| *p == OutputPolarity::Negative)
                 .collect(),
         };
-        let res = Harness::new(&r.netlist, negs).run(&vectors);
+        let res = Harness::new(r.netlist(), negs).run(&vectors);
         assert_eq!(res.violations, 0, "{mode:?}");
         assert!(res.reinitialized, "{mode:?}");
         for (k, gold) in golden.iter().enumerate() {
@@ -118,7 +118,7 @@ fn equation1_on_benchmarks() {
     for name in ["int2float", "dec", "cavlc"] {
         let aig = xsfq::benchmarks::by_name(name).unwrap();
         let r = SynthesisFlow::new().run(&aig).unwrap();
-        let stats = r.netlist.stats();
+        let stats = r.netlist().stats();
         let fanouts_used = r
             .mapped
             .logical

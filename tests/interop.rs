@@ -42,14 +42,14 @@ fn exports_are_well_formed() {
     let r = SynthesisFlow::new().run(&aig).unwrap();
 
     let mut v = Vec::new();
-    writers::write_verilog(&r.netlist, &mut v).unwrap();
+    writers::write_verilog(r.netlist(), &mut v).unwrap();
     let verilog = String::from_utf8(v).unwrap();
     assert!(verilog.contains("module int2float"));
     assert!(verilog.contains("endmodule"));
     assert_eq!(
         verilog.matches(" LA ").count(),
         r.report.la_fa
-            - r.netlist
+            - r.netlist()
                 .cells()
                 .iter()
                 .filter(|c| c.kind == xsfq::cells::CellKind::Fa)
@@ -58,7 +58,7 @@ fn exports_are_well_formed() {
     );
 
     let mut d = Vec::new();
-    writers::write_dot(&r.netlist, &mut d).unwrap();
+    writers::write_dot(r.netlist(), &mut d).unwrap();
     let dot = String::from_utf8(d).unwrap();
     assert!(dot.starts_with("digraph"));
 

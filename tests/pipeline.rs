@@ -45,7 +45,7 @@ fn pipelined_multiplier_is_functionally_correct() {
             .map(|_| (0..8).map(|_| rng.gen()).collect())
             .collect();
         let golden: Vec<Vec<bool>> = vectors.iter().map(|v| sim::eval_outputs(&g, v)).collect();
-        let res = Harness::new(&r.netlist, negs)
+        let res = Harness::new(r.netlist(), negs)
             .latency_cycles(stages)
             .run(&vectors);
         assert_eq!(res.violations, 0, "{stages} stages");
@@ -107,7 +107,7 @@ fn pipelined_adder_latency_matches_stage_count() {
         vec![true; 12],
     ];
     let golden: Vec<Vec<bool>> = vectors.iter().map(|v| sim::eval_outputs(&g, v)).collect();
-    let res = Harness::new(&r.netlist, negs)
+    let res = Harness::new(r.netlist(), negs)
         .latency_cycles(stages)
         .run(&vectors);
     assert_eq!(res.violations, 0);

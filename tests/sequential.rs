@@ -28,7 +28,7 @@ fn run_sequential(aig: &Aig, inputs: &[Vec<bool>]) -> (Vec<Vec<bool>>, usize, bo
         .iter()
         .map(|p| *p == OutputPolarity::Negative)
         .collect();
-    let res = Harness::new(&r.netlist, negs).run(inputs);
+    let res = Harness::new(r.netlist(), negs).run(inputs);
     (res.outputs, res.violations, res.reinitialized)
 }
 
@@ -121,8 +121,8 @@ fn s386_matches_golden_model() {
 fn missing_trigger_breaks_the_counter() {
     let g = counter2();
     let r = SynthesisFlow::new().run(&g).unwrap();
-    let mut sim = xsfq::pulse::PulseSim::new(&r.netlist);
-    let stats = r.netlist.stats();
+    let mut sim = xsfq::pulse::PulseSim::new(r.netlist());
+    let stats = r.netlist().stats();
     let t = stats.critical_delay_ps + 60.0;
     // Clock edges only — no trigger.
     for e in 1..=14 {
@@ -132,7 +132,7 @@ fn missing_trigger_breaks_the_counter() {
     // The counter's q rails must NOT show the Figure 7 sequence: decode
     // cycle 1's excite window and check for a protocol anomaly (either a
     // violation, a missing pulse, or a wrong value).
-    let q0 = r.netlist.outputs()[0].net;
+    let q0 = r.netlist().outputs()[0].net;
     let excite = |k: usize| ((2 * k + 1) as f64 * t, (2 * k + 2) as f64 * t);
     let mut anomalies = 0;
     for k in 0..4 {
