@@ -20,6 +20,21 @@
 //! slots, a truth-table arena, DFS stacks) so the resynthesis loops reuse
 //! one flat buffer instead of building a `HashMap<NodeId, TruthTable>` per
 //! cone.
+//!
+//! # CSR cut arena
+//!
+//! [`enumerate_cuts`] returns a [`CutArena`]: **one** flat `Vec<Cut>` plus a
+//! per-node `(start, end)` offset range — the compressed-sparse-row layout —
+//! instead of the former `Vec<Vec<Cut>>` (one heap list per node). During
+//! enumeration each executor worker appends the lists of the nodes it
+//! evaluates to a private segment buffer; after every level the segments are
+//! stitched into the flat arena **in node order**, so the arena contents are
+//! bit-identical for every thread count (the per-node lists are pure
+//! functions of the fanins' finished lists). The arena, its ranges and the
+//! worker segments are all recycled across enumerations via
+//! [`enumerate_cuts_into`], which is how a whole pass script (and
+//! `run_many`'s per-worker flows) get away with a handful of allocations
+//! for all their cut storage.
 
 use crate::tt::TruthTable;
 use crate::{Aig, NodeId, NodeKind};
@@ -207,42 +222,129 @@ fn antichain_insert(list: &mut Vec<Cut>, merged: Cut) {
     list.push(merged);
 }
 
+/// CSR cut storage: every node's cut list is a contiguous slice of one flat
+/// `Vec<Cut>`, addressed through a per-node offset range (see the module
+/// docs). Produced by [`enumerate_cuts`]; recycle it across enumerations
+/// with [`enumerate_cuts_into`].
+#[derive(Default, Debug)]
+pub struct CutArena {
+    /// All cut lists back to back, in node-id stitch order per level.
+    cuts: Vec<Cut>,
+    /// `ranges[node] = (start, end)` into `cuts`.
+    ranges: Vec<(u32, u32)>,
+    /// Per-worker segment buffers (and per-worker antichain scratch),
+    /// recycled across enumerations.
+    segments: Vec<WorkerSegment>,
+}
+
+/// One executor participant's private append buffer plus its antichain
+/// scratch list. The `wid` tag lets the stitch phase find the buffer a
+/// node's list landed in without assuming anything about scheduling.
+#[derive(Default, Debug)]
+struct WorkerSegment {
+    wid: u32,
+    buf: Vec<Cut>,
+    list: Vec<Cut>,
+}
+
+impl CutArena {
+    /// Empty arena (buffers grow on first enumeration).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes the arena holds lists for.
+    pub fn num_nodes(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The cut list of a node.
+    #[inline]
+    pub fn node(&self, i: usize) -> &[Cut] {
+        let (start, end) = self.ranges[i];
+        &self.cuts[start as usize..end as usize]
+    }
+
+    /// Total cuts stored across all nodes.
+    pub fn total_cuts(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Per-node cut lists, in node-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Cut]> + '_ {
+        (0..self.ranges.len()).map(move |i| self.node(i))
+    }
+}
+
 /// Enumerate up to `max_cuts` k-feasible cuts per node (the trivial cut is
 /// always included and not counted against the budget), on the global
 /// executor pool.
 ///
-/// Returns one cut list per node id.
-pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
+/// Returns a [`CutArena`] with one cut list per node id.
+pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> CutArena {
     enumerate_cuts_with_pool(aig, k, max_cuts, ThreadPool::global())
 }
 
 /// [`enumerate_cuts`] on an explicit executor pool.
-///
-/// A node's cut list depends only on its fanins' lists, and fanins sit at
-/// strictly lower logic levels — so the nodes of one level are enumerated
-/// in parallel and their lists scattered back before the next level starts.
-/// Each per-node list is computed by the same merge/antichain walk in the
-/// same order as a sequential id-order pass, so the output is identical for
-/// every thread count (the `cut_enumeration_matches_reference` proptest
-/// pins the sequential reference).
 pub fn enumerate_cuts_with_pool(
     aig: &Aig,
     k: usize,
     max_cuts: usize,
     pool: &ThreadPool,
-) -> Vec<Vec<Cut>> {
+) -> CutArena {
+    let mut arena = CutArena::new();
+    enumerate_cuts_into(aig, k, max_cuts, pool, &mut arena);
+    arena
+}
+
+/// [`enumerate_cuts`] into a caller-owned (reusable) [`CutArena`].
+///
+/// A node's cut list depends only on its fanins' lists, and fanins sit at
+/// strictly lower logic levels — so the nodes of one level are enumerated
+/// in parallel, each worker appending to its private segment buffer, and
+/// the segments are stitched into the flat arena in node order before the
+/// next level starts. Each per-node list is computed by the same
+/// merge/antichain walk in the same order as a sequential id-order pass, so
+/// the arena is identical for every thread count (the
+/// `cut_enumeration_matches_reference` proptest pins the sequential
+/// reference).
+pub fn enumerate_cuts_into(
+    aig: &Aig,
+    k: usize,
+    max_cuts: usize,
+    pool: &ThreadPool,
+    arena: &mut CutArena,
+) {
     assert!(k <= MAX_CUT_SIZE, "k exceeds MAX_CUT_SIZE");
-    let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); aig.num_nodes()];
+    let n = aig.num_nodes();
+    let threads = pool.num_threads();
+    arena.cuts.clear();
+    arena.ranges.clear();
+    arena.ranges.resize(n, (0, 0));
+    if arena.segments.len() < threads {
+        arena.segments.resize_with(threads, WorkerSegment::default);
+    }
+    for (wid, seg) in arena.segments.iter_mut().enumerate() {
+        seg.wid = wid as u32;
+    }
+    // Split the arena borrows: workers read `cuts`/`ranges` of finished
+    // levels while filling their own segment.
+    let mut cuts = std::mem::take(&mut arena.cuts);
+    let mut ranges = std::mem::take(&mut arena.ranges);
+    let mut segments = std::mem::take(&mut arena.segments);
+
     // Constants and combinational inputs carry only their trivial cut.
     for (i, kind) in aig.nodes().iter().enumerate() {
         if !kind.is_and() {
-            cuts[i] = vec![Cut::trivial(NodeId::from_index(i))];
+            let start = cuts.len() as u32;
+            cuts.push(Cut::trivial(NodeId::from_index(i)));
+            ranges[i] = (start, start + 1);
         }
     }
     // AND nodes bucketed by level, ascending; ids stay ascending within a
-    // level (stable sort), which fixes the scatter order.
+    // level (stable sort), which fixes the stitch order.
     let levels = aig.levels();
-    let mut order: Vec<u32> = (0..aig.num_nodes() as u32)
+    let mut order: Vec<u32> = (0..n as u32)
         .filter(|&i| aig.nodes()[i as usize].is_and())
         .collect();
     order.sort_by_key(|&i| levels[i as usize]);
@@ -254,38 +356,67 @@ pub fn enumerate_cuts_with_pool(
             end += 1;
         }
         let group = &order[start..end];
-        let lists = pool.map_init(
-            group,
-            || (),
-            |(), _, &i| node_cuts(aig, &cuts, i, k, max_cuts),
-        );
-        for (&i, list) in group.iter().zip(lists) {
-            cuts[i as usize] = list;
+        for seg in &mut segments {
+            seg.buf.clear();
+        }
+        // Evaluate: each worker appends its nodes' lists to its segment and
+        // reports where the list landed. Which worker handled a node is
+        // scheduling-dependent; the list *content* is not.
+        let placements = {
+            let cuts_ref = &cuts;
+            let ranges_ref = &ranges;
+            pool.map_reuse(group, &mut segments, |seg, _, &i| {
+                let at = seg.buf.len() as u32;
+                node_cuts(aig, cuts_ref, ranges_ref, i, k, max_cuts, seg);
+                (seg.wid, at, seg.buf.len() as u32 - at)
+            })
+        };
+        // Commit: stitch the segments into the flat arena in node order.
+        for (&i, &(wid, at, len)) in group.iter().zip(&placements) {
+            let from = &segments[wid as usize].buf[at as usize..(at + len) as usize];
+            let start = cuts.len() as u32;
+            cuts.extend_from_slice(from);
+            ranges[i as usize] = (start, start + len);
         }
         start = end;
     }
-    cuts
+    arena.cuts = cuts;
+    arena.ranges = ranges;
+    arena.segments = segments;
 }
 
-/// Cut list of a single AND node from its fanins' finished lists.
-fn node_cuts(aig: &Aig, cuts: &[Vec<Cut>], i: u32, k: usize, max_cuts: usize) -> Vec<Cut> {
+/// Cut list of a single AND node from its fanins' finished lists, appended
+/// to the worker's segment buffer (antichain built in `seg.list`).
+fn node_cuts(
+    aig: &Aig,
+    cuts: &[Cut],
+    ranges: &[(u32, u32)],
+    i: u32,
+    k: usize,
+    max_cuts: usize,
+    seg: &mut WorkerSegment,
+) {
     let NodeKind::And { a, b } = aig.nodes()[i as usize] else {
         unreachable!("only AND nodes are enumerated per level");
     };
-    let mut list: Vec<Cut> = Vec::with_capacity(max_cuts + 1);
-    let (ca, cb) = (&cuts[a.node().index()], &cuts[b.node().index()]);
-    for cut_a in ca {
-        for cut_b in cb {
+    let slice = |node: NodeId| -> &[Cut] {
+        let (s, e) = ranges[node.index()];
+        &cuts[s as usize..e as usize]
+    };
+    let list = &mut seg.list;
+    list.clear();
+    for cut_a in slice(a.node()) {
+        for cut_b in slice(b.node()) {
             let Some(merged) = cut_a.merge(cut_b, k) else {
                 continue;
             };
-            antichain_insert(&mut list, merged);
+            antichain_insert(list, merged);
         }
     }
     list.sort_by_key(Cut::len);
     list.truncate(max_cuts);
     list.push(Cut::trivial(NodeId::from_index(i as usize)));
-    list
+    seg.buf.extend_from_slice(list);
 }
 
 /// Reusable per-cone working state for [`reconvergence_cut_with`],
@@ -672,15 +803,43 @@ mod tests {
     fn enumerate_full_adder() {
         let (g, s, co) = full_adder_aig();
         let cuts = enumerate_cuts(&g, 4, 8);
+        assert_eq!(cuts.num_nodes(), g.num_nodes());
         // The sum output node must have a cut consisting of the three PIs.
         let pi_cut: Vec<NodeId> = g.inputs().to_vec();
-        let s_cuts = &cuts[s.node().index()];
+        let s_cuts = cuts.node(s.node().index());
         assert!(
             s_cuts.iter().any(|c| c.leaves() == pi_cut.as_slice()),
             "sum node should have the PI cut, got {s_cuts:?}"
         );
-        let co_cuts = &cuts[co.node().index()];
+        let co_cuts = cuts.node(co.node().index());
         assert!(co_cuts.iter().any(|c| c.leaves() == pi_cut.as_slice()));
+    }
+
+    #[test]
+    fn cut_arena_reuse_and_pool_size_are_invisible() {
+        // One warm arena across different graphs and pool sizes must hold
+        // exactly what a fresh sequential enumeration holds.
+        let (fa, _, _) = full_adder_aig();
+        let mut chain = Aig::new("chain");
+        let xs = chain.input_word("x", 6);
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = chain.and(acc, x);
+        }
+        chain.output("o", acc);
+
+        let mut warm = CutArena::new();
+        for g in [&fa, &chain, &fa] {
+            for threads in [1usize, 3] {
+                let pool = ThreadPool::new(threads);
+                enumerate_cuts_into(g, 4, 8, &pool, &mut warm);
+                let fresh = enumerate_cuts_with_pool(g, 4, 8, &ThreadPool::new(1));
+                assert_eq!(warm.num_nodes(), fresh.num_nodes());
+                for i in 0..fresh.num_nodes() {
+                    assert_eq!(warm.node(i), fresh.node(i), "node {i}, {threads} threads");
+                }
+            }
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! Users who have the original benchmark files can load them here; the
 //! in-repo suite uses the generators in `xsfq-benchmarks`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 use std::io::{BufRead, Write};
@@ -276,22 +276,30 @@ fn build_sop(aig: &mut Aig, inputs: &[Lit], cubes: &[(String, char)]) -> Lit {
 /// complemented edges are expressed in the cube masks, so no extra inverter
 /// nodes are emitted.
 ///
+/// Port names are sanitized collision-free: whitespace maps to `_` (BLIF
+/// signals are whitespace-delimited), names that collide afterwards — or
+/// that would shadow the writer's synthetic `nd<i>`/`ln_<i>` node names, or
+/// an input port — are uniquified with `_2`, `_3`, … suffixes. Without
+/// this, ports like `a b` and `a_b` silently merged into one signal and a
+/// port literally named `nd0` shorted itself to the constant node.
+///
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_blif<W: Write>(aig: &Aig, mut w: W) -> std::io::Result<()> {
+    let (in_names, out_names) = blif_port_names(aig);
     writeln!(w, ".model {}", aig.name())?;
     if aig.num_inputs() > 0 {
         write!(w, ".inputs")?;
-        for i in 0..aig.num_inputs() {
-            write!(w, " {}", sanitize(aig.input_name(i)))?;
+        for name in &in_names {
+            write!(w, " {name}")?;
         }
         writeln!(w)?;
     }
     if aig.num_outputs() > 0 {
         write!(w, ".outputs")?;
-        for o in aig.outputs() {
-            write!(w, " {}", sanitize(&o.name))?;
+        for name in &out_names {
+            write!(w, " {name}")?;
         }
         writeln!(w)?;
     }
@@ -299,7 +307,7 @@ pub fn write_blif<W: Write>(aig: &Aig, mut w: W) -> std::io::Result<()> {
     // declared port names so the reader can reconnect them.
     let node_name = |id: crate::NodeId| -> String {
         match aig.node(id) {
-            crate::NodeKind::Input { index } => sanitize(aig.input_name(index as usize)),
+            crate::NodeKind::Input { index } => in_names[index as usize].clone(),
             _ => format!("nd{}", id.index()),
         }
     };
@@ -332,13 +340,8 @@ pub fn write_blif<W: Write>(aig: &Aig, mut w: W) -> std::io::Result<()> {
         )?;
     }
     // Output buffers / inverters.
-    for o in aig.outputs() {
-        writeln!(
-            w,
-            ".names {} {}",
-            node_name(o.lit.node()),
-            sanitize(&o.name)
-        )?;
+    for (o, name) in aig.outputs().iter().zip(&out_names) {
+        writeln!(w, ".names {} {name}", node_name(o.lit.node()))?;
         writeln!(w, "{} 1", if o.lit.is_complement() { '0' } else { '1' })?;
     }
     for latch in aig.latches() {
@@ -357,10 +360,35 @@ pub fn write_blif<W: Write>(aig: &Aig, mut w: W) -> std::io::Result<()> {
     writeln!(w, ".end")
 }
 
-fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_whitespace() { '_' } else { c })
-        .collect()
+/// Collision-free BLIF signal names for every port, inputs before outputs.
+fn blif_port_names(aig: &Aig) -> (Vec<String>, Vec<String>) {
+    /// `nd<i>` / `ln_<i>`: the writer's synthetic node and latch names.
+    fn synthetic(name: &str) -> bool {
+        let digits = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+        name.strip_prefix("nd").is_some_and(digits) || name.strip_prefix("ln_").is_some_and(digits)
+    }
+    let mut used: HashSet<String> = HashSet::new();
+    let mut unique = |name: &str| -> String {
+        let mut base: String = name
+            .chars()
+            .map(|c| if c.is_whitespace() { '_' } else { c })
+            .collect();
+        if base.is_empty() || synthetic(&base) {
+            base.push('_');
+        }
+        let mut candidate = base.clone();
+        let mut n = 2usize;
+        while !used.insert(candidate.clone()) {
+            candidate = format!("{base}_{n}");
+            n += 1;
+        }
+        candidate
+    };
+    let inputs = (0..aig.num_inputs())
+        .map(|i| unique(aig.input_name(i)))
+        .collect();
+    let outputs = aig.outputs().iter().map(|o| unique(&o.name)).collect();
+    (inputs, outputs)
 }
 
 #[cfg(test)]
@@ -453,6 +481,50 @@ mod tests {
         write_blif(&g, &mut buf).unwrap();
         let back = read_blif(buf.as_slice()).unwrap();
         assert!(sim::random_equiv(&g, &back, 8, 1));
+    }
+
+    /// Regression: whitespace sanitization used to merge distinct ports
+    /// (`a b` vs `a_b`), an output sharing an input's name produced a
+    /// self-loop, and a port literally named `nd0` shorted itself to the
+    /// writer's synthetic constant node. All must round-trip now.
+    #[test]
+    fn roundtrip_with_colliding_port_names() {
+        let mut g = Aig::new("collide");
+        let a = g.input("a b");
+        let b = g.input("a_b");
+        let c = g.input("nd0");
+        let x = g.and(a, b);
+        let y = g.xor(x, c);
+        g.output("a_b", y); // collides with input "a_b"
+        g.output("y", !y);
+        g.output("y", x); // duplicate output name
+        let mut buf = Vec::new();
+        write_blif(&g, &mut buf).unwrap();
+        let back = read_blif(buf.as_slice()).unwrap();
+        assert_eq!(back.num_inputs(), 3);
+        assert_eq!(back.num_outputs(), 3);
+        assert!(sim::random_equiv(&g, &back, 16, 7));
+        // Input names survived distinct.
+        let names: Vec<&str> = (0..3).map(|i| back.input_name(i)).collect();
+        let unique: std::collections::HashSet<&&str> = names.iter().collect();
+        assert_eq!(unique.len(), 3, "input names must stay distinct: {names:?}");
+    }
+
+    /// A constant-zero and constant-one output survive the round trip.
+    #[test]
+    fn roundtrip_constant_outputs() {
+        let mut g = Aig::new("consts");
+        let a = g.input("a");
+        g.output("zero", Lit::FALSE);
+        g.output("one", Lit::TRUE);
+        g.output("buf", a);
+        let mut buf = Vec::new();
+        write_blif(&g, &mut buf).unwrap();
+        let back = read_blif(buf.as_slice()).unwrap();
+        for v in [false, true] {
+            let out = sim::eval_outputs(&back, &[v]);
+            assert_eq!(out, [false, true, v]);
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::cuts::{self, Cut, CutScratch};
+use crate::cuts::{self, Cut, CutArena, CutScratch};
 use crate::pass::{PassCtx, PassRegistry, Script};
 use crate::synth::Synthesizer;
 use crate::tt::TruthTable;
@@ -270,9 +270,12 @@ fn resynthesis_pass(aig: &Aig, mode: ResynthMode, ctx: &mut PassCtx) -> Aig {
         }
     );
     let min_gain = if zero_gain { 0 } else { 1 };
-    let enumerated = match &mode {
+    // The cut arena lives in the pass context, so one flat buffer serves
+    // every rewrite pass of a script (and every design of a batch).
+    let enumerated: Option<&CutArena> = match &mode {
         ResynthMode::Rewrite { k, max_cuts, .. } => {
-            Some(cuts::enumerate_cuts_with_pool(aig, *k, *max_cuts, pool))
+            cuts::enumerate_cuts_into(aig, *k, *max_cuts, pool, &mut ctx.cut_arena);
+            Some(&ctx.cut_arena)
         }
         ResynthMode::Refactor { .. } => None,
     };
@@ -296,7 +299,7 @@ fn resynthesis_pass(aig: &Aig, mode: ResynthMode, ctx: &mut PassCtx) -> Aig {
         .collect();
     for batch in and_ids.chunks(EVAL_BATCH) {
         let evals = pool.map_reuse(batch, states, |st, _, &i| {
-            evaluate_node(aig, &mode, enumerated.as_deref(), &fanouts, i, st)
+            evaluate_node(aig, &mode, enumerated, &fanouts, i, st)
         });
         for (&i, eval) in batch.iter().zip(&evals) {
             commits += u64::from(commit_node(
@@ -329,7 +332,7 @@ fn resynthesis_pass(aig: &Aig, mode: ResynthMode, ctx: &mut PassCtx) -> Aig {
 fn evaluate_node(
     aig: &Aig,
     mode: &ResynthMode,
-    enumerated: Option<&[Vec<Cut>]>,
+    enumerated: Option<&CutArena>,
     fanouts: &[u32],
     i: u32,
     st: &mut EvalScratch,
@@ -338,7 +341,9 @@ fn evaluate_node(
     let mut candidates = Vec::new();
     match mode {
         ResynthMode::Rewrite { .. } => {
-            for cut in enumerated.expect("rewrite enumerates cuts")[i as usize]
+            for cut in enumerated
+                .expect("rewrite enumerates cuts")
+                .node(i as usize)
                 .iter()
                 .filter(|c| c.len() >= 2 && c.leaves() != [id])
             {

@@ -61,6 +61,7 @@ use std::error::Error;
 use std::fmt;
 use std::time::Instant;
 
+use crate::cuts::CutArena;
 use crate::opt::{self, EvalScratch};
 use crate::Aig;
 use xsfq_exec::ThreadPool;
@@ -116,18 +117,44 @@ pub trait PassObserver {
 // PassCtx
 // ---------------------------------------------------------------------------
 
+/// The reusable arena set of a [`PassCtx`]: one evaluate-phase arena (cut
+/// scratch + synthesizer) per pool participant plus the shared CSR
+/// [`CutArena`] the rewrite passes enumerate into.
+///
+/// Detach it with [`PassCtx::take_arenas`] and re-install it with
+/// [`PassCtx::reuse_arenas`] to keep the buffers (and the pure-function
+/// cost memos) warm across whole designs — the flow's `run_many` keeps one
+/// `PassArenas` per executor worker for an entire batch. Sharing arenas
+/// never changes results: everything they cache is a pure function of its
+/// inputs.
+#[derive(Default)]
+pub struct PassArenas {
+    arenas: Vec<EvalScratch>,
+    cut_arena: CutArena,
+}
+
+impl fmt::Debug for PassArenas {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassArenas")
+            .field("workers", &self.arenas.len())
+            .field("cut_capacity", &self.cut_arena.total_cuts())
+            .finish()
+    }
+}
+
 /// Execution context threaded through every pass of a script run.
 ///
 /// Carries the executor pool, one evaluate-phase arena
 /// (cut scratch + synthesizer) per pool participant — shared across passes
-/// so cost memos stay warm for the whole script — the commit counter
-/// passes report into, and the telemetry sink. Arena sharing cannot change
-/// results: the memoized synthesis costs are pure functions of the truth
-/// table (the invariant the `parallel_identity` and `script_golden` suites
-/// pin).
+/// so cost memos stay warm for the whole script — the shared CSR cut arena,
+/// the commit counter passes report into, and the telemetry sink. Arena
+/// sharing cannot change results: the memoized synthesis costs are pure
+/// functions of the truth table (the invariant the `parallel_identity` and
+/// `script_golden` suites pin).
 pub struct PassCtx<'p, 'o> {
     pool: &'p ThreadPool,
     pub(crate) arenas: Vec<EvalScratch>,
+    pub(crate) cut_arena: CutArena,
     commits: u64,
     telemetry: Vec<PassStat>,
     observer: Option<&'o mut dyn PassObserver>,
@@ -141,6 +168,7 @@ impl<'p, 'o> PassCtx<'p, 'o> {
             arenas: (0..pool.num_threads())
                 .map(|_| EvalScratch::default())
                 .collect(),
+            cut_arena: CutArena::new(),
             commits: 0,
             telemetry: Vec::new(),
             observer: None,
@@ -152,6 +180,36 @@ impl<'p, 'o> PassCtx<'p, 'o> {
         let mut ctx = PassCtx::new(pool);
         ctx.observer = Some(observer);
         ctx
+    }
+
+    /// Install a previously detached arena set (topped up to one evaluate
+    /// arena per pool participant). Reusing arenas across designs keeps the
+    /// cut storage and synthesis memos warm without changing any result.
+    pub fn reuse_arenas(&mut self, arenas: PassArenas) {
+        let PassArenas {
+            mut arenas,
+            cut_arena,
+        } = arenas;
+        while arenas.len() < self.pool.num_threads() {
+            arenas.push(EvalScratch::default());
+        }
+        self.arenas = arenas;
+        self.cut_arena = cut_arena;
+    }
+
+    /// Detach the arena set for reuse by a later context (the context keeps
+    /// working with fresh, empty arenas).
+    pub fn take_arenas(&mut self) -> PassArenas {
+        let taken = PassArenas {
+            arenas: std::mem::take(&mut self.arenas),
+            cut_arena: std::mem::take(&mut self.cut_arena),
+        };
+        // Keep the context runnable: one (empty) evaluate arena per
+        // participant, as `new` would have built.
+        self.arenas = (0..self.pool.num_threads())
+            .map(|_| EvalScratch::default())
+            .collect();
+        taken
     }
 
     /// The executor pool passes should fan their evaluate phases across.
@@ -967,6 +1025,27 @@ mod tests {
         let out = compiled.run(&g.compact(), &mut ctx);
         assert_eq!(out.nodes(), g.compact().nodes());
         assert_eq!(ctx.telemetry().len(), 1, "early exit after round 1");
+    }
+
+    #[test]
+    fn context_stays_runnable_after_take_arenas_and_reuse_is_invisible() {
+        let g = adder();
+        let compiled = Script::parse("b; rw")
+            .unwrap()
+            .compile(&PassRegistry::structural())
+            .unwrap();
+        let pool = ThreadPool::new(2);
+        let mut ctx = PassCtx::new(&pool);
+        let a = compiled.run(&g, &mut ctx);
+        let arenas = ctx.take_arenas();
+        // The drained context must keep working with fresh arenas.
+        let b = compiled.run(&g, &mut ctx);
+        assert_eq!(a.nodes(), b.nodes());
+        // Warm arenas on a new context cannot change the result.
+        let mut warm = PassCtx::new(&pool);
+        warm.reuse_arenas(arenas);
+        let c = compiled.run(&g, &mut warm);
+        assert_eq!(a.nodes(), c.nodes());
     }
 
     #[test]

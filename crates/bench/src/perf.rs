@@ -12,7 +12,7 @@ use criterion::Criterion;
 
 use xsfq_aig::opt::{self, Effort};
 use xsfq_aig::pass::Script;
-use xsfq_core::{map_xsfq, MapOptions, OutputPolarity, SynthesisFlow};
+use xsfq_core::{map_xsfq, map_xsfq_with_pool, MapOptions, OutputPolarity, SynthesisFlow};
 use xsfq_pulse::Harness;
 
 /// `optimize` group: the ABC-style resynthesis script on ISCAS85/EPFL
@@ -42,7 +42,13 @@ pub fn bench_optimize(c: &mut Criterion) {
     g.finish();
 }
 
-/// `map` group: dual-rail xSFQ mapping and the clocked-RSFQ baseline mapper.
+/// `map` group: dual-rail xSFQ mapping and the clocked-RSFQ baseline
+/// mapper. `voter` (the largest EPFL circuit in the suite, with the
+/// heaviest polarity search) runs twice — on the default executor pool and
+/// pinned to one worker thread — so each `BENCH_<n>.json` records the
+/// speedup of the parallel requirements sweep + polarity costing on the
+/// machine it was measured on (the mapped netlists are bit-identical; the
+/// `map_identity` gate pins that).
 pub fn bench_mapping(c: &mut Criterion) {
     let aig = xsfq_benchmarks::by_name("c880").unwrap();
     let optimized = opt::optimize(&aig, Effort::Fast);
@@ -53,6 +59,20 @@ pub fn bench_mapping(c: &mut Criterion) {
     });
     g.bench_function("rsfq_baseline_c880", |b| {
         b.iter(|| xsfq_baselines::map_rsfq(std::hint::black_box(&optimized)))
+    });
+    let voter = opt::optimize(&xsfq_benchmarks::by_name("voter").unwrap(), Effort::Fast);
+    g.bench_function("voter", |b| {
+        b.iter(|| map_xsfq(std::hint::black_box(&voter), &MapOptions::default()))
+    });
+    let single = xsfq_exec::ThreadPool::new(1);
+    g.bench_function("voter_t1", |b| {
+        b.iter(|| {
+            map_xsfq_with_pool(
+                std::hint::black_box(&voter),
+                &MapOptions::default(),
+                &single,
+            )
+        })
     });
     g.finish();
 }

@@ -46,7 +46,7 @@ pub struct CellParams {
 /// assert_eq!(lib.params(CellKind::La).jj, 4);
 /// assert_eq!(lib.params(CellKind::Splitter).jj, 3);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct CellLibrary {
     name: String,
     style: InterconnectStyle,

@@ -15,16 +15,16 @@ use std::time::Instant;
 
 use xsfq_aig::opt::Effort;
 use xsfq_aig::pass::{
-    CompiledScript, PassCtx, PassObserver, PassRegistry, PassStat, Script, ScriptError,
+    CompiledScript, PassArenas, PassCtx, PassObserver, PassRegistry, PassStat, Script, ScriptError,
 };
 use xsfq_aig::Aig;
 use xsfq_cells::{CellKind, InterconnectStyle};
 use xsfq_exec::ThreadPool;
 use xsfq_netlist::Netlist;
 
-use crate::map::{map_with_assignment, MapOptions, MappedDesign};
+use crate::map::{map_with_assignment_pool, MapOptions, MappedDesign};
 use crate::pipeline::choose_rank_levels;
-use crate::polarity::{assign_polarities, PolarityMode};
+use crate::polarity::{assign_polarities_with_pool, PolarityMode};
 use crate::verify::verify_mapping;
 
 /// The pass registry the synthesis flow compiles scripts against: the
@@ -437,7 +437,7 @@ impl SynthesisFlow {
     pub fn run(&self, aig: &Aig) -> Result<FlowResult, FlowError> {
         let compiled = self.compiled_script()?;
         let pool = self.flow_pool();
-        self.run_compiled(aig, &compiled, pool.get(), None)
+        self.run_compiled(aig, &compiled, pool.get(), None, None)
     }
 
     /// [`SynthesisFlow::run`] with an observer receiving stage and
@@ -449,7 +449,7 @@ impl SynthesisFlow {
     ) -> Result<FlowResult, FlowError> {
         let compiled = self.compiled_script()?;
         let pool = self.flow_pool();
-        self.run_compiled(aig, &compiled, pool.get(), Some(observer))
+        self.run_compiled(aig, &compiled, pool.get(), Some(observer), None)
     }
 
     /// Run the flow over a batch of designs, scheduling **whole designs**
@@ -460,7 +460,10 @@ impl SynthesisFlow {
     /// [`SynthesisFlow::run`] per design: each design's passes execute on a
     /// sequential inner pool (the executor forbids nested parallel
     /// sections), and the optimization output is bit-identical for every
-    /// thread count by construction.
+    /// thread count by construction. Each worker keeps one warm
+    /// [`PassArenas`] set (cut arena, scratch, synthesis memos) across all
+    /// the designs it handles — reuse cannot change results, everything the
+    /// arenas cache is a pure function of its inputs.
     ///
     /// # Errors
     ///
@@ -470,11 +473,8 @@ impl SynthesisFlow {
         let pool = self.flow_pool();
         let results = pool.get().map_init_coarse(
             designs,
-            || (),
-            |_, _, aig| {
-                let inner = ThreadPool::new(1);
-                self.run_compiled(aig, &compiled, &inner, None)
-            },
+            || (ThreadPool::new(1), PassArenas::default()),
+            |(inner, arenas), _, aig| self.run_compiled(aig, &compiled, inner, None, Some(arenas)),
         );
         results.into_iter().collect()
     }
@@ -487,6 +487,7 @@ impl SynthesisFlow {
         compiled: &CompiledScript,
         pool: &ThreadPool,
         observer: Option<&mut dyn FlowObserver>,
+        arenas: Option<&mut PassArenas>,
     ) -> Result<FlowResult, FlowError> {
         let o = &self.options;
         if o.pipeline_stages > 0 && aig.num_latches() > 0 {
@@ -506,12 +507,21 @@ impl SynthesisFlow {
             stages.push(stat);
         };
 
-        // -- Optimize: the pass script, with per-pass telemetry.
+        // -- Optimize: the pass script, with per-pass telemetry. A batch
+        // driver hands in its worker's warm arena set; it is returned after
+        // the script so the next design reuses it.
         let start = Instant::now();
         let (optimized, passes) = {
             let mut ctx = PassCtx::with_observer(pool, &mut proxy);
+            let mut arenas = arenas;
+            if let Some(store) = &mut arenas {
+                ctx.reuse_arenas(std::mem::take(*store));
+            }
             let optimized = compiled.run(aig, &mut ctx);
             let passes = ctx.take_telemetry();
+            if let Some(store) = arenas {
+                *store = ctx.take_arenas();
+            }
             (optimized, passes)
         };
         note(FlowStage::Optimize, start, &mut stages, &mut proxy);
@@ -521,14 +531,15 @@ impl SynthesisFlow {
         let rank_levels = choose_rank_levels(&optimized, o.pipeline_stages, o.rank_window);
         note(FlowStage::Pipeline, start, &mut stages, &mut proxy);
 
-        // -- Polarity: output phase assignment.
+        // -- Polarity: output phase assignment (parallel candidate costing).
         let start = Instant::now();
-        let (assignment, _requirements) = assign_polarities(&optimized, o.polarity);
+        let (assignment, _requirements) = assign_polarities_with_pool(&optimized, o.polarity, pool);
         note(FlowStage::Polarity, start, &mut stages, &mut proxy);
 
-        // -- Map: dual-rail mapping + splitter insertion.
+        // -- Map: dual-rail mapping (parallel requirements sweep, sequential
+        // emission commit) + splitter insertion.
         let start = Instant::now();
-        let mapped = map_with_assignment(
+        let mapped = map_with_assignment_pool(
             &optimized,
             &MapOptions {
                 polarity: o.polarity,
@@ -536,6 +547,7 @@ impl SynthesisFlow {
                 rank_levels,
             },
             assignment,
+            pool,
         );
         note(FlowStage::Map, start, &mut stages, &mut proxy);
 

@@ -45,5 +45,11 @@ pub use flow::{
     flow_registry, FlowError, FlowObserver, FlowOptions, FlowReport, FlowResult, FlowStage,
     StageStat, SynthesisFlow,
 };
-pub use map::{map_xsfq, MapOptions, MappedDesign};
-pub use polarity::{OutputPolarity, PolarityAssignment, PolarityMode, RailRequirements};
+pub use map::{
+    map_with_assignment, map_with_assignment_pool, map_xsfq, map_xsfq_with_pool, MapOptions,
+    MappedDesign,
+};
+pub use polarity::{
+    assign_polarities, assign_polarities_with_pool, OutputPolarity, PolarityAssignment,
+    PolarityMode, RailRequirements,
+};

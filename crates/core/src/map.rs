@@ -7,14 +7,35 @@
 //! ([`crate::polarity`]); pipeline DROC ranks (§4.2.2) and sequential DROC
 //! pairs with the preload/trigger initialization strategy (§3.2) are
 //! inserted here as well.
+//!
+//! # Parallel evaluate, sequential commit
+//!
+//! Mapping follows the same mold as the resynthesis passes (see
+//! `xsfq_exec`'s module docs):
+//!
+//! * **evaluate** — the backward rail-requirements sweep
+//!   (`needs_pos`/`needs_neg`/`needs_any` per node). A node's requirements
+//!   are fixed once every consumer (always at a strictly higher logic
+//!   level) has propagated its demands, so the sweep walks the levels top
+//!   down and fans each level's nodes across the executor pool; each node
+//!   computes its own promoted flags plus the demands it pushes onto its
+//!   two fanins, all pure functions of already-finalized state. The
+//!   per-level demands are then committed in node-index order — and since
+//!   they only OR monotone flags, the final requirement vectors are
+//!   **bit-identical** to the sequential reverse-id sweep for every thread
+//!   count.
+//! * **commit** — netlist emission. Cell instantiation order determines
+//!   `NetId`/`CellId` numbering, so cells are emitted single-threaded in
+//!   ascending node-index order (DROC chains created on first demand),
+//!   which pins the mapped netlist bit-identical for every thread count.
+//!   The `map_identity` proptest gates this in CI.
 
 use xsfq_aig::{Aig, Lit, NodeId, NodeKind};
 use xsfq_cells::{CellKind, CellLibrary, InterconnectStyle};
+use xsfq_exec::ThreadPool;
 use xsfq_netlist::{NetId, Netlist};
 
-use crate::polarity::{
-    assign_polarities, OutputPolarity, PolarityAssignment, PolarityMode, RailRequirements,
-};
+use crate::polarity::{OutputPolarity, PolarityAssignment, PolarityMode, RailRequirements};
 
 /// Mapping options.
 #[derive(Clone, Debug)]
@@ -97,26 +118,61 @@ impl RankRails {
     }
 }
 
-/// Map an optimized AIG to an xSFQ netlist.
+/// Map an optimized AIG to an xSFQ netlist, on the global executor pool.
 ///
 /// # Panics
 ///
 /// Panics if `rank_levels` is non-empty on a sequential design (pipelining
 /// and feedback latches are composed at the flow level, not here).
 pub fn map_xsfq(aig: &Aig, options: &MapOptions) -> MappedDesign {
+    map_xsfq_with_pool(aig, options, ThreadPool::global())
+}
+
+/// [`map_xsfq`] on an explicit executor pool. The mapped netlist is
+/// bit-identical for every pool size.
+///
+/// # Panics
+///
+/// Panics if `rank_levels` is non-empty on a sequential design.
+pub fn map_xsfq_with_pool(aig: &Aig, options: &MapOptions, pool: &ThreadPool) -> MappedDesign {
     assert!(
         options.rank_levels.is_empty() || aig.num_latches() == 0,
         "pipeline ranks apply to combinational designs only"
     );
-    let (assignment, _) = assign_polarities(aig, options.polarity);
-    map_with_assignment(aig, options, assignment)
+    let (assignment, _) = crate::polarity::assign_polarities_with_pool(aig, options.polarity, pool);
+    map_with_assignment_pool(aig, options, assignment, pool)
 }
 
-/// Map with an explicit polarity assignment (for ablation studies).
+/// Map with an explicit polarity assignment (for ablation studies), on the
+/// global executor pool.
 pub fn map_with_assignment(
     aig: &Aig,
     options: &MapOptions,
     assignment: PolarityAssignment,
+) -> MappedDesign {
+    map_with_assignment_pool(aig, options, assignment, ThreadPool::global())
+}
+
+/// Demands one node pushes onto its fanins, plus its own promoted flags —
+/// the evaluate-phase output of the requirements sweep. Pure in the
+/// already-finalized requirement state, so the parallel fan-out cannot
+/// change it.
+#[derive(Copy, Clone, Default)]
+struct NodeDemand {
+    pos: bool,
+    neg: bool,
+    /// Fanin demands: (node index, rail) with rail 0 = pos, 1 = neg,
+    /// 2 = any (cross-rank reference). At most 2 senses × 2 edges.
+    edges: [(u32, u8); 4],
+    n_edges: u8,
+}
+
+/// [`map_with_assignment`] on an explicit executor pool.
+pub fn map_with_assignment_pool(
+    aig: &Aig,
+    options: &MapOptions,
+    assignment: PolarityAssignment,
+    pool: &ThreadPool,
 ) -> MappedDesign {
     let n = aig.num_nodes();
     let levels = aig.levels();
@@ -129,15 +185,20 @@ pub fn map_with_assignment(
     let dual_rail = options.polarity == PolarityMode::DualRail;
 
     // ---- Requirements analysis (rank-aware backward sweep) ----
+    //
+    // Evaluate phase of the mapper: levelized top-down over the executor.
+    // A node's requirements are final once every consumer — all at strictly
+    // higher levels — has been committed, so the nodes of one level fan out
+    // in parallel and their fanin demands are committed in node-index order
+    // before the next (lower) level starts. Demands are monotone flag ORs,
+    // making the result bit-identical to a sequential reverse-id sweep.
     let mut needs_pos = vec![false; n];
     let mut needs_neg = vec![false; n];
     let mut needs_any = vec![false; n];
-    let mut max_rank: Vec<usize> = (0..n).map(|i| rank_of(NodeId::from_index(i))).collect();
-    let base_rank = max_rank.clone();
+    let base_rank: Vec<usize> = (0..n).map(|i| rank_of(NodeId::from_index(i))).collect();
 
     let mut seed = |lit: Lit, positive_sense: bool, consumer_rank: usize| {
         let node = lit.node().index();
-        max_rank[node] = max_rank[node].max(consumer_rank);
         if consumer_rank > base_rank[node] {
             needs_any[node] = true;
         } else if positive_sense ^ lit.is_complement() {
@@ -160,40 +221,146 @@ pub fn map_with_assignment(
         // init = 0 (so the trigger-cycle dummy emerges as the init value).
         seed(latch.next, latch.init, 0);
     }
-    for i in (1..n).rev() {
-        let NodeKind::And { a, b } = aig.nodes()[i] else {
-            continue;
-        };
-        if dual_rail && (needs_pos[i] || needs_neg[i] || needs_any[i]) {
-            needs_pos[i] = true;
-            needs_neg[i] = true;
-        }
-        // Promote a registered-only requirement to a single (positive) rail.
-        if needs_any[i] && !needs_pos[i] && !needs_neg[i] {
-            needs_pos[i] = true;
-        }
-        let nr = base_rank[i];
-        for (sense, active) in [(true, needs_pos[i]), (false, needs_neg[i])] {
-            if !active {
+
+    // A one-participant pool runs the plain reverse-id sweep — no level
+    // bucketing, no demand buffers. The levelized parallel path below
+    // computes exactly the same flags (demands are monotone ORs over
+    // consumers, which all sit at strictly higher levels); `map_identity`
+    // compares the two paths in CI.
+    if pool.num_threads() == 1 {
+        for i in (1..n).rev() {
+            let NodeKind::And { a, b } = aig.nodes()[i] else {
                 continue;
+            };
+            if dual_rail && (needs_pos[i] || needs_neg[i] || needs_any[i]) {
+                needs_pos[i] = true;
+                needs_neg[i] = true;
             }
-            for edge in [a, b] {
-                let c = edge.node().index();
-                max_rank[c] = max_rank[c].max(nr);
-                if nr > base_rank[c] {
-                    needs_any[c] = true;
-                } else if sense ^ edge.is_complement() {
-                    needs_pos[c] = true;
-                } else {
-                    needs_neg[c] = true;
+            // Promote a registered-only requirement to a single rail.
+            if needs_any[i] && !needs_pos[i] && !needs_neg[i] {
+                needs_pos[i] = true;
+            }
+            let nr = base_rank[i];
+            for (sense, active) in [(true, needs_pos[i]), (false, needs_neg[i])] {
+                if !active {
+                    continue;
+                }
+                for edge in [a, b] {
+                    let c = edge.node().index();
+                    if nr > base_rank[c] {
+                        needs_any[c] = true;
+                    } else if sense ^ edge.is_complement() {
+                        needs_pos[c] = true;
+                    } else {
+                        needs_neg[c] = true;
+                    }
                 }
             }
         }
+        return emit_mapping(
+            aig, options, assignment, needs_pos, needs_neg, base_rank, out_rank, dual_rail,
+        );
+    }
+
+    // AND nodes bucketed by level, descending; ids ascending within a level
+    // (stable sort), which fixes the commit order.
+    let mut order: Vec<u32> = (0..n as u32)
+        .filter(|&i| aig.nodes()[i as usize].is_and())
+        .collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(levels[i as usize]));
+    let mut start = 0;
+    while start < order.len() {
+        let level = levels[order[start] as usize];
+        let mut end = start + 1;
+        while end < order.len() && levels[order[end] as usize] == level {
+            end += 1;
+        }
+        let group = &order[start..end];
+        let demands = {
+            let (np, nn, na) = (&needs_pos, &needs_neg, &needs_any);
+            let base = &base_rank;
+            pool.map_init(
+                group,
+                || (),
+                |(), _, &i| {
+                    let i = i as usize;
+                    let NodeKind::And { a, b } = aig.nodes()[i] else {
+                        unreachable!("only AND nodes are swept per level");
+                    };
+                    let (mut pos, mut neg) = (np[i], nn[i]);
+                    if dual_rail && (pos || neg || na[i]) {
+                        pos = true;
+                        neg = true;
+                    }
+                    // Promote a registered-only requirement to a single
+                    // (positive) rail.
+                    if na[i] && !pos && !neg {
+                        pos = true;
+                    }
+                    let nr = base[i];
+                    let mut d = NodeDemand {
+                        pos,
+                        neg,
+                        ..Default::default()
+                    };
+                    for (sense, active) in [(true, pos), (false, neg)] {
+                        if !active {
+                            continue;
+                        }
+                        for edge in [a, b] {
+                            let c = edge.node().index();
+                            let rail = if nr > base[c] {
+                                2
+                            } else if sense ^ edge.is_complement() {
+                                0
+                            } else {
+                                1
+                            };
+                            d.edges[d.n_edges as usize] = (c as u32, rail);
+                            d.n_edges += 1;
+                        }
+                    }
+                    d
+                },
+            )
+        };
+        for (&i, d) in group.iter().zip(&demands) {
+            needs_pos[i as usize] = d.pos;
+            needs_neg[i as usize] = d.neg;
+            for &(c, rail) in &d.edges[..d.n_edges as usize] {
+                match rail {
+                    0 => needs_pos[c as usize] = true,
+                    1 => needs_neg[c as usize] = true,
+                    _ => needs_any[c as usize] = true,
+                }
+            }
+        }
+        start = end;
     }
     // Inputs/constants referenced only across ranks also need promotion so
     // the DROC chain has a source rail (input rails exist anyway).
+    emit_mapping(
+        aig, options, assignment, needs_pos, needs_neg, base_rank, out_rank, dual_rail,
+    )
+}
 
-    // ---- Emission ----
+/// Emission — the mapper's sequential commit phase. Cell instantiation
+/// order determines `CellId`/`NetId` numbering, so this always runs
+/// single-threaded in ascending node-index order (DROC rank chains created
+/// on first demand), which is what makes the mapped netlist bit-identical
+/// for every thread count.
+#[allow(clippy::too_many_arguments)]
+fn emit_mapping(
+    aig: &Aig,
+    options: &MapOptions,
+    assignment: PolarityAssignment,
+    needs_pos: Vec<bool>,
+    needs_neg: Vec<bool>,
+    base_rank: Vec<usize>,
+    out_rank: usize,
+    dual_rail: bool,
+) -> MappedDesign {
+    let n = aig.num_nodes();
     let mut netlist = Netlist::new(aig.name().to_string(), CellLibrary::xsfq(options.style));
     // rails[node] maps rank → RailSet.
     let mut rails: Vec<RankRails> = vec![RankRails::default(); n];

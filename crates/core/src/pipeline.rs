@@ -37,8 +37,12 @@ pub fn choose_rank_levels(aig: &Aig, arch_stages: usize, window: u32) -> Vec<u32
     let mut levels = Vec::with_capacity(ranks as usize);
     let widths = crossing_widths(aig);
     // Cap the search window to a quarter of a segment so the min-width
-    // search cannot destroy the stage balance the cuts exist for.
-    let window = window.min(depth / ranks / 4);
+    // search cannot destroy the stage balance the cuts exist for — but
+    // never below one level: `depth / ranks / 4` rounds to 0 whenever
+    // `depth < 4 × ranks`, which used to silently disable the search on
+    // every shallow fabric even though a ±1 nudge cannot hurt the balance
+    // (the monotonicity repair below keeps all invariants regardless).
+    let window = window.min((depth / ranks / 4).max(1));
     for i in 1..ranks {
         let ideal = (depth * i).div_ceil(ranks).max(1);
         let lo = ideal.saturating_sub(window).max(1);
@@ -78,6 +82,14 @@ pub fn choose_rank_levels(aig: &Aig, arch_stages: usize, window: u32) -> Vec<u32
 /// Number of signals crossing a cut placed just below each level:
 /// `widths[l]` counts nodes with `level < l` that feed a consumer with
 /// `level ≥ l` (primary outputs count as consumers at `depth + 1`).
+///
+/// Implemented as a difference array — `+1` where a node's live range
+/// starts, `−1` just past where it ends, one prefix-sum pass — so the cost
+/// is O(nodes + depth). The old per-level increment loop was
+/// O(depth × nodes): every long-lived signal (an input consumed near the
+/// outputs, say) paid its whole live range, a real blowup on deep EPFL
+/// designs like `div` and `hyp`. The `crossing_widths_matches_reference`
+/// proptest pins this against the naive loop.
 pub fn crossing_widths(aig: &Aig) -> Vec<usize> {
     let levels = aig.levels();
     let depth = aig.depth() as u32;
@@ -94,17 +106,27 @@ pub fn crossing_widths(aig: &Aig) -> Vec<usize> {
     for root in aig.combinational_roots() {
         max_consumer[root.node().index()] = depth + 1;
     }
-    // widths[l] = #nodes with level < l <= max_consumer.
-    let mut widths = vec![0usize; depth as usize + 2];
+    // A node with level `lv` and maximum consumer level `hi` crosses every
+    // cut `l` with `lv < l ≤ hi`: mark `+1` at `lv + 1`, `−1` past `hi`.
+    let mut delta = vec![0isize; depth as usize + 3];
     for i in 0..aig.num_nodes() {
         if max_consumer[i] == 0 {
             continue; // dangling
         }
         let lo = levels[i] + 1;
-        let hi = max_consumer[i];
-        for l in lo..=hi.min(depth + 1) {
-            widths[l as usize] += 1;
+        let hi = max_consumer[i].min(depth + 1);
+        if lo > hi {
+            continue;
         }
+        delta[lo as usize] += 1;
+        delta[hi as usize + 1] -= 1;
+    }
+    let mut widths = vec![0usize; depth as usize + 2];
+    let mut running = 0isize;
+    for (l, w) in widths.iter_mut().enumerate() {
+        running += delta[l];
+        debug_assert!(running >= 0, "live ranges cannot go negative");
+        *w = running as usize;
     }
     widths
 }
@@ -205,6 +227,116 @@ mod tests {
         assert_eq!(w[g.depth() + 1], 1);
     }
 
+    /// The old per-level increment loop, kept as the reference the
+    /// difference-array rewrite is pinned against.
+    fn crossing_widths_reference(aig: &Aig) -> Vec<usize> {
+        let levels = aig.levels();
+        let depth = aig.depth() as u32;
+        let mut max_consumer = vec![0u32; aig.num_nodes()];
+        for (i, kind) in aig.nodes().iter().enumerate() {
+            if let NodeKind::And { a, b } = kind {
+                let lvl = levels[i];
+                for f in [a.node().index(), b.node().index()] {
+                    max_consumer[f] = max_consumer[f].max(lvl);
+                }
+            }
+        }
+        for root in aig.combinational_roots() {
+            max_consumer[root.node().index()] = depth + 1;
+        }
+        let mut widths = vec![0usize; depth as usize + 2];
+        for i in 0..aig.num_nodes() {
+            if max_consumer[i] == 0 {
+                continue;
+            }
+            let lo = levels[i] + 1;
+            let hi = max_consumer[i];
+            for l in lo..=hi.min(depth + 1) {
+                widths[l as usize] += 1;
+            }
+        }
+        widths
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+        use xsfq_aig::Lit;
+
+        /// Random DAG from a recipe of (op, operand, operand) triples.
+        fn circuit_from_recipe(recipe: &[(u8, usize, usize)], inputs: usize) -> Aig {
+            let mut g = Aig::new("rand");
+            let mut pool: Vec<Lit> = (0..inputs).map(|i| g.input(format!("x{i}"))).collect();
+            for &(op, i, j) in recipe {
+                let a = pool[i % pool.len()];
+                let b = pool[j % pool.len()];
+                let lit = match op % 6 {
+                    0 => g.and(a, b),
+                    1 => g.or(a, b),
+                    2 => g.xor(a, b),
+                    3 => g.nand(a, b),
+                    4 => g.mux(a, b, !a),
+                    _ => g.xnor(a, b),
+                };
+                pool.push(lit);
+            }
+            let o = *pool.last().unwrap();
+            g.output("o", o);
+            g
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The O(nodes + depth) difference-array sweep equals the old
+            /// O(depth × nodes) loop on random AIGs, level for level.
+            #[test]
+            fn crossing_widths_matches_reference(
+                recipe in prop::collection::vec((any::<u8>(), 0usize..64, 0usize..64), 1..120),
+                inputs in 2usize..8,
+            ) {
+                let g = circuit_from_recipe(&recipe, inputs);
+                prop_assert_eq!(crossing_widths(&g), crossing_widths_reference(&g));
+            }
+        }
+    }
+
+    /// Regression: the window cap `depth / ranks / 4` rounds to 0 whenever
+    /// `depth < 4 × ranks`, silently disabling the min-width search on
+    /// shallow fabrics even though a ±1 nudge cannot break stage balance.
+    /// On this depth-3 fabric (1 stage ⇒ 2 ranks, old cap `3/2/4 = 0`) the
+    /// interior rank's ideal position crosses 5 signals while one level up
+    /// crosses 4 — the floored window must take the narrower cut.
+    #[test]
+    fn shallow_fabric_window_engages() {
+        // x = a & b fans out to four level-2 ANDs; two of those feed a
+        // level-3 AND, the others are outputs.
+        let mut g = Aig::new("shallow");
+        let a = g.input("a");
+        let b = g.input("b");
+        let ins = g.input_word("i", 4);
+        let x = g.and(a, b);
+        let cs: Vec<Lit> = ins.iter().map(|&i| g.and(x, i)).collect();
+        let d = g.and(cs[0], cs[1]);
+        g.output("d", d);
+        g.output("c2", cs[2]);
+        g.output("c3", cs[3]);
+        assert_eq!(g.depth(), 3);
+        let w = crossing_widths(&g);
+        assert!(
+            w[3] < w[2],
+            "fixture must have a narrower cut one level up: {w:?}"
+        );
+        let ranks = choose_rank_levels(&g, 1, 3);
+        assert_eq!(ranks[0], 3, "the ±1 nudge must engage on shallow fabrics");
+        // All placement invariants hold.
+        assert_eq!(*ranks.last().unwrap(), g.depth() as u32 + 1);
+        assert!(ranks.windows(2).all(|p| p[0] < p[1]));
+        // An explicit zero window still means "no nudge".
+        let fixed = choose_rank_levels(&g, 1, 0);
+        assert_eq!(fixed[0], 2, "window 0 keeps the equal-depth position");
+    }
+
     #[test]
     fn window_picks_narrow_cut() {
         // Funnel: wide at level 1, narrow at level 2+.
@@ -217,9 +349,14 @@ mod tests {
         // depth 3; crossing widths: cut1: 4, cut2: 2, cut3: 1.
         let w = crossing_widths(&g);
         assert!(w[2] < w[1]);
+        assert!(w[3] < w[2]);
+        // The interior rank's ideal is ceil(3*1/2) = 2; the requested ±1
+        // window reaches the even narrower cut at 3. (Before the window
+        // floor fix, `depth / ranks / 4 = 0` silently pinned it to 2.)
         let ranks = choose_rank_levels(&g, 1, 1);
-        // The interior rank's ideal is ceil(3*1/2)=2 and width(2) < width(1),
-        // so it must stay at 2.
-        assert_eq!(ranks[0], 2);
+        assert_eq!(ranks[0], 3);
+        // With no window the ideal equal-depth position stands.
+        let fixed = choose_rank_levels(&g, 1, 0);
+        assert_eq!(fixed[0], 2);
     }
 }

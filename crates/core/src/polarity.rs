@@ -9,6 +9,7 @@
 //! here with the same greedy-improvement heuristic.
 
 use xsfq_aig::{Aig, Lit, NodeKind};
+use xsfq_exec::ThreadPool;
 
 /// Polarity retained for a primary output.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -71,7 +72,7 @@ impl PolarityAssignment {
 }
 
 /// Which rails every node must produce.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct RailRequirements {
     /// Node needs its positive rail (an LA cell for AND nodes).
     pub needs_pos: Vec<bool>,
@@ -116,11 +117,29 @@ pub fn rail_requirements(
     assignment: &PolarityAssignment,
     dual_rail: bool,
 ) -> RailRequirements {
+    let mut req = RailRequirements::default();
+    rail_requirements_into(aig, assignment, dual_rail, None, &mut req);
+    req
+}
+
+/// [`rail_requirements`] into caller-owned buffers, optionally evaluating a
+/// **speculative single-output flip** (`flip = Some(o)` costs the
+/// assignment with output `o`'s polarity flipped, without cloning the
+/// assignment). This is the evaluate-phase kernel the parallel polarity
+/// search fans out per candidate; reusing the buffers keeps the inner loop
+/// allocation-free.
+fn rail_requirements_into(
+    aig: &Aig,
+    assignment: &PolarityAssignment,
+    dual_rail: bool,
+    flip: Option<usize>,
+    req: &mut RailRequirements,
+) {
     let n = aig.num_nodes();
-    let mut req = RailRequirements {
-        needs_pos: vec![false; n],
-        needs_neg: vec![false; n],
-    };
+    req.needs_pos.clear();
+    req.needs_pos.resize(n, false);
+    req.needs_neg.clear();
+    req.needs_neg.resize(n, false);
     if dual_rail {
         // Every node reachable from a root needs both rails.
         let mut live = vec![false; n];
@@ -144,17 +163,21 @@ pub fn rail_requirements(
                 req.needs_neg[i] = true;
             }
         }
-        return req;
+        return;
     }
 
     // Seed from the outputs and latch data inputs. A latch samples the
     // positive rail of its next-state function when init = 1, the negative
     // rail when init = 0 (§3.2 initialization strategy).
-    for (o, pol) in aig.outputs().iter().zip(&assignment.outputs) {
-        mark(&mut req, o.lit, *pol == OutputPolarity::Positive);
+    for (o, (out, pol)) in aig.outputs().iter().zip(&assignment.outputs).enumerate() {
+        let mut positive = *pol == OutputPolarity::Positive;
+        if flip == Some(o) {
+            positive = !positive;
+        }
+        mark(req, out.lit, positive);
     }
     for latch in aig.latches() {
-        mark(&mut req, latch.next, latch.init);
+        mark(req, latch.next, latch.init);
     }
     // One reverse-topological sweep: fanins have smaller ids than the node.
     for i in (1..n).rev() {
@@ -163,17 +186,16 @@ pub fn rail_requirements(
         };
         if req.needs_pos[i] {
             // LA consumes the positive sense of each fanin edge.
-            mark(&mut req, a, true);
-            mark(&mut req, b, true);
+            mark(req, a, true);
+            mark(req, b, true);
         }
         if req.needs_neg[i] {
             // FA consumes the negative sense of each fanin edge
             // (De Morgan: !(a & b) = !a | !b).
-            mark(&mut req, a, false);
-            mark(&mut req, b, false);
+            mark(req, a, false);
+            mark(req, b, false);
         }
     }
-    req
 }
 
 /// Request the rail carrying `lit`'s value (`positive_sense`) or its
@@ -188,8 +210,22 @@ fn mark(req: &mut RailRequirements, lit: Lit, positive_sense: bool) {
 }
 
 /// Choose output polarities according to `mode` and return the assignment
-/// with its rail requirements.
+/// with its rail requirements, on the global executor pool.
 pub fn assign_polarities(aig: &Aig, mode: PolarityMode) -> (PolarityAssignment, RailRequirements) {
+    assign_polarities_with_pool(aig, mode, ThreadPool::global())
+}
+
+/// [`assign_polarities`] on an explicit executor pool.
+///
+/// The heuristic and exhaustive searches fan their per-candidate
+/// [`rail_requirements`] costing across the pool; the accept/reduce step is
+/// committed in candidate order, so the chosen assignment is **identical**
+/// to the sequential search for every pool size.
+pub fn assign_polarities_with_pool(
+    aig: &Aig,
+    mode: PolarityMode,
+    pool: &ThreadPool,
+) -> (PolarityAssignment, RailRequirements) {
     match mode {
         PolarityMode::DualRail => {
             let a = PolarityAssignment::all_positive(aig);
@@ -201,72 +237,145 @@ pub fn assign_polarities(aig: &Aig, mode: PolarityMode) -> (PolarityAssignment, 
             let r = rail_requirements(aig, &a, false);
             (a, r)
         }
-        PolarityMode::Heuristic => heuristic_assignment(aig),
-        PolarityMode::Exhaustive => exhaustive_assignment(aig),
+        PolarityMode::Heuristic => heuristic_assignment(aig, pool),
+        PolarityMode::Exhaustive => exhaustive_assignment(aig, pool),
     }
+}
+
+/// Candidate flips evaluated per speculative batch: enough per participant
+/// to amortize dispatch, bounded so an accepted flip does not throw away
+/// much speculation (a sequential pool speculates barely past the accept
+/// point the sequential greedy would stop at).
+fn flip_batch(pool: &ThreadPool) -> usize {
+    (pool.num_threads() * 32).clamp(32, 1024)
 }
 
 /// Greedy improvement: starting all-positive, repeatedly flip the single
 /// output (or latch rail) that reduces the LA/FA cell count the most, until
 /// no flip helps (the Puri–Bjorksten–Rosser heuristic adapted to AIGs).
-fn heuristic_assignment(aig: &Aig) -> (PolarityAssignment, RailRequirements) {
+///
+/// Parallel evaluate, ordered commit: candidate flips are costed
+/// speculatively in batches across the pool (each candidate assumes no
+/// earlier candidate was accepted), then the batch is scanned **in output
+/// order** and the first improving flip is accepted; later speculative
+/// results are stale at that point and are discarded, and the scan resumes
+/// right after the accepted flip. That reproduces the sequential
+/// first-improvement walk decision for decision, so the chosen assignment
+/// is identical for every thread count.
+fn heuristic_assignment(aig: &Aig, pool: &ThreadPool) -> (PolarityAssignment, RailRequirements) {
     let mut assignment = PolarityAssignment::all_positive(aig);
-    let mut best_req = rail_requirements(aig, &assignment, false);
-    let mut best_cost = best_req.cell_count(aig);
+    let mut best_cost = rail_requirements(aig, &assignment, false).cell_count(aig);
+    let outputs = assignment.outputs.len();
+    let mut states: Vec<RailRequirements> = (0..pool.num_threads())
+        .map(|_| RailRequirements::default())
+        .collect();
+    // A one-participant pool *is* the sequential greedy; skip the
+    // speculative batching (and its wasted evaluations past each accepted
+    // flip) entirely. The parallel path below reproduces these decisions
+    // exactly — the `map_identity` gate compares the two.
+    if pool.num_threads() == 1 {
+        let req = &mut states[0];
+        for _pass in 0..8 {
+            let mut improved = false;
+            for o in 0..outputs {
+                rail_requirements_into(aig, &assignment, false, Some(o), req);
+                let cost = req.cell_count(aig);
+                if cost < best_cost {
+                    assignment.outputs[o] = assignment.outputs[o].flipped();
+                    best_cost = cost;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        let best_req = rail_requirements(aig, &assignment, false);
+        debug_assert_eq!(best_req.cell_count(aig), best_cost);
+        return (assignment, best_req);
+    }
     // Bounded number of improvement passes.
     for _pass in 0..8 {
         let mut improved = false;
-        for o in 0..assignment.outputs.len() {
-            assignment.outputs[o] = assignment.outputs[o].flipped();
-            let req = rail_requirements(aig, &assignment, false);
-            let cost = req.cell_count(aig);
-            if cost < best_cost {
-                best_cost = cost;
-                best_req = req;
-                improved = true;
-            } else {
-                assignment.outputs[o] = assignment.outputs[o].flipped();
+        let mut o = 0;
+        while o < outputs {
+            let batch: Vec<usize> = (o..(o + flip_batch(pool)).min(outputs)).collect();
+            // Evaluate: cost every candidate flip against the current
+            // assignment (pure; per-worker requirement buffers).
+            let costs = {
+                let assignment = &assignment;
+                pool.map_reuse(&batch, &mut states, |req, _, &cand| {
+                    rail_requirements_into(aig, assignment, false, Some(cand), req);
+                    req.cell_count(aig)
+                })
+            };
+            // Commit in candidate order: accept the first improving flip,
+            // discard the (stale) speculation behind it.
+            let mut next = *batch.last().unwrap() + 1;
+            for (&cand, &cost) in batch.iter().zip(&costs) {
+                if cost < best_cost {
+                    assignment.outputs[cand] = assignment.outputs[cand].flipped();
+                    best_cost = cost;
+                    improved = true;
+                    next = cand + 1;
+                    break;
+                }
             }
+            o = next;
         }
         if !improved {
             break;
         }
     }
+    let best_req = rail_requirements(aig, &assignment, false);
+    debug_assert_eq!(best_req.cell_count(aig), best_cost);
     (assignment, best_req)
 }
 
 /// Exhaustive search over all output polarity assignments (≤ 20 outputs).
 ///
+/// Candidate codes are costed in parallel; the reduction keeps the
+/// lowest-cost code with the **lowest code value** on ties (the order the
+/// sequential scan accepted), so the winner is pool-size independent.
+///
 /// # Panics
 ///
 /// Panics if the design has more than 20 outputs.
-fn exhaustive_assignment(aig: &Aig) -> (PolarityAssignment, RailRequirements) {
+fn exhaustive_assignment(aig: &Aig, pool: &ThreadPool) -> (PolarityAssignment, RailRequirements) {
     let bits = aig.num_outputs();
     assert!(
         bits <= 20,
         "exhaustive polarity search limited to 20 outputs"
     );
-    let mut best: Option<(usize, PolarityAssignment, RailRequirements)> = None;
-    for code in 0..(1u32 << bits) {
-        let assignment = PolarityAssignment {
-            outputs: (0..aig.num_outputs())
-                .map(|i| {
-                    if code >> i & 1 == 1 {
-                        OutputPolarity::Negative
-                    } else {
-                        OutputPolarity::Positive
-                    }
-                })
-                .collect(),
-        };
-        let req = rail_requirements(aig, &assignment, false);
-        let cost = req.cell_count(aig);
-        if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
-            best = Some((cost, assignment, req));
+    let assignment_for = |code: u32| PolarityAssignment {
+        outputs: (0..bits)
+            .map(|i| {
+                if code >> i & 1 == 1 {
+                    OutputPolarity::Negative
+                } else {
+                    OutputPolarity::Positive
+                }
+            })
+            .collect(),
+    };
+    let codes: Vec<u32> = (0..(1u32 << bits)).collect();
+    let mut states: Vec<RailRequirements> = (0..pool.num_threads())
+        .map(|_| RailRequirements::default())
+        .collect();
+    let costs = pool.map_reuse(&codes, &mut states, |req, _, &code| {
+        rail_requirements_into(aig, &assignment_for(code), false, None, req);
+        req.cell_count(aig)
+    });
+    // Order-fixed reduction: strict `<` keeps the earliest minimal code.
+    let mut best = 0usize;
+    for (i, &cost) in costs.iter().enumerate() {
+        if cost < costs[best] {
+            best = i;
         }
     }
-    let (_, a, r) = best.expect("at least one assignment");
-    (a, r)
+    let assignment = assignment_for(codes[best]);
+    let req = rail_requirements(aig, &assignment, false);
+    (assignment, req)
 }
 
 #[cfg(test)]

@@ -151,7 +151,7 @@ impl<'a> IntoIterator for &'a PinVec {
 }
 
 /// A cell instance.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Cell {
     /// Cell kind (decides pin counts, JJ cost and delay).
     pub kind: CellKind,
@@ -568,6 +568,22 @@ impl Netlist {
             frontier.extend(outs);
         }
         frontier.into()
+    }
+}
+
+/// Structural equality: same name, library, cells (kinds + pin wiring),
+/// drivers, ports and trigger marks. The memoized stats report is ignored —
+/// it is a pure function of the compared state. This is the relation the
+/// `map_identity` thread-count bit-identity gate compares under.
+impl PartialEq for Netlist {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.library == other.library
+            && self.cells == other.cells
+            && self.drivers == other.drivers
+            && self.inputs == other.inputs
+            && self.outputs == other.outputs
+            && self.trigger_clocked == other.trigger_clocked
     }
 }
 
