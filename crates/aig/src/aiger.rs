@@ -1,0 +1,692 @@
+//! AIGER import/export.
+//!
+//! AIGER is the exchange format of the hardware model-checking community
+//! (and of ABC): a literal-numbered AND-inverter graph with inputs,
+//! latches, outputs and two-input ANDs. The reader covers both variants of
+//! the 1.x format family:
+//!
+//! * `aag` — the ASCII variant: one line per input / latch / output / AND.
+//! * `aig` — the binary variant: implicit input and AND numbering, ANDs
+//!   encoded as pairs of LEB128-style deltas.
+//!
+//! Both share the header `aag|aig M I L O A` and the trailing symbol table
+//! (`i0 name`, `l0 name`, `o0 name`) and comment section. The reader is
+//! **total**: any byte sequence either parses to an [`Aig`] or returns a
+//! line-numbered [`ParseAigerError`] — it never panics, never overflows,
+//! and never allocates proportionally to an attacker-controlled header
+//! (pinned by the `parser_fuzz` proptest suite). AND definitions must obey
+//! the format's ordering rule `rhs0, rhs1 < lhs`, which is what makes
+//! single-pass construction sound.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::{Aig, Lit};
+
+/// Largest accepted maximum-variable index (`M` in the header). Bounds the
+/// literal-map allocation so a malicious header cannot demand gigabytes
+/// before a single definition is read.
+pub const MAX_VARS: u64 = 1 << 26;
+
+/// Error parsing an AIGER file.
+#[derive(Debug)]
+pub struct ParseAigerError {
+    line: usize,
+    message: String,
+}
+
+impl ParseAigerError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseAigerError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number where parsing failed. For faults inside the
+    /// binary AND section of an `aig` file this is the line the section
+    /// starts on.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "aiger parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl Error for ParseAigerError {}
+
+/// The parsed shape of a file before AIG construction.
+struct AigerFile {
+    inputs: Vec<u64>,               // input literals (even)
+    latches: Vec<(u64, u64, bool)>, // (latch literal, next-state literal, init)
+    outputs: Vec<u64>,              // output literals
+    ands: Vec<(u64, u64, u64)>,     // (lhs, rhs0, rhs1)
+    symbols: HashMap<(u8, usize), String>,
+    max_var: u64,
+}
+
+/// A line-oriented cursor over the raw bytes, tracking 1-based line
+/// numbers (the binary AND section is consumed byte-wise in between).
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor {
+            data,
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    /// The next line as UTF-8 (without the newline), or `None` at EOF.
+    fn next_line(&mut self) -> Result<Option<(usize, &'a str)>, ParseAigerError> {
+        if self.pos >= self.data.len() {
+            return Ok(None);
+        }
+        let start = self.pos;
+        let lineno = self.line;
+        let end = self.data[start..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|i| start + i)
+            .unwrap_or(self.data.len());
+        self.pos = (end + 1).min(self.data.len());
+        if end < self.data.len() {
+            self.line += 1;
+        }
+        let text = std::str::from_utf8(&self.data[start..end])
+            .map_err(|_| ParseAigerError::new(lineno, "line is not valid UTF-8"))?;
+        Ok(Some((lineno, text.trim_end_matches('\r'))))
+    }
+
+    /// One raw byte of the binary AND section.
+    fn next_byte(&mut self) -> Option<u8> {
+        let b = *self.data.get(self.pos)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    /// One LEB128-style delta (7 data bits per byte, high bit continues).
+    fn next_delta(&mut self, context: &str) -> Result<u64, ParseAigerError> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let Some(b) = self.next_byte() else {
+                return Err(ParseAigerError::new(
+                    self.line,
+                    format!("unexpected end of file in {context}"),
+                ));
+            };
+            let payload = u64::from(b & 0x7f);
+            if shift >= 63 && payload > (u64::MAX >> shift) {
+                return Err(ParseAigerError::new(
+                    self.line,
+                    format!("delta overflows 64 bits in {context}"),
+                ));
+            }
+            value |= payload << shift;
+            if b & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(ParseAigerError::new(
+                    self.line,
+                    format!("delta overflows 64 bits in {context}"),
+                ));
+            }
+        }
+    }
+}
+
+fn parse_u64(lineno: usize, token: &str, what: &str) -> Result<u64, ParseAigerError> {
+    token
+        .parse::<u64>()
+        .map_err(|_| ParseAigerError::new(lineno, format!("{what} `{token}` is not a number")))
+}
+
+/// Read an AIGER file (ASCII `aag` or binary `aig`) into an [`Aig`].
+///
+/// Latch init values `0` and `1` are honored; the "uninitialized" form
+/// (init equal to the latch literal) is read as `0`. Symbol-table names are
+/// applied to inputs, latches and outputs; unnamed ports get `i<k>` /
+/// `l<k>` / `o<k>`.
+///
+/// # Errors
+///
+/// Returns a line-numbered [`ParseAigerError`] on any malformed input:
+/// bad header counts (`M` must cover every declared index and stay below
+/// [`MAX_VARS`]), odd input/AND literals, literals out of range, redefined
+/// or undefined variables, and AND definitions violating the ordering rule
+/// `rhs0, rhs1 < lhs`.
+pub fn read_aiger<R: BufRead>(mut reader: R) -> Result<Aig, ParseAigerError> {
+    let mut data = Vec::new();
+    reader
+        .read_to_end(&mut data)
+        .map_err(|e| ParseAigerError::new(1, e.to_string()))?;
+    let mut cur = Cursor::new(&data);
+
+    // -- Header: `aag|aig M I L O A`.
+    let Some((hline, header)) = cur.next_line()? else {
+        return Err(ParseAigerError::new(1, "empty file"));
+    };
+    let mut toks = header.split_whitespace();
+    let format = toks.next().unwrap_or("");
+    let binary = match format {
+        "aag" => false,
+        "aig" => true,
+        other => {
+            return Err(ParseAigerError::new(
+                hline,
+                format!("expected `aag` or `aig` header, got `{other}`"),
+            ))
+        }
+    };
+    let mut field = |what: &str| -> Result<u64, ParseAigerError> {
+        let Some(tok) = toks.next() else {
+            return Err(ParseAigerError::new(
+                hline,
+                format!("header is missing the {what} count"),
+            ));
+        };
+        parse_u64(hline, tok, what)
+    };
+    let max_var = field("maximum variable")?;
+    let num_inputs = field("input")?;
+    let num_latches = field("latch")?;
+    let num_outputs = field("output")?;
+    let num_ands = field("AND")?;
+    if toks.next().is_some() {
+        return Err(ParseAigerError::new(hline, "trailing tokens after header"));
+    }
+    if max_var > MAX_VARS {
+        return Err(ParseAigerError::new(
+            hline,
+            format!("maximum variable {max_var} exceeds the supported limit {MAX_VARS}"),
+        ));
+    }
+    let declared = num_inputs
+        .checked_add(num_latches)
+        .and_then(|s| s.checked_add(num_ands));
+    match declared {
+        Some(d) if d <= max_var => {}
+        _ => {
+            return Err(ParseAigerError::new(
+                hline,
+                format!(
+                    "maximum variable {max_var} cannot hold {num_inputs} inputs + \
+                     {num_latches} latches + {num_ands} ANDs"
+                ),
+            ))
+        }
+    }
+    let max_lit = 2 * max_var + 1;
+
+    let mut file = AigerFile {
+        inputs: Vec::new(),
+        latches: Vec::new(),
+        outputs: Vec::new(),
+        ands: Vec::new(),
+        symbols: HashMap::new(),
+        max_var,
+    };
+
+    let expect_line =
+        |cur: &mut Cursor<'_>, what: &str| -> Result<(usize, String), ParseAigerError> {
+            match cur.next_line()? {
+                Some((n, l)) => Ok((n, l.to_string())),
+                None => Err(ParseAigerError::new(
+                    cur.line,
+                    format!("unexpected end of file: missing {what}"),
+                )),
+            }
+        };
+
+    // -- Inputs: explicit literal lines in `aag`, implicit 2..2I in `aig`.
+    if binary {
+        for k in 0..num_inputs {
+            file.inputs.push(2 * (k + 1));
+        }
+    } else {
+        for k in 0..num_inputs {
+            let (n, line) = expect_line(&mut cur, "input definition")?;
+            let lit = parse_u64(n, line.trim(), "input literal")?;
+            if lit % 2 != 0 || lit == 0 || lit > max_lit {
+                return Err(ParseAigerError::new(
+                    n,
+                    format!("input {k}: literal {lit} is not a valid variable literal"),
+                ));
+            }
+            file.inputs.push(lit);
+        }
+    }
+
+    // -- Latches: `lhs next [init]` in `aag`, `next [init]` in `aig`.
+    for k in 0..num_latches {
+        let (n, line) = expect_line(&mut cur, "latch definition")?;
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let (lhs, rest) = if binary {
+            (2 * (num_inputs + k + 1), toks.as_slice())
+        } else {
+            let Some((first, rest)) = toks.split_first() else {
+                return Err(ParseAigerError::new(n, format!("latch {k}: empty line")));
+            };
+            let lhs = parse_u64(n, first, "latch literal")?;
+            if lhs % 2 != 0 || lhs == 0 || lhs > max_lit {
+                return Err(ParseAigerError::new(
+                    n,
+                    format!("latch {k}: literal {lhs} is not a valid variable literal"),
+                ));
+            }
+            (lhs, rest)
+        };
+        let (next_tok, init_tok) = match rest {
+            [next] => (*next, None),
+            [next, init] => (*next, Some(*init)),
+            _ => {
+                return Err(ParseAigerError::new(
+                    n,
+                    format!("latch {k}: expected `next [init]`, got `{line}`"),
+                ))
+            }
+        };
+        let next = parse_u64(n, next_tok, "latch next-state literal")?;
+        if next > max_lit {
+            return Err(ParseAigerError::new(
+                n,
+                format!("latch {k}: next-state literal {next} is out of range"),
+            ));
+        }
+        let init = match init_tok {
+            None | Some("0") => false,
+            Some("1") => true,
+            Some(other) if parse_u64(n, other, "latch init")? == lhs => false, // "uninitialized"
+            Some(other) => {
+                return Err(ParseAigerError::new(
+                    n,
+                    format!("latch {k}: init `{other}` is not 0, 1 or the latch literal"),
+                ))
+            }
+        };
+        file.latches.push((lhs, next, init));
+    }
+
+    // -- Outputs.
+    for k in 0..num_outputs {
+        let (n, line) = expect_line(&mut cur, "output definition")?;
+        let lit = parse_u64(n, line.trim(), "output literal")?;
+        if lit > max_lit {
+            return Err(ParseAigerError::new(
+                n,
+                format!("output {k}: literal {lit} is out of range"),
+            ));
+        }
+        file.outputs.push(lit);
+    }
+
+    // -- ANDs: `lhs rhs0 rhs1` lines in `aag`, delta pairs in `aig`.
+    if binary {
+        let section_line = cur.line;
+        for k in 0..num_ands {
+            let lhs = 2 * (num_inputs + num_latches + k + 1);
+            let delta0 = cur.next_delta("AND definitions")?;
+            let delta1 = cur.next_delta("AND definitions")?;
+            let Some(rhs0) = lhs.checked_sub(delta0) else {
+                return Err(ParseAigerError::new(
+                    section_line,
+                    format!("AND {k}: rhs0 delta {delta0} underflows lhs {lhs}"),
+                ));
+            };
+            let Some(rhs1) = rhs0.checked_sub(delta1) else {
+                return Err(ParseAigerError::new(
+                    section_line,
+                    format!("AND {k}: rhs1 delta {delta1} underflows rhs0 {rhs0}"),
+                ));
+            };
+            if delta0 == 0 {
+                return Err(ParseAigerError::new(
+                    section_line,
+                    format!("AND {k}: rhs0 must be smaller than lhs {lhs}"),
+                ));
+            }
+            file.ands.push((lhs, rhs0, rhs1));
+        }
+    } else {
+        for k in 0..num_ands {
+            let (n, line) = expect_line(&mut cur, "AND definition")?;
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            let [lhs_tok, rhs0_tok, rhs1_tok] = toks.as_slice() else {
+                return Err(ParseAigerError::new(
+                    n,
+                    format!("AND {k}: expected `lhs rhs0 rhs1`, got `{line}`"),
+                ));
+            };
+            let lhs = parse_u64(n, lhs_tok, "AND lhs literal")?;
+            let rhs0 = parse_u64(n, rhs0_tok, "AND rhs0 literal")?;
+            let rhs1 = parse_u64(n, rhs1_tok, "AND rhs1 literal")?;
+            if lhs % 2 != 0 || lhs == 0 || lhs > max_lit {
+                return Err(ParseAigerError::new(
+                    n,
+                    format!("AND {k}: lhs {lhs} is not a valid variable literal"),
+                ));
+            }
+            if rhs0 >= lhs || rhs1 >= lhs {
+                return Err(ParseAigerError::new(
+                    n,
+                    format!("AND {k}: operands must be smaller than lhs ({lhs} {rhs0} {rhs1})"),
+                ));
+            }
+            file.ands.push((lhs, rhs0, rhs1));
+        }
+    }
+
+    // -- Symbol table + comments.
+    while let Some((n, line)) = cur.next_line()? {
+        let line = line.trim_end();
+        if line == "c" {
+            break; // comment section: everything after is free-form
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let Some((tag, name)) = line.split_once(' ') else {
+            return Err(ParseAigerError::new(
+                n,
+                format!("malformed symbol line `{line}`"),
+            ));
+        };
+        let (kind, index) = match tag.split_at(1) {
+            (k @ ("i" | "l" | "o"), idx) => {
+                (k.as_bytes()[0], parse_u64(n, idx, "symbol index")? as usize)
+            }
+            _ => {
+                return Err(ParseAigerError::new(
+                    n,
+                    format!("symbol tag `{tag}` is not i<k>, l<k> or o<k>"),
+                ))
+            }
+        };
+        let count = match kind {
+            b'i' => file.inputs.len(),
+            b'l' => file.latches.len(),
+            _ => file.outputs.len(),
+        };
+        if index >= count {
+            return Err(ParseAigerError::new(
+                n,
+                format!("symbol `{tag}` is out of range (only {count} declared)"),
+            ));
+        }
+        file.symbols.insert((kind, index), name.to_string());
+    }
+
+    build_aig(file)
+}
+
+/// Second phase: turn the parsed file into an [`Aig`]. ANDs are committed
+/// in ascending-lhs order, which the `rhs < lhs` rule makes topological.
+fn build_aig(mut file: AigerFile) -> Result<Aig, ParseAigerError> {
+    let mut aig = Aig::new("aiger");
+    // map[var] = the AIG literal driving AIGER variable `var`.
+    let mut map: Vec<Option<Lit>> = vec![None; file.max_var as usize + 1];
+    map[0] = Some(Lit::FALSE);
+
+    let define = |map: &mut Vec<Option<Lit>>, lit: u64, value: Lit, what: String| {
+        let var = (lit >> 1) as usize;
+        if map[var].is_some() {
+            return Err(ParseAigerError::new(
+                0,
+                format!("{what}: variable {var} is defined twice"),
+            ));
+        }
+        map[var] = Some(value);
+        Ok(())
+    };
+
+    let name_of = |symbols: &HashMap<(u8, usize), String>, kind: u8, index: usize| -> String {
+        symbols
+            .get(&(kind, index))
+            .cloned()
+            .unwrap_or_else(|| format!("{}{index}", kind as char))
+    };
+
+    for (k, &lit) in file.inputs.iter().enumerate() {
+        let l = aig.input(name_of(&file.symbols, b'i', k));
+        define(&mut map, lit, l, format!("input {k}"))?;
+    }
+    for (k, &(lhs, _, init)) in file.latches.iter().enumerate() {
+        let l = aig.latch(name_of(&file.symbols, b'l', k), init);
+        define(&mut map, lhs, l, format!("latch {k}"))?;
+    }
+
+    // Ascending-lhs order + `rhs < lhs` ⇒ every operand is already mapped.
+    file.ands.sort_by_key(|&(lhs, _, _)| lhs);
+    let resolve = |map: &[Option<Lit>], lit: u64, what: &str| -> Result<Lit, ParseAigerError> {
+        let var = (lit >> 1) as usize;
+        let Some(base) = map[var] else {
+            return Err(ParseAigerError::new(
+                0,
+                format!("{what}: variable {var} is used but never defined"),
+            ));
+        };
+        Ok(base.complement_if(lit & 1 == 1))
+    };
+    for &(lhs, rhs0, rhs1) in &file.ands {
+        let a = resolve(&map, rhs0, "AND operand")?;
+        let b = resolve(&map, rhs1, "AND operand")?;
+        let value = aig.and(a, b);
+        define(&mut map, lhs, value, format!("AND {}", lhs >> 1))?;
+    }
+
+    for (k, &(lhs, next, _)) in file.latches.iter().enumerate() {
+        let next = resolve(&map, next, &format!("latch {k} next-state"))?;
+        let q = resolve(&map, lhs, &format!("latch {k}"))?;
+        aig.set_latch_next(q, next);
+    }
+    for (k, &lit) in file.outputs.iter().enumerate() {
+        let value = resolve(&map, lit, &format!("output {k}"))?;
+        aig.output(name_of(&file.symbols, b'o', k), value);
+    }
+    Ok(aig)
+}
+
+/// Write an AIG in ASCII AIGER (`aag`) form, with a full symbol table.
+/// Inputs take variables `1..=I`, latches the next `L`, ANDs the rest in
+/// topological node order — so the output always satisfies the reader's
+/// `rhs < lhs` rule and round-trips.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_aiger<W: Write>(aig: &Aig, mut w: W) -> std::io::Result<()> {
+    let num_inputs = aig.num_inputs() as u64;
+    let num_latches = aig.num_latches() as u64;
+    let and_ids: Vec<crate::NodeId> = aig.and_ids().collect();
+    let max_var = num_inputs + num_latches + and_ids.len() as u64;
+
+    // AIGER variable per AIG node.
+    let mut var: Vec<u64> = vec![0; aig.num_nodes()];
+    for (k, kind) in aig.nodes().iter().enumerate() {
+        match *kind {
+            crate::NodeKind::Input { index } => var[k] = 1 + u64::from(index),
+            crate::NodeKind::Latch { index } => var[k] = 1 + num_inputs + u64::from(index),
+            _ => {}
+        }
+    }
+    for (k, &id) in and_ids.iter().enumerate() {
+        var[id.index()] = num_inputs + num_latches + 1 + k as u64;
+    }
+    let lit = |l: Lit| -> u64 { 2 * var[l.node().index()] + u64::from(l.is_complement()) };
+
+    writeln!(
+        w,
+        "aag {max_var} {num_inputs} {num_latches} {} {}",
+        aig.num_outputs(),
+        and_ids.len()
+    )?;
+    for k in 0..aig.num_inputs() {
+        writeln!(w, "{}", 2 * (1 + k as u64))?;
+    }
+    for latch in aig.latches() {
+        writeln!(
+            w,
+            "{} {} {}",
+            lit(latch.output.lit()),
+            lit(latch.next),
+            u8::from(latch.init)
+        )?;
+    }
+    for o in aig.outputs() {
+        writeln!(w, "{}", lit(o.lit))?;
+    }
+    for &id in &and_ids {
+        let (a, b) = aig.and_fanins(id);
+        let (l0, l1) = (lit(a), lit(b));
+        let (hi, lo) = if l0 >= l1 { (l0, l1) } else { (l1, l0) };
+        writeln!(w, "{} {hi} {lo}", 2 * var[id.index()])?;
+    }
+    for k in 0..aig.num_inputs() {
+        writeln!(w, "i{k} {}", aig.input_name(k))?;
+    }
+    for (k, latch) in aig.latches().iter().enumerate() {
+        writeln!(w, "l{k} {}", latch.name)?;
+    }
+    for (k, o) in aig.outputs().iter().enumerate() {
+        writeln!(w, "o{k} {}", o.name)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+
+    #[test]
+    fn parse_ascii_full_adder() {
+        // The canonical aag full adder from the AIGER spec family.
+        // Half adder over a,b (input 3 and variable 6 are deliberate gaps):
+        // 8 = a&b (carry), 10 = !a&!b, 14 = !8 & !10 = a^b (sum).
+        let text = "\
+aag 7 3 0 2 3
+2
+4
+6
+8
+14
+8 2 4
+10 3 5
+14 9 11
+i0 a
+i1 b
+o0 c
+o1 s
+";
+        let aig = read_aiger(text.as_bytes()).unwrap();
+        assert_eq!(aig.num_inputs(), 3);
+        assert_eq!(aig.num_outputs(), 2);
+        assert_eq!(aig.num_ands(), 3);
+        assert_eq!(aig.input_name(0), "a");
+        assert_eq!(aig.outputs()[0].name, "c");
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = sim::eval_outputs(&aig, &[a, b, false]);
+            assert_eq!(out[0], a && b, "carry({a},{b})");
+            assert_eq!(out[1], a ^ b, "sum({a},{b})");
+        }
+    }
+
+    #[test]
+    fn parse_binary_and_gate() {
+        // aig 3 2 0 1 1: single AND of the two inputs. lhs = 6,
+        // rhs0 = 4, rhs1 = 2 → deltas 2 and 2.
+        let mut data = Vec::new();
+        data.extend_from_slice(b"aig 3 2 0 1 1\n6\n");
+        data.extend_from_slice(&[2, 2]);
+        let aig = read_aiger(data.as_slice()).unwrap();
+        assert_eq!(aig.num_inputs(), 2);
+        assert_eq!(aig.num_ands(), 1);
+        for (a, b) in [(false, false), (true, false), (true, true)] {
+            assert_eq!(sim::eval_outputs(&aig, &[a, b]), [a && b]);
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_aag() {
+        let mut g = Aig::new("rt");
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("cin");
+        let (s, co) = crate::build::full_adder(&mut g, a, b, c);
+        g.output("s", s);
+        g.output("cout", co);
+        let mut buf = Vec::new();
+        write_aiger(&g, &mut buf).unwrap();
+        let back = read_aiger(buf.as_slice()).unwrap();
+        assert_eq!(back.num_inputs(), 3);
+        assert_eq!(back.input_name(2), "cin");
+        assert!(sim::random_equiv(&g, &back, 8, 1));
+    }
+
+    #[test]
+    fn roundtrip_latches_through_aag() {
+        let mut g = Aig::new("cnt");
+        let q0 = g.latch("q0", true);
+        let q1 = g.latch("q1", false);
+        g.set_latch_next(q0, !q0);
+        let n1 = g.xor(q1, q0);
+        g.set_latch_next(q1, n1);
+        g.output("o", q1);
+        let mut buf = Vec::new();
+        write_aiger(&g, &mut buf).unwrap();
+        let back = read_aiger(buf.as_slice()).unwrap();
+        assert_eq!(back.num_latches(), 2);
+        assert!(back.latches()[0].init);
+        assert!(!back.latches()[1].init);
+        let mut a = sim::SeqSim::new(&g);
+        let mut b = sim::SeqSim::new(&back);
+        for _ in 0..8 {
+            assert_eq!(a.step(&[]), b.step(&[]));
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        // Input literal on line 2 is odd.
+        let err = read_aiger("aag 1 1 0 0 0\n3\n".as_bytes()).unwrap_err();
+        assert_eq!(err.line(), 2);
+        // AND on line 3 violates rhs < lhs.
+        let err = read_aiger("aag 2 1 0 0 1\n2\n4 6 2\n".as_bytes()).unwrap_err();
+        assert_eq!(err.line(), 3);
+        assert!(err.to_string().contains("smaller than lhs"));
+        // Truncated file: missing AND definition.
+        let err = read_aiger("aag 2 1 0 0 1\n2\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("end of file"));
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_without_allocating() {
+        let text = format!("aag {} {} 0 0 0\n", u64::MAX / 2, u64::MAX / 2);
+        let err = read_aiger(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("limit"), "{err}");
+        // Header counts that don't fit in M are rejected too.
+        let err = read_aiger("aag 1 2 0 0 0\n2\n4\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("cannot hold"), "{err}");
+    }
+}

@@ -92,7 +92,7 @@ pub fn read_blif<R: BufRead>(reader: R) -> Result<Aig, ParseBlifError> {
 
     let mut model_name = String::from("top");
     let mut inputs: Vec<String> = Vec::new();
-    let mut outputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<(usize, String)> = Vec::new(); // (declaring line, name)
     let mut latches: Vec<(usize, String, String, bool)> = Vec::new(); // (line, input, output, init)
     let mut names: Vec<NamesBlock> = Vec::new();
 
@@ -111,7 +111,7 @@ pub fn read_blif<R: BufRead>(reader: R) -> Result<Aig, ParseBlifError> {
                 }
             }
             ".inputs" => inputs.extend(tokens.map(str::to_string)),
-            ".outputs" => outputs.extend(tokens.map(str::to_string)),
+            ".outputs" => outputs.extend(tokens.map(|t| (*lineno, t.to_string()))),
             ".latch" => {
                 let args: Vec<&str> = tokens.collect();
                 if args.len() < 2 {
@@ -234,10 +234,10 @@ pub fn read_blif<R: BufRead>(reader: R) -> Result<Aig, ParseBlifError> {
         let q = env[output];
         aig.set_latch_next(q, next);
     }
-    for name in &outputs {
+    for (lineno, name) in &outputs {
         let Some(&lit) = env.get(name) else {
             return Err(ParseBlifError::new(
-                0,
+                *lineno,
                 format!("output '{name}' is undriven"),
             ));
         };

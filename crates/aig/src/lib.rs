@@ -65,7 +65,10 @@
 mod aig;
 mod lit;
 
+pub mod aiger;
 pub mod build;
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod cuts;
 pub mod hash;
 pub mod io;

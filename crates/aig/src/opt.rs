@@ -36,7 +36,7 @@ use crate::pass::{PassCtx, PassRegistry, Script};
 use crate::synth::Synthesizer;
 use crate::tt::TruthTable;
 use crate::{Aig, Lit, NodeId, NodeKind};
-use xsfq_exec::ThreadPool;
+use xsfq_exec::{CancelToken, ThreadPool};
 
 /// Remove dangling nodes (alias of [`Aig::compact`]).
 pub fn cleanup(aig: &Aig) -> Aig {
@@ -62,12 +62,14 @@ pub fn balance(aig: &Aig) -> Aig {
 
 /// [`balance`] on an explicit executor pool.
 pub fn balance_with(aig: &Aig, pool: &ThreadPool) -> Aig {
-    balance_counted(aig, pool).0
+    balance_counted(aig, pool, &CancelToken::default()).0
 }
 
 /// [`balance_with`] that also reports how many multi-input super-gates were
-/// rebuilt (the pass's commit counter).
-pub(crate) fn balance_counted(aig: &Aig, pool: &ThreadPool) -> (Aig, u64) {
+/// rebuilt (the pass's commit counter). Checks `token` at every
+/// evaluate-batch boundary; on cancellation the input graph is returned
+/// unchanged (the caller discards cancelled results).
+pub(crate) fn balance_counted(aig: &Aig, pool: &ThreadPool, token: &CancelToken) -> (Aig, u64) {
     let fanouts = aig.fanout_counts(true);
     let and_ids: Vec<u32> = (0..aig.num_nodes() as u32)
         .filter(|&i| aig.nodes()[i as usize].is_and())
@@ -114,6 +116,10 @@ pub(crate) fn balance_counted(aig: &Aig, pool: &ThreadPool) -> (Aig, u64) {
     // collection reads only the immutable input graph, so the batch fans
     // out across the pool and the boundary cannot change the result.
     for batch in and_ids.chunks(EVAL_BATCH) {
+        // Evaluate-batch boundary: cancelled jobs abandon the rebuild.
+        if token.is_cancelled() {
+            return (aig.clone(), commits);
+        }
         let leaves_per: Vec<Vec<Lit>> = pool.map_init(
             batch,
             || (),
@@ -290,6 +296,7 @@ fn resynthesis_pass(aig: &Aig, mode: ResynthMode, ctx: &mut PassCtx) -> Aig {
     // evaluation schedules or earlier passes) never changes the committed
     // graph — with one thread this collapses to the single-synthesizer
     // walk the sequential pass always did.
+    let token = ctx.token().clone();
     let states = &mut ctx.arenas;
     let mut commits = 0u64;
     let mut leaf_lits: Vec<Lit> = Vec::new();
@@ -298,6 +305,13 @@ fn resynthesis_pass(aig: &Aig, mode: ResynthMode, ctx: &mut PassCtx) -> Aig {
         .filter(|&i| aig.nodes()[i as usize].is_and())
         .collect();
     for batch in and_ids.chunks(EVAL_BATCH) {
+        // Evaluate-batch boundary: a cancelled job must stop in bounded
+        // time even mid-pass. The partial rebuild is abandoned and the
+        // input graph returned unchanged (the engine discards it anyway).
+        if token.is_cancelled() {
+            ctx.add_commits(commits);
+            return aig.clone();
+        }
         let evals = pool.map_reuse(batch, states, |st, _, &i| {
             evaluate_node(aig, &mode, enumerated, &fanouts, i, st)
         });

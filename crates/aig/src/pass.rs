@@ -59,12 +59,100 @@
 
 use std::error::Error;
 use std::fmt;
-use std::time::Instant;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 use crate::cuts::CutArena;
 use crate::opt::{self, EvalScratch};
 use crate::Aig;
-use xsfq_exec::ThreadPool;
+use xsfq_exec::{CancelToken, ThreadPool};
+
+// ---------------------------------------------------------------------------
+// Resource guards
+// ---------------------------------------------------------------------------
+
+/// Which resource guard rejected a pass's result (see [`PassGuards`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum GuardKind {
+    /// The pass grew the graph past the node-growth budget.
+    NodeGrowth,
+    /// The pass overran its wall-time budget.
+    WallTime,
+    /// A chaos-injected trip (`chaos` feature; tests of the recovery path).
+    Injected,
+}
+
+impl GuardKind {
+    /// Stable lowercase name (telemetry / error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            GuardKind::NodeGrowth => "node-growth",
+            GuardKind::WallTime => "wall-time",
+            GuardKind::Injected => "injected",
+        }
+    }
+}
+
+impl fmt::Display for GuardKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-pass resource budgets with graceful degradation.
+///
+/// A pass whose output violates a budget is **rolled back**: its result is
+/// discarded and the script continues (or degrades, see below) from the
+/// pre-pass graph — the same keep-best idea `repeat { … }` blocks always
+/// had, generalized to every pass. What happens to the *rest* of the script
+/// depends on [`PassGuards::degrade_to_fast`]:
+///
+/// * `true` — the remaining script is abandoned and the cheap `fast` preset
+///   runs (unguarded) on the rolled-back graph instead; the job still
+///   succeeds, with [`PassCtx::degraded`] set and the trip recorded in the
+///   tripping pass's [`PassStat::tripped`].
+/// * `false` — the script stops at the trip and the caller (the flow's job
+///   runner) turns it into a structured guard-trip error.
+///
+/// Budgets default to `None` (no guard): the checks are a size compare and
+/// a clock read per pass, so an unguarded script pays nothing measurable
+/// (the `flow/guarded_run` criterion pair pins the <2% envelope).
+#[derive(Clone, Debug, Default)]
+pub struct PassGuards {
+    /// Node-growth budget: the pass output may hold at most
+    /// `ceil(nodes_before * factor)` AND nodes. (The structural passes
+    /// never grow the graph by construction; this guards registered
+    /// third-party passes and chaos-injected growth.)
+    pub max_growth: Option<f64>,
+    /// Wall-time budget per pass invocation.
+    pub wall_budget: Option<Duration>,
+    /// On a trip, degrade the remainder of the script to the `fast` preset
+    /// instead of stopping with an error.
+    pub degrade_to_fast: bool,
+}
+
+impl PassGuards {
+    /// No budgets, no degradation (the default).
+    pub fn none() -> PassGuards {
+        PassGuards::default()
+    }
+
+    /// Evaluate the budgets against one executed pass.
+    fn check(&self, nodes_before: usize, nodes_after: usize, wall: Duration) -> Option<GuardKind> {
+        if let Some(factor) = self.max_growth {
+            let allowed = (nodes_before as f64 * factor).ceil() as usize;
+            if nodes_after > allowed {
+                return Some(GuardKind::NodeGrowth);
+            }
+        }
+        if let Some(budget) = self.wall_budget {
+            if wall > budget {
+                return Some(GuardKind::WallTime);
+            }
+        }
+        None
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Telemetry
@@ -89,6 +177,9 @@ pub struct PassStat {
     /// resynthesis passes, rebuilt super-gates for `balance`, proven merges
     /// for `fraig`, zero for `cleanup`.
     pub commits: u64,
+    /// The resource guard this pass tripped, if any — the pass was rolled
+    /// back, so `nodes_after`/`depth_after` equal the *pre-pass* values.
+    pub tripped: Option<GuardKind>,
 }
 
 impl fmt::Display for PassStat {
@@ -103,12 +194,19 @@ impl fmt::Display for PassStat {
             self.depth_after,
             self.commits,
             self.wall_ns as f64 / 1e6,
-        )
+        )?;
+        if let Some(kind) = self.tripped {
+            write!(f, " [tripped {kind} guard, rolled back]")?;
+        }
+        Ok(())
     }
 }
 
-/// Observer hook invoked after every executed pass.
+/// Observer hook invoked around every executed pass.
 pub trait PassObserver {
+    /// Called before a pass starts running. Fault reports use this to name
+    /// the pass that was in flight when a job panicked or stalled.
+    fn on_pass_start(&mut self, _name: &str) {}
     /// Called once per executed pass, in execution order.
     fn on_pass(&mut self, stat: &PassStat);
 }
@@ -158,6 +256,25 @@ pub struct PassCtx<'p, 'o> {
     commits: u64,
     telemetry: Vec<PassStat>,
     observer: Option<&'o mut dyn PassObserver>,
+    /// Cooperative cancellation: checked at every pass boundary by the
+    /// engine and at every evaluate-batch boundary inside the parallel
+    /// passes. Defaults to a token that never cancels.
+    token: CancelToken,
+    /// Per-pass resource budgets (default: none).
+    guards: PassGuards,
+    /// Set once a boundary check observed the token cancelled; the engine
+    /// stops the script and callers map it to a structured job error.
+    cancelled: bool,
+    /// The most recent un-handled guard trip: `(pass name, kind)`.
+    pending_trip: Option<(String, GuardKind)>,
+    /// Whether the script fell back to the `fast` preset after a trip.
+    degraded: bool,
+    /// Executed-pass counter across the whole context lifetime (unlike
+    /// `telemetry.len()`, never drained) — keys chaos fault injection.
+    passes_started: usize,
+    /// Deterministic fault injection plan for this job (tests only).
+    #[cfg(feature = "chaos")]
+    chaos: Option<crate::chaos::Injector>,
 }
 
 impl<'p, 'o> PassCtx<'p, 'o> {
@@ -172,7 +289,61 @@ impl<'p, 'o> PassCtx<'p, 'o> {
             commits: 0,
             telemetry: Vec::new(),
             observer: None,
+            token: CancelToken::default(),
+            guards: PassGuards::default(),
+            cancelled: false,
+            pending_trip: None,
+            degraded: false,
+            passes_started: 0,
+            #[cfg(feature = "chaos")]
+            chaos: None,
         }
+    }
+
+    /// Install the cancellation token the engine (and every token-aware
+    /// pass) polls. Replaces the default never-cancelled token.
+    pub fn set_token(&mut self, token: CancelToken) {
+        self.token = token;
+    }
+
+    /// The job's cancellation token. Parallel passes clone it and check at
+    /// evaluate-batch boundaries; anything long-running should do the same.
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Install per-pass resource budgets.
+    pub fn set_guards(&mut self, guards: PassGuards) {
+        self.guards = guards;
+    }
+
+    /// The active resource budgets.
+    pub fn guards(&self) -> &PassGuards {
+        &self.guards
+    }
+
+    /// Whether a boundary check observed the token cancelled (the script
+    /// stopped early and its output must be discarded).
+    pub fn cancelled(&self) -> bool {
+        self.cancelled
+    }
+
+    /// The guard trip that stopped the script, when degradation is off:
+    /// `(pass name, guard kind)`.
+    pub fn guard_trip(&self) -> Option<(&str, GuardKind)> {
+        self.pending_trip.as_ref().map(|(n, k)| (n.as_str(), *k))
+    }
+
+    /// Whether the script degraded to the `fast` preset after a guard trip.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Install a chaos injection plan for this job (deterministic fault
+    /// injection; see [`crate::chaos`]).
+    #[cfg(feature = "chaos")]
+    pub fn set_chaos(&mut self, injector: crate::chaos::Injector) {
+        self.chaos = Some(injector);
     }
 
     /// [`PassCtx::new`] with an observer notified after every pass.
@@ -233,28 +404,97 @@ impl<'p, 'o> PassCtx<'p, 'o> {
         std::mem::take(&mut self.telemetry)
     }
 
-    /// Run one pass with telemetry: time it, diff node/depth counts, and
-    /// attribute the commit counter delta.
+    /// Run one pass with telemetry: time it, diff node/depth counts,
+    /// attribute the commit counter delta, and enforce the resource guards
+    /// (a tripping pass is rolled back to its input).
     fn run_instrumented(&mut self, pass: &dyn Pass, aig: &Aig) -> Aig {
+        // Pass boundary: a cancelled job must not start another pass.
+        if self.token.is_cancelled() {
+            self.cancelled = true;
+            return aig.clone();
+        }
+        let pass_index = self.passes_started;
+        self.passes_started += 1;
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_pass_start(pass.name());
+        }
+        let forced_trip = self.apply_chaos(pass.name(), pass_index);
+        // Second boundary check: cancellation may have arrived while the
+        // pass was announced (or while a chaos stall held it). The pass
+        // stays "in flight" — announced but never run, so it leaves no
+        // telemetry row and keeps the fault attribution.
+        if self.token.is_cancelled() {
+            self.cancelled = true;
+            return aig.clone();
+        }
         let nodes_before = aig.num_ands();
         let depth_before = aig.depth();
         let commits_before = self.commits;
         let start = Instant::now();
-        let out = pass.run(aig, self);
+        let mut out = pass.run(aig, self);
+        let wall = start.elapsed();
+        let mut tripped = if forced_trip {
+            Some(GuardKind::Injected)
+        } else {
+            None
+        };
+        if tripped.is_none() {
+            tripped = self.guards.check(nodes_before, out.num_ands(), wall);
+        }
+        if let Some(kind) = tripped {
+            // Keep-best semantics generalized from `repeat {}`: the budget
+            // violator's output is discarded, the pre-pass graph survives.
+            out = aig.clone();
+            self.pending_trip = Some((pass.name().to_string(), kind));
+        }
         let stat = PassStat {
             name: pass.name().to_string(),
-            wall_ns: start.elapsed().as_nanos() as u64,
+            wall_ns: wall.as_nanos() as u64,
             nodes_before,
             nodes_after: out.num_ands(),
             depth_before,
             depth_after: out.depth(),
             commits: self.commits - commits_before,
+            tripped,
         };
         if let Some(obs) = self.observer.as_deref_mut() {
             obs.on_pass(&stat);
         }
         self.telemetry.push(stat);
         out
+    }
+
+    /// Fire the chaos fault planned for this `(job, pass_index)`, if any.
+    /// Returns whether a guard trip must be forced. Compiled to a constant
+    /// `false` without the `chaos` feature.
+    #[cfg(feature = "chaos")]
+    fn apply_chaos(&mut self, pass_name: &str, pass_index: usize) -> bool {
+        let Some(injector) = &self.chaos else {
+            return false;
+        };
+        match injector.fault_at(pass_index) {
+            Some(crate::chaos::FaultKind::Panic) => {
+                panic!("chaos: injected panic in pass `{pass_name}` (pass #{pass_index})")
+            }
+            Some(crate::chaos::FaultKind::Stall) => {
+                crate::chaos::stall_until_cancelled(&self.token);
+                false
+            }
+            Some(crate::chaos::FaultKind::GuardTrip) => true,
+            None => false,
+        }
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    #[inline]
+    fn apply_chaos(&mut self, _pass_name: &str, _pass_index: usize) -> bool {
+        false
+    }
+
+    /// Whether the engine must stop before running another statement:
+    /// the job was cancelled, or a guard trip awaits handling.
+    fn stopped(&self) -> bool {
+        self.cancelled || self.pending_trip.is_some()
     }
 }
 
@@ -292,7 +532,7 @@ impl Pass for BalancePass {
         "b"
     }
     fn run(&self, aig: &Aig, ctx: &mut PassCtx) -> Aig {
-        let (out, commits) = opt::balance_counted(aig, ctx.pool());
+        let (out, commits) = opt::balance_counted(aig, ctx.pool(), ctx.token());
         ctx.add_commits(commits);
         out
     }
@@ -500,7 +740,15 @@ fn no_args(pass: &str, args: &[String]) -> Result<(), ScriptError> {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ScriptError {
     /// The script text does not match the grammar.
-    Parse(String),
+    Parse {
+        /// What was wrong.
+        msg: String,
+        /// 1-based column of the offending token in the script text,
+        /// or `0` when the error is at end of input.
+        col: usize,
+        /// The offending token, verbatim (empty at end of input).
+        token: String,
+    },
     /// A pass name is not in the registry the script was compiled against.
     UnknownPass(String),
     /// A pass rejected its arguments.
@@ -515,7 +763,14 @@ pub enum ScriptError {
 impl fmt::Display for ScriptError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ScriptError::Parse(msg) => write!(f, "script parse error: {msg}"),
+            ScriptError::Parse { msg, col, token } => {
+                write!(f, "script parse error: {msg}")?;
+                if *col > 0 {
+                    write!(f, " at column {col} (`{token}`)")
+                } else {
+                    write!(f, " at end of script")
+                }
+            }
             ScriptError::UnknownPass(name) => write!(f, "unknown pass `{name}`"),
             ScriptError::BadArgs { pass, msg } => write!(f, "pass `{pass}`: {msg}"),
         }
@@ -564,9 +819,25 @@ impl Script {
         let mut pos = 0;
         let stmts = parse_stmts(&tokens, &mut pos, false)?;
         if pos != tokens.len() {
-            return Err(ScriptError::Parse(format!("unexpected `{}`", tokens[pos])));
+            return Err(parse_err(
+                format!("unexpected `{}`", tokens[pos].text),
+                &tokens,
+                pos,
+            ));
         }
         Ok(Script { stmts })
+    }
+
+    /// A one-statement script invoking the pass `name` with no arguments,
+    /// built directly on the AST — no parse step, so no parse error to
+    /// handle for names that are plain identifiers.
+    pub fn single(name: &str) -> Script {
+        Script {
+            stmts: vec![ScriptStmt::Pass {
+                name: name.to_string(),
+                args: Vec::new(),
+            }],
+        }
     }
 
     /// The named preset (`"fast"`, `"standard"`, `"high"`), if any.
@@ -710,76 +981,113 @@ impl fmt::Display for Script {
     }
 }
 
-fn tokenize(text: &str) -> Vec<String> {
+/// One script token plus its 1-based column in the source text.
+struct Token {
+    text: String,
+    col: usize,
+}
+
+fn tokenize(text: &str) -> Vec<Token> {
     let mut tokens = Vec::new();
     let mut cur = String::new();
-    for ch in text.chars() {
+    let mut cur_col = 0;
+    for (i, ch) in text.chars().enumerate() {
+        let col = i + 1;
         match ch {
             ';' | '{' | '}' => {
                 if !cur.is_empty() {
-                    tokens.push(std::mem::take(&mut cur));
+                    tokens.push(Token {
+                        text: std::mem::take(&mut cur),
+                        col: cur_col,
+                    });
                 }
-                tokens.push(ch.to_string());
+                tokens.push(Token {
+                    text: ch.to_string(),
+                    col,
+                });
             }
             c if c.is_whitespace() => {
                 if !cur.is_empty() {
-                    tokens.push(std::mem::take(&mut cur));
+                    tokens.push(Token {
+                        text: std::mem::take(&mut cur),
+                        col: cur_col,
+                    });
                 }
             }
-            c => cur.push(c),
+            c => {
+                if cur.is_empty() {
+                    cur_col = col;
+                }
+                cur.push(c);
+            }
         }
     }
     if !cur.is_empty() {
-        tokens.push(cur);
+        tokens.push(Token {
+            text: cur,
+            col: cur_col,
+        });
     }
     tokens
+}
+
+/// A [`ScriptError::Parse`] pointing at `tokens[pos]` (or end of input).
+fn parse_err(msg: impl Into<String>, tokens: &[Token], pos: usize) -> ScriptError {
+    let (col, token) = match tokens.get(pos) {
+        Some(t) => (t.col, t.text.clone()),
+        None => (0, String::new()),
+    };
+    ScriptError::Parse {
+        msg: msg.into(),
+        col,
+        token,
+    }
 }
 
 /// Parse `;`-separated statements until end of input (`in_block == false`)
 /// or a closing `}` (`in_block == true`, brace consumed by the caller).
 fn parse_stmts(
-    tokens: &[String],
+    tokens: &[Token],
     pos: &mut usize,
     in_block: bool,
 ) -> Result<Vec<ScriptStmt>, ScriptError> {
     let mut stmts = Vec::new();
     loop {
         // Skip statement separators.
-        while *pos < tokens.len() && tokens[*pos] == ";" {
+        while *pos < tokens.len() && tokens[*pos].text == ";" {
             *pos += 1;
         }
-        if *pos >= tokens.len() || (in_block && tokens[*pos] == "}") {
+        if *pos >= tokens.len() || (in_block && tokens[*pos].text == "}") {
             return Ok(stmts);
         }
-        let tok = tokens[*pos].as_str();
+        let tok = tokens[*pos].text.as_str();
         match tok {
             "{" | "}" => {
-                return Err(ScriptError::Parse(format!("unexpected `{tok}`")));
+                return Err(parse_err(format!("unexpected `{tok}`"), tokens, *pos));
             }
             "repeat" => {
                 *pos += 1;
                 let times = tokens
                     .get(*pos)
-                    .and_then(|t| t.parse::<usize>().ok())
-                    .ok_or_else(|| {
-                        ScriptError::Parse("`repeat` needs a round count".to_string())
-                    })?;
+                    .and_then(|t| t.text.parse::<usize>().ok())
+                    .ok_or_else(|| parse_err("`repeat` needs a round count", tokens, *pos))?;
                 if times == 0 {
-                    return Err(ScriptError::Parse("`repeat 0` is empty".to_string()));
+                    return Err(parse_err("`repeat 0` is empty", tokens, *pos));
                 }
                 *pos += 1;
-                if tokens.get(*pos).map(String::as_str) != Some("{") {
-                    return Err(ScriptError::Parse("`repeat N` needs a `{ … }` body".into()));
+                if tokens.get(*pos).map(|t| t.text.as_str()) != Some("{") {
+                    return Err(parse_err("`repeat N` needs a `{ … }` body", tokens, *pos));
                 }
+                let open = *pos;
                 *pos += 1;
                 let body = parse_stmts(tokens, pos, true)?;
-                if tokens.get(*pos).map(String::as_str) != Some("}") {
-                    return Err(ScriptError::Parse("unclosed `{`".to_string()));
+                if tokens.get(*pos).map(|t| t.text.as_str()) != Some("}") {
+                    return Err(parse_err("unclosed `{`", tokens, open));
+                }
+                if body.is_empty() {
+                    return Err(parse_err("empty `repeat` body", tokens, *pos));
                 }
                 *pos += 1;
-                if body.is_empty() {
-                    return Err(ScriptError::Parse("empty `repeat` body".to_string()));
-                }
                 stmts.push(ScriptStmt::Repeat { times, body });
             }
             preset @ ("fast" | "standard" | "high") => {
@@ -792,7 +1100,7 @@ fn parse_stmts(
                 let mut args = Vec::new();
                 // Arguments run to the next separator.
                 while *pos < tokens.len() {
-                    match tokens[*pos].as_str() {
+                    match tokens[*pos].text.as_str() {
                         ";" | "{" | "}" => break,
                         a => {
                             args.push(a.to_string());
@@ -829,9 +1137,39 @@ pub struct CompiledScript {
 impl CompiledScript {
     /// Execute the script, recording one [`PassStat`] per executed pass
     /// into `ctx`. The output is bit-identical for every pool size.
+    ///
+    /// Execution stops early when the context's [`CancelToken`] reports
+    /// cancelled (check [`PassCtx::cancelled`]; the returned graph must be
+    /// discarded) or when a resource guard trips ([`PassCtx::guard_trip`]).
+    /// With [`PassGuards::degrade_to_fast`] set, a trip instead abandons
+    /// the rest of this script and runs the `fast` preset — unguarded, so
+    /// degradation cannot recurse — on the rolled-back graph; the job then
+    /// completes normally with [`PassCtx::degraded`] set.
     pub fn run(&self, aig: &Aig, ctx: &mut PassCtx) -> Aig {
-        run_seq(&self.stmts, aig, ctx)
+        let mut cur = run_seq(&self.stmts, aig, ctx);
+        if ctx.pending_trip.is_some() && ctx.guards.degrade_to_fast && !ctx.cancelled {
+            ctx.pending_trip = None;
+            ctx.degraded = true;
+            // The fallback runs without budgets: it exists to finish the
+            // job, and a second trip would have nowhere left to degrade to.
+            let saved = std::mem::take(&mut ctx.guards);
+            cur = run_seq(&fast_fallback().stmts, &cur, ctx);
+            ctx.guards = saved;
+        }
+        cur
     }
+}
+
+/// The compiled `fast` preset the guard-degradation path falls back to.
+/// Preset scripts only use structural passes, so one compilation against
+/// [`PassRegistry::structural`] serves the whole process.
+fn fast_fallback() -> &'static CompiledScript {
+    static FALLBACK: OnceLock<CompiledScript> = OnceLock::new();
+    FALLBACK.get_or_init(|| {
+        Script::preset(opt::Effort::Fast)
+            .compile(&PassRegistry::structural())
+            .expect("preset scripts compile against the structural registry")
+    })
 }
 
 impl fmt::Debug for CompiledScript {
@@ -857,6 +1195,9 @@ fn run_seq(stmts: &[CompiledStmt], aig: &Aig, ctx: &mut PassCtx) -> Aig {
     };
     let mut cur = run_stmt(first, aig, ctx);
     for stmt in &stmts[1..] {
+        if ctx.stopped() {
+            break;
+        }
         cur = run_stmt(stmt, &cur, ctx);
     }
     cur
@@ -874,6 +1215,11 @@ fn run_stmt(stmt: &CompiledStmt, aig: &Aig, ctx: &mut PassCtx) -> Aig {
             for _ in 0..*times {
                 let before = best.num_ands();
                 let cur = run_seq(body, &best, ctx);
+                if ctx.stopped() {
+                    // Cancelled output is discarded by the caller; a tripped
+                    // round already rolled back, so keep-best still holds.
+                    break;
+                }
                 if cur.num_ands() < best.num_ands()
                     || (cur.num_ands() == best.num_ands() && cur.depth() < best.depth())
                 {
@@ -939,19 +1285,19 @@ mod tests {
     fn parse_errors_are_reported() {
         assert!(matches!(
             Script::parse("repeat { b }"),
-            Err(ScriptError::Parse(_))
+            Err(ScriptError::Parse { .. })
         ));
         assert!(matches!(
             Script::parse("repeat 2 { b"),
-            Err(ScriptError::Parse(_))
+            Err(ScriptError::Parse { .. })
         ));
         assert!(matches!(
             Script::parse("repeat 2 }"),
-            Err(ScriptError::Parse(_))
+            Err(ScriptError::Parse { .. })
         ));
         assert!(matches!(
             Script::parse("repeat 2 { }"),
-            Err(ScriptError::Parse(_))
+            Err(ScriptError::Parse { .. })
         ));
         let reg = PassRegistry::structural();
         assert!(matches!(
@@ -1059,5 +1405,136 @@ mod tests {
     fn max_passes_counts_repeat_expansion() {
         let s = Script::parse("c; repeat 3 { b; rw }").unwrap();
         assert_eq!(s.max_passes(), 1 + 3 * 2);
+    }
+
+    #[test]
+    fn parse_errors_carry_column_and_token() {
+        // "b; rw; }" — the stray brace sits at column 8.
+        let Err(ScriptError::Parse { msg, col, token }) = Script::parse("b; rw; }") else {
+            panic!("stray `}}` must be a parse error");
+        };
+        assert_eq!(col, 8);
+        assert_eq!(token, "}");
+        assert!(msg.contains("unexpected"), "{msg}");
+        // "repeat x { b }" — the bad round count at column 8.
+        let Err(ScriptError::Parse { col, token, .. }) = Script::parse("repeat x { b }") else {
+            panic!("bad round count must be a parse error");
+        };
+        assert_eq!(col, 8);
+        assert_eq!(token, "x");
+        // Unclosed brace points at the `{` that was never closed.
+        let Err(ScriptError::Parse { col, token, .. }) = Script::parse("repeat 2 { b") else {
+            panic!("unclosed brace must be a parse error");
+        };
+        assert_eq!(col, 10);
+        assert_eq!(token, "{");
+        // End-of-input errors report column 0 and an empty token.
+        let Err(ScriptError::Parse { col, token, .. }) = Script::parse("repeat 2") else {
+            panic!("missing body must be a parse error");
+        };
+        assert_eq!(col, 0);
+        assert_eq!(token, "");
+        let rendered = Script::parse("repeat 2").unwrap_err().to_string();
+        assert!(rendered.contains("end of script"), "{rendered}");
+    }
+
+    #[test]
+    fn single_builds_a_one_pass_script() {
+        let s = Script::single("f");
+        assert_eq!(s.max_passes(), 1);
+        assert_eq!(s.to_string(), "f");
+        assert_eq!(Script::parse("f").unwrap(), s);
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_script_at_a_pass_boundary() {
+        use xsfq_exec::CancelToken;
+        let g = adder();
+        let compiled = Script::parse("c; b; rw; rf; b; rwz")
+            .unwrap()
+            .compile(&PassRegistry::structural())
+            .unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut ctx = PassCtx::new(ThreadPool::global());
+        ctx.set_token(token);
+        let out = compiled.run(&g, &mut ctx);
+        assert!(ctx.cancelled());
+        assert_eq!(ctx.telemetry().len(), 0, "no pass may start when cancelled");
+        assert_eq!(out.nodes(), g.nodes(), "input passes through unchanged");
+    }
+
+    #[test]
+    fn wall_time_guard_rolls_back_and_stops_without_degradation() {
+        let g = adder();
+        let compiled = Script::parse("b; rw; rf")
+            .unwrap()
+            .compile(&PassRegistry::structural())
+            .unwrap();
+        let mut ctx = PassCtx::new(ThreadPool::global());
+        ctx.set_guards(PassGuards {
+            wall_budget: Some(Duration::ZERO),
+            ..PassGuards::none()
+        });
+        let out = compiled.run(&g, &mut ctx);
+        // Every pass takes > 0ns, so the very first one trips and the
+        // script stops: one stat, graph rolled back to the input.
+        assert_eq!(ctx.telemetry().len(), 1);
+        let stat = &ctx.telemetry()[0];
+        assert_eq!(stat.tripped, Some(GuardKind::WallTime));
+        assert_eq!(stat.nodes_after, stat.nodes_before, "rolled back");
+        assert_eq!(ctx.guard_trip(), Some(("b", GuardKind::WallTime)));
+        assert!(!ctx.degraded());
+        assert_eq!(out.nodes(), g.nodes());
+    }
+
+    #[test]
+    fn wall_time_guard_degrades_to_the_fast_preset() {
+        let g = adder();
+        let compiled = Script::parse("high")
+            .unwrap()
+            .compile(&PassRegistry::structural())
+            .unwrap();
+        let mut ctx = PassCtx::new(ThreadPool::global());
+        ctx.set_guards(PassGuards {
+            wall_budget: Some(Duration::ZERO),
+            degrade_to_fast: true,
+            ..PassGuards::none()
+        });
+        let out = compiled.run(&g, &mut ctx);
+        assert!(ctx.degraded());
+        assert_eq!(ctx.guard_trip(), None, "trip was absorbed by degradation");
+        // Stats: the tripped pass, then the whole fast fallback (whose
+        // guards are cleared, so none of its passes trip).
+        let stats = ctx.telemetry();
+        assert_eq!(stats[0].tripped, Some(GuardKind::WallTime));
+        assert!(stats.len() > 1, "fallback passes ran");
+        assert!(stats[1..].iter().all(|s| s.tripped.is_none()));
+        // The fallback output matches a plain fast run from the same input.
+        let fast = Script::preset(opt::Effort::Fast)
+            .compile(&PassRegistry::structural())
+            .unwrap();
+        let mut plain = PassCtx::new(ThreadPool::global());
+        let want = fast.run(&g, &mut plain);
+        assert_eq!(out.nodes(), want.nodes());
+    }
+
+    #[test]
+    fn node_growth_guard_passes_shrinking_passes() {
+        let g = adder();
+        let compiled = Script::parse("c; b; rw")
+            .unwrap()
+            .compile(&PassRegistry::structural())
+            .unwrap();
+        let mut ctx = PassCtx::new(ThreadPool::global());
+        ctx.set_guards(PassGuards {
+            max_growth: Some(1.0),
+            ..PassGuards::none()
+        });
+        compiled.run(&g, &mut ctx);
+        // Structural passes never grow the graph, so nothing trips.
+        assert_eq!(ctx.guard_trip(), None);
+        assert_eq!(ctx.telemetry().len(), 3);
+        assert!(ctx.telemetry().iter().all(|s| s.tripped.is_none()));
     }
 }

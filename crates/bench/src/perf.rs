@@ -11,7 +11,7 @@
 use criterion::Criterion;
 
 use xsfq_aig::opt::{self, Effort};
-use xsfq_aig::pass::Script;
+use xsfq_aig::pass::{PassGuards, Script};
 use xsfq_core::{map_xsfq, map_xsfq_with_pool, MapOptions, OutputPolarity, SynthesisFlow};
 use xsfq_pulse::Harness;
 
@@ -158,6 +158,29 @@ pub fn bench_flow(c: &mut Criterion) {
                 .map(|d| flow.run(d).unwrap())
                 .collect::<Vec<_>>()
         })
+    });
+    // `guarded_run` / `unguarded_run` pair on `voter` (largest EPFL design
+    // in the suite): the same flow with a cancellation token, a job
+    // deadline and both pass guards installed but never firing. The pair
+    // exists so every `BENCH_<n>.json` proves the robustness plumbing is
+    // free when unused (token polls are relaxed atomic loads at pass and
+    // evaluate-batch boundaries; guard checks are two compares per pass) —
+    // the recorded ratio must stay within noise (<2%).
+    let voter = xsfq_benchmarks::by_name("voter").unwrap();
+    g.bench_function("unguarded_run", |b| {
+        b.iter(|| flow.run(std::hint::black_box(&voter)).unwrap())
+    });
+    let guarded = flow
+        .clone()
+        .cancel_token(xsfq_exec::CancelToken::default())
+        .job_deadline(std::time::Duration::from_secs(3600))
+        .guards(PassGuards {
+            max_growth: Some(8.0),
+            wall_budget: Some(std::time::Duration::from_secs(3600)),
+            degrade_to_fast: false,
+        });
+    g.bench_function("guarded_run", |b| {
+        b.iter(|| guarded.run(std::hint::black_box(&voter)).unwrap())
     });
     g.finish();
 }

@@ -11,15 +11,17 @@
 
 use std::error::Error;
 use std::fmt;
-use std::time::Instant;
+use std::panic::{self, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use xsfq_aig::opt::Effort;
 use xsfq_aig::pass::{
-    CompiledScript, PassArenas, PassCtx, PassObserver, PassRegistry, PassStat, Script, ScriptError,
+    CompiledScript, GuardKind, PassArenas, PassCtx, PassGuards, PassObserver, PassRegistry,
+    PassStat, Script, ScriptError,
 };
 use xsfq_aig::Aig;
 use xsfq_cells::{CellKind, InterconnectStyle};
-use xsfq_exec::ThreadPool;
+use xsfq_exec::{panic_message, CancelCause, CancelToken, ThreadPool};
 use xsfq_netlist::Netlist;
 
 use crate::map::{map_with_assignment_pool, MapOptions, MappedDesign};
@@ -62,6 +64,24 @@ pub struct FlowOptions {
     /// `available_parallelism`); `Some(n)` runs this flow on a private
     /// `n`-thread pool. The optimized AIG is bit-identical either way.
     pub threads: Option<usize>,
+    /// Cooperative cancellation token. Cancelling it aborts every job of a
+    /// running batch at the next pass or evaluate-batch boundary; `None`
+    /// means "never cancelled externally".
+    pub cancel: Option<CancelToken>,
+    /// Wall-clock deadline per job, measured from that job's start. A job
+    /// exceeding it is cancelled (its [`JobError`] reports
+    /// [`JobErrorKind::DeadlineExpired`]); other jobs are unaffected.
+    pub job_deadline: Option<Duration>,
+    /// Per-pass resource budgets for the optimization script (node growth,
+    /// wall time, and whether a trip degrades the remainder of the script
+    /// to the `fast` preset instead of failing the job). Defaults to no
+    /// budgets. See [`PassGuards`].
+    pub guards: PassGuards,
+    /// Deterministic fault-injection plan, applied per batch design index
+    /// by [`SynthesisFlow::run_many_isolated`] (solo [`SynthesisFlow::run`]
+    /// ignores it). Test-only; see [`xsfq_aig::chaos`].
+    #[cfg(feature = "chaos")]
+    pub chaos: Option<xsfq_aig::chaos::FaultPlan>,
 }
 
 impl Default for FlowOptions {
@@ -75,6 +95,11 @@ impl Default for FlowOptions {
             fraig: false,
             verify: false,
             threads: None,
+            cancel: None,
+            job_deadline: None,
+            guards: PassGuards::none(),
+            #[cfg(feature = "chaos")]
+            chaos: None,
         }
     }
 }
@@ -88,6 +113,18 @@ pub enum FlowError {
     PipelineOnSequential,
     /// Post-mapping verification failed.
     Verification(crate::verify::VerifyMappingError),
+    /// The job was cancelled (explicitly, or by a deadline — see the
+    /// [`CancelCause`]) before the flow completed.
+    Cancelled(CancelCause),
+    /// A pass tripped its resource guard and degradation was off
+    /// ([`PassGuards::degrade_to_fast`] false): the job stopped at the
+    /// trip, rolled back to the pre-pass graph.
+    GuardTripped {
+        /// The pass whose budget was violated.
+        pass: String,
+        /// Which budget.
+        kind: GuardKind,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -98,6 +135,11 @@ impl fmt::Display for FlowError {
                 write!(f, "pipeline stages require a combinational design")
             }
             FlowError::Verification(e) => write!(f, "{e}"),
+            FlowError::Cancelled(CancelCause::Explicit) => write!(f, "job cancelled"),
+            FlowError::Cancelled(CancelCause::Deadline) => write!(f, "job deadline expired"),
+            FlowError::GuardTripped { pass, kind } => {
+                write!(f, "pass `{pass}` tripped its {kind} guard")
+            }
         }
     }
 }
@@ -109,6 +151,69 @@ impl From<ScriptError> for FlowError {
         FlowError::Script(e)
     }
 }
+
+/// Structured failure of one job of a [`SynthesisFlow::run_many_isolated`]
+/// batch: which design, what went wrong, which pass was in flight, how long
+/// the job ran, and the per-pass telemetry accumulated before the fault.
+#[derive(Debug)]
+pub struct JobError {
+    /// Index of the design in the batch slice.
+    pub design: usize,
+    /// Design name.
+    pub name: String,
+    /// What went wrong.
+    pub kind: JobErrorKind,
+    /// The pass in flight when the fault hit, if it hit inside the
+    /// optimization script (`None` for config errors and faults in the
+    /// later flow stages).
+    pub pass: Option<String>,
+    /// Wall-clock time the job ran before failing.
+    pub elapsed: Duration,
+    /// Per-pass telemetry of the passes that completed before the fault.
+    pub passes: Vec<PassStat>,
+}
+
+/// The failure taxonomy of a [`JobError`].
+#[derive(Debug)]
+pub enum JobErrorKind {
+    /// The job panicked; the panic payload's message, with the worker
+    /// attribution preserved when the panic crossed a parallel section
+    /// ([`xsfq_exec::WorkerPanic`]).
+    Panicked {
+        /// The panic payload rendered as a string.
+        message: String,
+    },
+    /// The batch's [`CancelToken`] was cancelled explicitly.
+    Cancelled,
+    /// The job overran [`FlowOptions::job_deadline`].
+    DeadlineExpired,
+    /// The flow failed with an ordinary error (script, pipelining,
+    /// verification, or an undegraded guard trip).
+    Flow(FlowError),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {} (`{}`)", self.design, self.name)?;
+        match &self.kind {
+            JobErrorKind::Panicked { message } => write!(f, " panicked: {message}")?,
+            JobErrorKind::Cancelled => write!(f, " cancelled")?,
+            JobErrorKind::DeadlineExpired => write!(f, " exceeded its deadline")?,
+            JobErrorKind::Flow(e) => write!(f, " failed: {e}")?,
+        }
+        if let Some(pass) = &self.pass {
+            write!(f, " (in pass `{pass}`)")?;
+        }
+        write!(
+            f,
+            " after {:.2} ms, {} passes completed",
+            self.elapsed.as_secs_f64() * 1e3,
+            self.passes.len()
+        )
+    }
+}
+
+impl Error for JobError {}
 
 /// The flow's pipeline segments, in execution order.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -163,6 +268,9 @@ pub struct StageStat {
 pub trait FlowObserver {
     /// Called after every stage, in execution order.
     fn on_stage(&mut self, _stat: &StageStat) {}
+    /// Called before every optimization pass starts. Fault isolation uses
+    /// this to attribute a panic or stall to the pass that was in flight.
+    fn on_pass_start(&mut self, _name: &str) {}
     /// Called after every optimization pass, in execution order.
     fn on_pass(&mut self, _stat: &PassStat) {}
 }
@@ -181,6 +289,11 @@ impl ObserverProxy<'_> {
 }
 
 impl PassObserver for ObserverProxy<'_> {
+    fn on_pass_start(&mut self, name: &str) {
+        if let Some(obs) = self.0.as_deref_mut() {
+            obs.on_pass_start(name);
+        }
+    }
     fn on_pass(&mut self, stat: &PassStat) {
         if let Some(obs) = self.0.as_deref_mut() {
             obs.on_pass(stat);
@@ -227,6 +340,10 @@ pub struct FlowReport {
     pub passes: Vec<PassStat>,
     /// Wall-clock telemetry per flow stage, in execution order.
     pub stages: Vec<StageStat>,
+    /// Whether a guard trip degraded the optimization script to the `fast`
+    /// preset ([`PassGuards::degrade_to_fast`]); the tripping pass carries
+    /// [`PassStat::tripped`] in [`FlowReport::passes`].
+    pub degraded: bool,
 }
 
 impl fmt::Display for FlowReport {
@@ -265,6 +382,35 @@ impl FlowResult {
     /// `mapped.physical` instead of cloning it per run.
     pub fn netlist(&self) -> &Netlist {
         &self.mapped.physical
+    }
+}
+
+/// Per-job runtime setup threaded into [`SynthesisFlow::run_compiled`]:
+/// the job's cancellation token and (under the `chaos` feature) its fault
+/// injector.
+struct JobSetup {
+    token: CancelToken,
+    #[cfg(feature = "chaos")]
+    chaos: Option<xsfq_aig::chaos::Injector>,
+}
+
+/// External telemetry recorder for fault-isolated jobs: unlike the
+/// [`PassCtx`]'s internal sink, it lives *outside* the `catch_unwind`
+/// boundary, so the completed-pass stats and the name of the in-flight
+/// pass survive a panic and land in the [`JobError`].
+#[derive(Default)]
+struct JobTrace {
+    passes: Vec<PassStat>,
+    current_pass: Option<String>,
+}
+
+impl FlowObserver for JobTrace {
+    fn on_pass_start(&mut self, name: &str) {
+        self.current_pass = Some(name.to_string());
+    }
+    fn on_pass(&mut self, stat: &PassStat) {
+        self.passes.push(stat.clone());
+        self.current_pass = None;
     }
 }
 
@@ -403,6 +549,45 @@ impl SynthesisFlow {
         self
     }
 
+    /// Install a cancellation token. Cancelling it aborts the flow (every
+    /// job of a batch) at the next pass or evaluate-batch boundary; the
+    /// abort surfaces as [`FlowError::Cancelled`] /
+    /// [`JobErrorKind::Cancelled`]. Completed jobs are unaffected and
+    /// bit-identical to uncancelled runs.
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.options.cancel = Some(token);
+        self
+    }
+
+    /// Set a per-job wall-clock deadline, measured from each job's start.
+    /// A job overrunning it is cancelled cooperatively and reports
+    /// [`JobErrorKind::DeadlineExpired`]; other jobs keep running.
+    #[must_use]
+    pub fn job_deadline(mut self, deadline: Duration) -> Self {
+        self.options.job_deadline = Some(deadline);
+        self
+    }
+
+    /// Install per-pass resource budgets (see [`PassGuards`]): node-growth
+    /// and wall-time limits, with optional degradation to the `fast`
+    /// preset instead of failing the job on a trip.
+    #[must_use]
+    pub fn guards(mut self, guards: PassGuards) -> Self {
+        self.options.guards = guards;
+        self
+    }
+
+    /// Install a deterministic fault-injection plan for
+    /// [`SynthesisFlow::run_many_isolated`] (see [`xsfq_aig::chaos`]).
+    /// Solo [`SynthesisFlow::run`] ignores the plan.
+    #[cfg(feature = "chaos")]
+    #[must_use]
+    pub fn chaos_plan(mut self, plan: xsfq_aig::chaos::FaultPlan) -> Self {
+        self.options.chaos = Some(plan);
+        self
+    }
+
     /// Current options.
     pub fn options(&self) -> &FlowOptions {
         &self.options
@@ -413,9 +598,20 @@ impl SynthesisFlow {
     fn compiled_script(&self) -> Result<CompiledScript, FlowError> {
         let mut script = self.options.script.clone();
         if self.options.fraig {
-            script = script.then(Script::parse("f").expect("`f` parses"));
+            script = script.then(Script::single("f"));
         }
         Ok(script.compile(&flow_registry())?)
+    }
+
+    /// The cancellation token one job polls: the configured batch token
+    /// (or a never-cancelled default), tightened by the per-job deadline
+    /// measured from now — so this must be called at job start.
+    fn job_token(&self) -> CancelToken {
+        let base = self.options.cancel.clone().unwrap_or_default();
+        match self.options.job_deadline {
+            Some(deadline) => base.with_timeout(deadline),
+            None => base,
+        }
     }
 
     fn flow_pool(&self) -> FlowPool {
@@ -437,7 +633,7 @@ impl SynthesisFlow {
     pub fn run(&self, aig: &Aig) -> Result<FlowResult, FlowError> {
         let compiled = self.compiled_script()?;
         let pool = self.flow_pool();
-        self.run_compiled(aig, &compiled, pool.get(), None, None)
+        self.run_compiled(aig, &compiled, pool.get(), None, None, self.solo_setup())
     }
 
     /// [`SynthesisFlow::run`] with an observer receiving stage and
@@ -449,7 +645,14 @@ impl SynthesisFlow {
     ) -> Result<FlowResult, FlowError> {
         let compiled = self.compiled_script()?;
         let pool = self.flow_pool();
-        self.run_compiled(aig, &compiled, pool.get(), Some(observer), None)
+        self.run_compiled(
+            aig,
+            &compiled,
+            pool.get(),
+            Some(observer),
+            None,
+            self.solo_setup(),
+        )
     }
 
     /// Run the flow over a batch of designs, scheduling **whole designs**
@@ -467,20 +670,170 @@ impl SynthesisFlow {
     ///
     /// # Errors
     ///
-    /// The first error in design order, if any design fails.
+    /// All-or-nothing wrapper over [`SynthesisFlow::run_many_isolated`]:
+    /// the first error in design order, if any design fails. A job that
+    /// panicked re-raises its panic (message preserved); a cancelled or
+    /// deadline-expired job surfaces as [`FlowError::Cancelled`].
     pub fn run_many(&self, designs: &[Aig]) -> Result<Vec<FlowResult>, FlowError> {
-        let compiled = self.compiled_script()?;
+        let mut out = Vec::with_capacity(designs.len());
+        for result in self.run_many_isolated(designs) {
+            match result {
+                Ok(res) => out.push(res),
+                Err(job) => {
+                    return Err(match job.kind {
+                        JobErrorKind::Panicked { .. } => panic::panic_any(job.to_string()),
+                        JobErrorKind::Cancelled => FlowError::Cancelled(CancelCause::Explicit),
+                        JobErrorKind::DeadlineExpired => {
+                            FlowError::Cancelled(CancelCause::Deadline)
+                        }
+                        JobErrorKind::Flow(e) => e,
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fault-isolated batch runner: like [`SynthesisFlow::run_many`], but
+    /// every design gets an independent verdict. A design that panics,
+    /// overruns its [deadline](SynthesisFlow::job_deadline), is
+    /// [cancelled](SynthesisFlow::cancel_token), or fails any flow stage
+    /// yields a structured [`JobError`] — which pass was in flight, how
+    /// long the job ran, the telemetry of the passes that completed — while
+    /// every healthy design completes normally, bit-identical to a solo
+    /// [`SynthesisFlow::run`] (the CI-gated `chaos` suite pins exactly
+    /// this).
+    ///
+    /// Results come back in input order. Worker panics are contained to
+    /// their job: the pool is not poisoned, and the worker continues with
+    /// the next design (its warm arenas are rebuilt from scratch — a
+    /// performance detail, never a correctness one).
+    // `JobError` carries the partial telemetry by value; the `Ok` side
+    // (`FlowResult`) is larger still, so boxing the error buys nothing.
+    #[allow(clippy::result_large_err)]
+    pub fn run_many_isolated(&self, designs: &[Aig]) -> Vec<Result<FlowResult, JobError>> {
+        let compiled = match self.compiled_script() {
+            Ok(c) => c,
+            Err(FlowError::Script(e)) => {
+                // Config error: no job can run; report it per design so the
+                // caller still gets one verdict per input.
+                return designs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, aig)| {
+                        Err(JobError {
+                            design: i,
+                            name: aig.name().to_string(),
+                            kind: JobErrorKind::Flow(FlowError::Script(e.clone())),
+                            pass: None,
+                            elapsed: Duration::ZERO,
+                            passes: Vec::new(),
+                        })
+                    })
+                    .collect();
+            }
+            Err(_) => unreachable!("compiled_script only fails with Script errors"),
+        };
         let pool = self.flow_pool();
-        let results = pool.get().map_init_coarse(
+        pool.get().map_init_coarse(
             designs,
             || (ThreadPool::new(1), PassArenas::default()),
-            |(inner, arenas), _, aig| self.run_compiled(aig, &compiled, inner, None, Some(arenas)),
-        );
-        results.into_iter().collect()
+            |(inner, arenas), design, aig| {
+                self.run_one_isolated(aig, design, &compiled, inner, arenas)
+            },
+        )
+    }
+
+    /// One fault-isolated job: run the compiled flow under `catch_unwind`
+    /// with an external telemetry recorder, so pass stats and the in-flight
+    /// pass name survive a panic, and map every failure mode to a
+    /// [`JobError`].
+    #[allow(clippy::result_large_err)]
+    fn run_one_isolated(
+        &self,
+        aig: &Aig,
+        design: usize,
+        compiled: &CompiledScript,
+        inner: &ThreadPool,
+        arenas: &mut PassArenas,
+    ) -> Result<FlowResult, JobError> {
+        // The deadline starts counting at job start, not batch start.
+        let setup = self.batch_setup(design);
+        let token = setup.token.clone();
+        let started = Instant::now();
+        let mut trace = JobTrace::default();
+        // The recorder and arenas stay valid across an unwind: the trace
+        // only ever holds completed records, and a poisoned arena set is
+        // discarded with the job (the worker rebuilds cold arenas).
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            self.run_compiled(aig, compiled, inner, Some(&mut trace), Some(arenas), setup)
+        }));
+        let elapsed = started.elapsed();
+        let job_error = |kind, trace: JobTrace| JobError {
+            design,
+            name: aig.name().to_string(),
+            kind,
+            pass: trace.current_pass,
+            elapsed,
+            passes: trace.passes,
+        };
+        match outcome {
+            Ok(Ok(result)) => Ok(result),
+            Ok(Err(e)) => {
+                // `current_pass` is still `Some` only when a pass was
+                // announced but never ran — a cancellation that hit inside
+                // the pass boundary; keep the attribution.
+                let kind = match e {
+                    FlowError::Cancelled(CancelCause::Explicit) => JobErrorKind::Cancelled,
+                    FlowError::Cancelled(CancelCause::Deadline) => JobErrorKind::DeadlineExpired,
+                    other => JobErrorKind::Flow(other),
+                };
+                Err(job_error(kind, trace))
+            }
+            Err(payload) => {
+                // A stalled-then-cancelled pass can also panic (safety
+                // caps); cancellation verdicts take precedence when the
+                // token fired.
+                let kind = match token.cause() {
+                    Some(CancelCause::Deadline) => JobErrorKind::DeadlineExpired,
+                    Some(CancelCause::Explicit) => JobErrorKind::Cancelled,
+                    None => JobErrorKind::Panicked {
+                        message: panic_message(payload.as_ref()).to_string(),
+                    },
+                };
+                Err(job_error(kind, trace))
+            }
+        }
+    }
+
+    /// Per-job runtime setup: the cancellation token (batch token tightened
+    /// by the job deadline) plus the design's chaos injector, if any.
+    fn solo_setup(&self) -> JobSetup {
+        JobSetup {
+            token: self.job_token(),
+            #[cfg(feature = "chaos")]
+            chaos: None,
+        }
+    }
+
+    /// [`SynthesisFlow::solo_setup`] plus the chaos plan slice for batch
+    /// design `design`.
+    #[allow(unused_variables)]
+    fn batch_setup(&self, design: usize) -> JobSetup {
+        JobSetup {
+            token: self.job_token(),
+            #[cfg(feature = "chaos")]
+            chaos: self
+                .options
+                .chaos
+                .as_ref()
+                .and_then(|plan| plan.for_design(design)),
+        }
     }
 
     /// The staged pipeline body: Optimize → Pipeline → Polarity → Map →
-    /// Verify, with per-stage timing and (optional) observer callbacks.
+    /// Verify, with per-stage timing, (optional) observer callbacks, and
+    /// cancellation checks at every stage boundary.
     fn run_compiled(
         &self,
         aig: &Aig,
@@ -488,11 +841,16 @@ impl SynthesisFlow {
         pool: &ThreadPool,
         observer: Option<&mut dyn FlowObserver>,
         arenas: Option<&mut PassArenas>,
+        setup: JobSetup,
     ) -> Result<FlowResult, FlowError> {
         let o = &self.options;
         if o.pipeline_stages > 0 && aig.num_latches() > 0 {
             return Err(FlowError::PipelineOnSequential);
         }
+        let token = setup.token;
+        let cancelled = |token: &CancelToken| {
+            FlowError::Cancelled(token.cause().unwrap_or(CancelCause::Explicit))
+        };
         let mut proxy = ObserverProxy(observer);
         let mut stages: Vec<StageStat> = Vec::new();
         let note = |stage: FlowStage,
@@ -511,8 +869,14 @@ impl SynthesisFlow {
         // driver hands in its worker's warm arena set; it is returned after
         // the script so the next design reuses it.
         let start = Instant::now();
-        let (optimized, passes) = {
+        let (optimized, passes, degraded, guard_trip) = {
             let mut ctx = PassCtx::with_observer(pool, &mut proxy);
+            ctx.set_token(token.clone());
+            ctx.set_guards(o.guards.clone());
+            #[cfg(feature = "chaos")]
+            if let Some(injector) = setup.chaos {
+                ctx.set_chaos(injector);
+            }
             let mut arenas = arenas;
             if let Some(store) = &mut arenas {
                 ctx.reuse_arenas(std::mem::take(*store));
@@ -522,9 +886,18 @@ impl SynthesisFlow {
             if let Some(store) = arenas {
                 *store = ctx.take_arenas();
             }
-            (optimized, passes)
+            let guard_trip = ctx
+                .guard_trip()
+                .map(|(pass, kind)| (pass.to_string(), kind));
+            (optimized, passes, ctx.degraded(), guard_trip)
         };
         note(FlowStage::Optimize, start, &mut stages, &mut proxy);
+        if token.is_cancelled() {
+            return Err(cancelled(&token));
+        }
+        if let Some((pass, kind)) = guard_trip {
+            return Err(FlowError::GuardTripped { pass, kind });
+        }
 
         // -- Pipeline: rank-level selection (no-op for 0 stages).
         let start = Instant::now();
@@ -535,6 +908,9 @@ impl SynthesisFlow {
         let start = Instant::now();
         let (assignment, _requirements) = assign_polarities_with_pool(&optimized, o.polarity, pool);
         note(FlowStage::Polarity, start, &mut stages, &mut proxy);
+        if token.is_cancelled() {
+            return Err(cancelled(&token));
+        }
 
         // -- Map: dual-rail mapping (parallel requirements sweep, sequential
         // emission commit) + splitter insertion.
@@ -550,6 +926,9 @@ impl SynthesisFlow {
             pool,
         );
         note(FlowStage::Map, start, &mut stages, &mut proxy);
+        if token.is_cancelled() {
+            return Err(cancelled(&token));
+        }
 
         // -- Verify: SAT proof the mapping preserved the function.
         if o.verify && aig.num_latches() == 0 {
@@ -580,6 +959,7 @@ impl SynthesisFlow {
             arch_ghz: circuit_ghz / 2.0,
             passes,
             stages,
+            degraded,
         };
         Ok(FlowResult {
             optimized,

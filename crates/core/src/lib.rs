@@ -43,7 +43,7 @@ pub mod verify;
 
 pub use flow::{
     flow_registry, FlowError, FlowObserver, FlowOptions, FlowReport, FlowResult, FlowStage,
-    StageStat, SynthesisFlow,
+    JobError, JobErrorKind, StageStat, SynthesisFlow,
 };
 pub use map::{
     map_with_assignment, map_with_assignment_pool, map_xsfq, map_xsfq_with_pool, MapOptions,

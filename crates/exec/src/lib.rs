@@ -42,12 +42,163 @@
 
 #![warn(missing_docs)]
 
+use std::any::Any;
 use std::cell::UnsafeCell;
+use std::fmt;
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{fence, AtomicIsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicIsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation
+// ---------------------------------------------------------------------------
+
+/// Why a [`CancelToken`] reports itself cancelled.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CancelCause {
+    /// [`CancelToken::cancel`] was called.
+    Explicit,
+    /// The token's deadline passed.
+    Deadline,
+}
+
+/// A cooperative cancellation token: a shared atomic flag plus an optional
+/// per-handle deadline.
+///
+/// Cloning shares the flag — cancelling any clone cancels them all — while
+/// [`CancelToken::with_deadline`] / [`CancelToken::with_timeout`] derive a
+/// handle that *additionally* expires at an instant of its own (the flow's
+/// job runner derives one per job from the batch-wide token). Checking is
+/// cheap (one atomic load, plus one monotonic-clock read when a deadline is
+/// set), so long-running work can poll at every natural boundary: the pass
+/// engine checks between passes and between evaluate batches, which bounds
+/// cancellation latency to one batch of work.
+///
+/// A token that is never cancelled and has no deadline never reports
+/// cancelled; [`CancelToken::default`] is exactly that, so APIs can thread a
+/// token unconditionally.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// Fresh token: not cancelled, no deadline.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// This handle, expiring at `deadline` (the shared flag is unchanged —
+    /// other clones do not inherit the deadline).
+    #[must_use]
+    pub fn with_deadline(&self, deadline: Instant) -> CancelToken {
+        CancelToken {
+            flag: Arc::clone(&self.flag),
+            deadline: Some(match self.deadline {
+                Some(own) => own.min(deadline),
+                None => deadline,
+            }),
+        }
+    }
+
+    /// This handle, expiring `timeout` from now.
+    #[must_use]
+    pub fn with_timeout(&self, timeout: Duration) -> CancelToken {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Request cancellation on every clone of this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether work observing this token should stop (explicitly cancelled
+    /// or past the deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Why the token is cancelled, or `None` when it is not. An explicit
+    /// [`CancelToken::cancel`] wins over a passed deadline.
+    pub fn cause(&self) -> Option<CancelCause> {
+        if self.flag.load(Ordering::Acquire) {
+            Some(CancelCause::Explicit)
+        } else if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            Some(CancelCause::Deadline)
+        } else {
+            None
+        }
+    }
+
+    /// The handle's deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker panic payloads
+// ---------------------------------------------------------------------------
+
+/// The panic payload of the **first** worker thread that panicked inside a
+/// parallel section, re-raised by the dispatching thread.
+///
+/// The original payload is preserved (downcast [`WorkerPanic::payload`] to
+/// recover it); [`WorkerPanic::message`] extracts the conventional
+/// `&str`/`String` panic text for error reports. The job-runner layers
+/// above catch this to attribute a fault to a design and pass instead of a
+/// bare "a worker thread panicked".
+pub struct WorkerPanic {
+    /// Participant index (1-based: participant 0 is the dispatcher, whose
+    /// panics propagate unwrapped) of the first worker that panicked.
+    pub worker: usize,
+    /// The worker's original panic payload.
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl WorkerPanic {
+    /// The human-readable panic message, when the payload is the
+    /// conventional `&str` or `String` (as produced by `panic!`).
+    pub fn message(&self) -> &str {
+        panic_message(self.payload.as_ref())
+    }
+}
+
+impl fmt::Debug for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker {} panicked: {}", self.worker, self.message())
+    }
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "worker thread {} panicked: {}",
+            self.worker,
+            self.message()
+        )
+    }
+}
+
+/// Extract the conventional panic text from a payload: the `&'static str`
+/// of `panic!("...")`, the `String` of `panic!("{x}")`, the message of a
+/// re-raised [`WorkerPanic`], or a placeholder for custom payloads.
+pub fn panic_message(payload: &(dyn Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else if let Some(w) = payload.downcast_ref::<WorkerPanic>() {
+        w.message()
+    } else {
+        "<non-string panic payload>"
+    }
+}
 
 /// Result of a [`Deque::steal`] attempt.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -173,7 +324,9 @@ struct JobSlot {
     epoch: u64,
     job: Option<SendJob>,
     running: usize,
-    panicked: bool,
+    /// First worker panic of the current section: `(worker id, payload)`.
+    /// Only the first is kept — it is the one the dispatcher re-raises.
+    panic: Option<(usize, Box<dyn Any + Send>)>,
     shutdown: bool,
 }
 
@@ -205,7 +358,7 @@ impl ThreadPool {
                 epoch: 0,
                 job: None,
                 running: 0,
-                panicked: false,
+                panic: None,
                 shutdown: false,
             }),
             work: Condvar::new(),
@@ -441,19 +594,22 @@ impl ThreadPool {
         }
         // The dispatcher is participant 0.
         let main_result = panic::catch_unwind(AssertUnwindSafe(|| body(0)));
-        let worker_panicked = {
+        let worker_panic = {
             let mut slot = self.shared.slot.lock().expect("job slot poisoned");
             while slot.running > 0 {
                 slot = self.shared.done.wait(slot).expect("job slot poisoned");
             }
             slot.job = None;
-            std::mem::replace(&mut slot.panicked, false)
+            slot.panic.take()
         };
         if let Err(payload) = main_result {
             panic::resume_unwind(payload);
         }
-        if worker_panicked {
-            panic!("a worker thread panicked during a parallel section");
+        if let Some((worker, payload)) = worker_panic {
+            // Re-raise the first worker's original payload, wrapped so the
+            // catcher learns which worker it was (and the message survives
+            // for error reports) instead of a generic pool panic.
+            panic::panic_any(WorkerPanic { worker, payload });
         }
     }
 }
@@ -513,8 +669,12 @@ fn worker_loop(shared: &Shared, wid: usize) {
         // zero, which only happens after this call returns.
         let result = panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*job)(wid) }));
         let mut slot = shared.slot.lock().expect("job slot poisoned");
-        if result.is_err() {
-            slot.panicked = true;
+        if let Err(payload) = result {
+            // First worker wins: later panics of the same section are
+            // usually knock-on effects of the same fault.
+            if slot.panic.is_none() {
+                slot.panic = Some((wid, payload));
+            }
         }
         slot.running -= 1;
         if slot.running == 0 {
@@ -654,6 +814,81 @@ mod tests {
         assert_eq!(
             pool.map_init(&items, || (), |_, _, &x| x * 2),
             vec![2, 4, 6]
+        );
+    }
+
+    #[test]
+    fn worker_panic_payload_and_id_are_preserved() {
+        // Pin the panic to a stealable index and keep participant 0 busy so
+        // a *worker* (wid >= 1) hits it; the dispatcher must then re-raise
+        // a WorkerPanic carrying the original message and the worker id.
+        let pool = ThreadPool::new(4);
+        let items: Vec<usize> = (0..SEQUENTIAL_CUTOFF * 8).collect();
+        let n = items.len();
+        let boom = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map_init(
+                &items,
+                || (),
+                |_, wid_probe, &x| {
+                    // Index 0 belongs to participant 0's deque; stall it so
+                    // the tail indices (other deques) run on real workers.
+                    if x == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                    }
+                    if x == n - 1 {
+                        panic!("intentional payload {}", 41 + 1);
+                    }
+                    let _ = wid_probe;
+                },
+            )
+        }));
+        let payload = boom.expect_err("section must panic");
+        match payload.downcast::<WorkerPanic>() {
+            Ok(wp) => {
+                assert_eq!(wp.message(), "intentional payload 42");
+                assert!(
+                    (1..4).contains(&wp.worker),
+                    "panic must be attributed to a worker, got {}",
+                    wp.worker
+                );
+                assert!(wp.to_string().contains("intentional payload 42"));
+            }
+            Err(other) => {
+                // The dispatcher itself stole the poisoned index before any
+                // worker got there: the original payload propagates raw.
+                assert_eq!(panic_message(other.as_ref()), "intentional payload 42");
+            }
+        }
+        // The pool stays usable either way.
+        let ok = pool.map_init(&items, || (), |_, _, &x| x + 1);
+        assert_eq!(ok[0], 1);
+    }
+
+    #[test]
+    fn cancel_token_flag_is_shared_and_deadline_is_per_handle() {
+        let base = CancelToken::new();
+        assert!(!base.is_cancelled());
+        assert_eq!(base.cause(), None);
+
+        let expired = base.with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(expired.is_cancelled(), "past deadline must read cancelled");
+        assert_eq!(expired.cause(), Some(CancelCause::Deadline));
+        assert!(!base.is_cancelled(), "deadline must not leak to the base");
+
+        let far = base.with_timeout(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+        // Deriving a deadline keeps the earlier of the two.
+        let near = expired.with_timeout(Duration::from_secs(3600));
+        assert!(near.is_cancelled(), "deadlines only tighten");
+
+        base.cancel();
+        assert!(base.is_cancelled());
+        assert!(far.is_cancelled(), "cancel reaches every clone");
+        assert_eq!(far.cause(), Some(CancelCause::Explicit));
+        assert_eq!(
+            expired.cause(),
+            Some(CancelCause::Explicit),
+            "explicit cancel wins over a passed deadline"
         );
     }
 

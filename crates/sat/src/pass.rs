@@ -39,7 +39,11 @@ impl Pass for FraigPass {
     }
 
     fn run(&self, aig: &Aig, ctx: &mut PassCtx) -> Aig {
-        let (swept, stats) = fraig_with_stats(aig, &self.opts);
+        // Thread the job's cancellation token into the sweep so a cancelled
+        // job escapes a long proving round at a class boundary.
+        let mut opts = self.opts.clone();
+        opts.cancel = ctx.token().clone();
+        let (swept, stats) = fraig_with_stats(aig, &opts);
         ctx.add_commits(stats.proved as u64);
         if swept.num_ands() < aig.num_ands() {
             swept

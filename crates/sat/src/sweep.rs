@@ -35,6 +35,7 @@
 
 use xsfq_aig::sim::Simulator;
 use xsfq_aig::{Aig, Lit as AigLit, NodeId, NodeKind};
+use xsfq_exec::CancelToken;
 
 use crate::cec::EquivResult;
 use crate::solver::{Lit, SatResult, Solver, Var};
@@ -53,6 +54,11 @@ pub struct SweepOptions {
     pub max_rounds: usize,
     /// Seed for the random patterns.
     pub seed: u64,
+    /// Cooperative cancellation: checked before every candidate class (and
+    /// every round). A cancelled sweep stops proving and returns with the
+    /// merges established so far — sound, since merging is optional. The
+    /// default token never cancels.
+    pub cancel: CancelToken,
 }
 
 impl Default for SweepOptions {
@@ -62,6 +68,7 @@ impl Default for SweepOptions {
             max_conflicts: 100,
             max_rounds: 32,
             seed: 0x5eed,
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -247,6 +254,9 @@ impl<'a> Sweeper<'a> {
     fn sweep(&mut self) {
         use xsfq_aig::hash::FxHashMap;
         for round in 0..self.opts.max_rounds.max(1) {
+            if self.opts.cancel.is_cancelled() {
+                return;
+            }
             self.stats.rounds = round + 1;
             // Candidate classes: canonical signature hash → members. Only
             // class roots participate (merged nodes ride with their root).
@@ -269,6 +279,11 @@ impl<'a> Sweeper<'a> {
 
             let mut num_cex = 0usize;
             for members in &class_list {
+                // Candidate-class boundary: bail out of a long proving round
+                // in bounded time. Established merges stay valid.
+                if self.opts.cancel.is_cancelled() {
+                    return;
+                }
                 let (rep, rep_c) = members[0];
                 for &(m, m_c) in &members[1..] {
                     // The hash key can collide; only a full signature match
