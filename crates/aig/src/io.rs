@@ -246,6 +246,111 @@ pub fn read_blif<R: BufRead>(reader: R) -> Result<Aig, ParseBlifError> {
     Ok(aig)
 }
 
+/// The netlist formats [`read_netlist_auto`] can detect.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum NetlistFormat {
+    /// Berkeley Logic Interchange Format (this module's reader).
+    Blif,
+    /// ASCII AIGER (`aag` header; [`crate::aiger`]).
+    AigerAscii,
+    /// Binary AIGER (`aig` header; [`crate::aiger`]).
+    AigerBinary,
+}
+
+impl fmt::Display for NetlistFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NetlistFormat::Blif => "blif",
+            NetlistFormat::AigerAscii => "ascii aiger",
+            NetlistFormat::AigerBinary => "binary aiger",
+        })
+    }
+}
+
+/// Error from [`read_netlist_auto`]: either no known format was detected,
+/// or the detected format's parser rejected the bytes.
+#[derive(Debug)]
+pub enum ReadNetlistError {
+    /// The bytes match none of the known format signatures.
+    UnknownFormat,
+    /// Detected as BLIF, but the BLIF parser failed.
+    Blif(ParseBlifError),
+    /// Detected as AIGER (either variant), but the AIGER parser failed.
+    Aiger(crate::aiger::ParseAigerError),
+}
+
+impl fmt::Display for ReadNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadNetlistError::UnknownFormat => {
+                write!(f, "unrecognized netlist format (expected BLIF or AIGER)")
+            }
+            ReadNetlistError::Blif(e) => write!(f, "{e}"),
+            ReadNetlistError::Aiger(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ReadNetlistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadNetlistError::UnknownFormat => None,
+            ReadNetlistError::Blif(e) => Some(e),
+            ReadNetlistError::Aiger(e) => Some(e),
+        }
+    }
+}
+
+/// Sniff the netlist format from content, never from a file extension.
+///
+/// AIGER files are self-identifying: the very first bytes are the header
+/// keyword `aag` (ASCII) or `aig` (binary) followed by whitespace. BLIF has
+/// no magic, so anything whose first non-blank, non-comment line starts
+/// with a BLIF dot-command is treated as BLIF. Returns `None` when neither
+/// signature matches.
+pub fn sniff_format(bytes: &[u8]) -> Option<NetlistFormat> {
+    let header_ws = |rest: &[u8]| rest.first().is_some_and(|b| b" \t\r\n".contains(b));
+    if bytes.len() >= 4 && &bytes[..3] == b"aag" && header_ws(&bytes[3..]) {
+        return Some(NetlistFormat::AigerAscii);
+    }
+    if bytes.len() >= 4 && &bytes[..3] == b"aig" && header_ws(&bytes[3..]) {
+        return Some(NetlistFormat::AigerBinary);
+    }
+    // BLIF: skip blank lines and `#` comments; the first real line must be
+    // a dot-command (`.model`, `.inputs`, ...).
+    for line in bytes.split(|&b| b == b'\n') {
+        let mut trimmed = line;
+        while trimmed.first().is_some_and(|b| b" \t\r".contains(b)) {
+            trimmed = &trimmed[1..];
+        }
+        match trimmed.first() {
+            None => continue,
+            Some(b'#') => continue,
+            Some(b'.') => return Some(NetlistFormat::Blif),
+            Some(_) => return None,
+        }
+    }
+    None
+}
+
+/// Read a netlist in any supported format, detecting the format from the
+/// content ([`sniff_format`]) — the single ingest path of the serving
+/// daemon, where jobs arrive as bytes without trustworthy extensions.
+///
+/// # Errors
+///
+/// [`ReadNetlistError::UnknownFormat`] when no format signature matches;
+/// otherwise the detected parser's error, wrapped.
+pub fn read_netlist_auto(bytes: &[u8]) -> Result<Aig, ReadNetlistError> {
+    match sniff_format(bytes) {
+        Some(NetlistFormat::Blif) => read_blif(bytes).map_err(ReadNetlistError::Blif),
+        Some(NetlistFormat::AigerAscii) | Some(NetlistFormat::AigerBinary) => {
+            crate::aiger::read_aiger(bytes).map_err(ReadNetlistError::Aiger)
+        }
+        None => Err(ReadNetlistError::UnknownFormat),
+    }
+}
+
 /// Elaborate one `.names` SOP block (ON-set or OFF-set convention).
 fn build_sop(aig: &mut Aig, inputs: &[Lit], cubes: &[(String, char)]) -> Lit {
     if cubes.is_empty() {
@@ -525,6 +630,72 @@ mod tests {
             let out = sim::eval_outputs(&back, &[v]);
             assert_eq!(out, [false, true, v]);
         }
+    }
+
+    /// One circuit through all three on-disk formats: the auto reader must
+    /// detect each by content and parse to an equivalent graph.
+    #[test]
+    fn auto_reader_detects_all_three_formats() {
+        let mut g = Aig::new("rt");
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("c");
+        let (s, co) = crate::build::full_adder(&mut g, a, b, c);
+        g.output("s", s);
+        g.output("cout", co);
+
+        let mut blif = Vec::new();
+        write_blif(&g, &mut blif).unwrap();
+        assert_eq!(sniff_format(&blif), Some(NetlistFormat::Blif));
+
+        let mut ascii = Vec::new();
+        crate::aiger::write_aiger(&g, &mut ascii).unwrap();
+        assert_eq!(sniff_format(&ascii), Some(NetlistFormat::AigerAscii));
+
+        // Binary AIGER, hand-rolled (there is no binary writer): a single
+        // AND of the two inputs, lhs 6 = 4 & 2, delta-encoded as [2, 2].
+        let mut binary = b"aig 3 2 0 1 1\n6\n".to_vec();
+        binary.extend_from_slice(&[2, 2]);
+        assert_eq!(sniff_format(&binary), Some(NetlistFormat::AigerBinary));
+
+        for bytes in [&blif, &ascii] {
+            let back = read_netlist_auto(bytes).unwrap();
+            assert!(sim::random_equiv(&g, &back, 16, 3));
+        }
+        let small = read_netlist_auto(&binary).unwrap();
+        assert_eq!(small.num_inputs(), 2);
+        assert_eq!(small.num_ands(), 1);
+    }
+
+    #[test]
+    fn auto_reader_rejects_garbage() {
+        for garbage in [
+            &b""[..],
+            b"hello world\n",
+            b"\x00\x01\x02\x03binary soup",
+            b"aigx 1 2 3", // near-miss header keyword
+            b"  \n# only comments\n",
+        ] {
+            assert!(
+                matches!(
+                    read_netlist_auto(garbage),
+                    Err(ReadNetlistError::UnknownFormat)
+                ),
+                "{garbage:?} must be UnknownFormat"
+            );
+        }
+        // Detected-but-malformed inputs surface the inner parser's error.
+        assert!(matches!(
+            read_netlist_auto(b".model t\n.outputs z\n.end\n"),
+            Err(ReadNetlistError::Blif(_))
+        ));
+        assert!(matches!(
+            read_netlist_auto(b"aag 1 2 3\n"),
+            Err(ReadNetlistError::Aiger(_))
+        ));
+        // Errors chain through `source()` for idiomatic boxing.
+        let err = read_netlist_auto(b"aag 1 2 3\n").unwrap_err();
+        assert!(Error::source(&err).is_some());
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub mod build;
 #[cfg(feature = "chaos")]
 pub mod chaos;
 pub mod cuts;
+pub mod digest;
 pub mod hash;
 pub mod io;
 pub mod isop;

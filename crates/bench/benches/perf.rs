@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main};
 
 use xsfq_bench::perf::{
-    bench_cec, bench_flow, bench_mapping, bench_optimize, bench_pulse_sim, bench_spice,
+    bench_cec, bench_flow, bench_mapping, bench_optimize, bench_pulse_sim, bench_serve, bench_spice,
 };
 
 criterion_group!(
@@ -16,6 +16,7 @@ criterion_group!(
     bench_pulse_sim,
     bench_cec,
     bench_spice,
-    bench_flow
+    bench_flow,
+    bench_serve
 );
 criterion_main!(benches);

@@ -25,10 +25,12 @@ use xsfq_bench::perf;
 fn parse_args() -> (String, Option<String>, Vec<String>) {
     let mut out = "BENCH_1.json".to_string();
     let mut baseline = None;
-    let mut groups: Vec<String> = ["optimize", "map", "pulse", "verify", "spice", "flow"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let mut groups: Vec<String> = [
+        "optimize", "map", "pulse", "verify", "spice", "flow", "serve",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -99,8 +101,12 @@ fn main() {
             "verify" => perf::bench_cec(&mut criterion),
             "spice" => perf::bench_spice(&mut criterion),
             "flow" => perf::bench_flow(&mut criterion),
+            "serve" => perf::bench_serve(&mut criterion),
             other => {
-                panic!("unknown group {other} (expected optimize|map|pulse|verify|spice|flow)")
+                panic!(
+                    "unknown group {other} \
+                     (expected optimize|map|pulse|verify|spice|flow|serve)"
+                )
             }
         }
     }

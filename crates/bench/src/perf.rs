@@ -14,6 +14,8 @@ use xsfq_aig::opt::{self, Effort};
 use xsfq_aig::pass::{PassGuards, Script};
 use xsfq_core::{map_xsfq, map_xsfq_with_pool, MapOptions, OutputPolarity, SynthesisFlow};
 use xsfq_pulse::Harness;
+use xsfq_serve::protocol::SubmitRequest;
+use xsfq_serve::{Client, ServeConfig, Server};
 
 /// `optimize` group: the ABC-style resynthesis script on ISCAS85/EPFL
 /// blocks. `voter` is the largest EPFL circuit in the suite (≈7.5k ANDs);
@@ -224,6 +226,52 @@ pub fn flow_pass_rows() -> Vec<FlowPassRow> {
         }
     }
     rows
+}
+
+/// `serve` group: end-to-end daemon round-trips over a real loopback
+/// socket. `throughput` runs with the result cache disabled, so every
+/// round trip pays parse + full flow + netlist/report encoding — the
+/// daemon's steady-state cost per job including journal fsyncs.
+/// `cache_hit` warms the cache with one run and then resubmits the same
+/// design, isolating the protocol + digest + cache-replay path; the gap
+/// between the two rows is what the canonical-AIG cache buys a repeated
+/// workload.
+pub fn bench_serve(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("xsfq-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let aig = xsfq_benchmarks::by_name("ctrl").unwrap();
+    let mut blif = Vec::new();
+    xsfq_aig::io::write_blif(&aig, &mut blif).unwrap();
+    let request = SubmitRequest {
+        script: "fast".into(),
+        name: "ctrl".into(),
+        data: blif,
+        fault: None,
+    };
+
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10);
+    {
+        let mut cfg = ServeConfig::new(dir.join("nocache"));
+        cfg.cache_budget = 0;
+        let server = Server::start(cfg).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        g.bench_function("throughput", |b| {
+            b.iter(|| client.submit(std::hint::black_box(&request)).unwrap())
+        });
+        server.shutdown();
+    }
+    {
+        let server = Server::start(ServeConfig::new(dir.join("cache"))).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.submit(&request).unwrap();
+        g.bench_function("cache_hit", |b| {
+            b.iter(|| client.submit(std::hint::black_box(&request)).unwrap())
+        });
+        server.shutdown();
+    }
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// `spice` group: RCSJ transient of a 4-stage JTL.

@@ -144,7 +144,15 @@ impl fmt::Display for FlowError {
     }
 }
 
-impl Error for FlowError {}
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Script(e) => Some(e),
+            FlowError::Verification(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<ScriptError> for FlowError {
     fn from(e: ScriptError) -> Self {
@@ -213,7 +221,38 @@ impl fmt::Display for JobError {
     }
 }
 
-impl Error for JobError {}
+impl Error for JobError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match &self.kind {
+            JobErrorKind::Flow(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl JobErrorKind {
+    /// Stable lowercase name of the failure class (wire protocols,
+    /// telemetry keys).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobErrorKind::Panicked { .. } => "panicked",
+            JobErrorKind::Cancelled => "cancelled",
+            JobErrorKind::DeadlineExpired => "deadline",
+            JobErrorKind::Flow(_) => "flow",
+        }
+    }
+
+    /// Whether a retry could plausibly succeed: panics (a poisoned arena,
+    /// a transient resource spike) and guard trips (budgets may pass on a
+    /// quieter machine) are transient; cancellations, deadline overruns
+    /// and deterministic flow errors are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            JobErrorKind::Panicked { .. } | JobErrorKind::Flow(FlowError::GuardTripped { .. })
+        )
+    }
+}
 
 /// The flow's pipeline segments, in execution order.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -344,6 +383,99 @@ pub struct FlowReport {
     /// preset ([`PassGuards::degrade_to_fast`]); the tripping pass carries
     /// [`PassStat::tripped`] in [`FlowReport::passes`].
     pub degraded: bool,
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON number token: finite floats print as-is, non-finite as `null`
+/// (JSON has no NaN/Infinity).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl FlowReport {
+    /// Serialize the report as a single JSON object — the wire format of
+    /// the serving daemon's result payload. Hand-rolled (std-only
+    /// workspace); keys are stable, schema tagged `xsfq-flow-report/1`.
+    pub fn to_json(&self) -> String {
+        let mut passes = String::from("[");
+        for (i, p) in self.passes.iter().enumerate() {
+            if i > 0 {
+                passes.push(',');
+            }
+            passes.push_str(&format!(
+                "{{\"name\":\"{}\",\"wall_ns\":{},\"nodes_before\":{},\"nodes_after\":{},\
+                 \"depth_before\":{},\"depth_after\":{},\"commits\":{},\"tripped\":{}}}",
+                json_escape(&p.name),
+                p.wall_ns,
+                p.nodes_before,
+                p.nodes_after,
+                p.depth_before,
+                p.depth_after,
+                p.commits,
+                match p.tripped {
+                    Some(kind) => format!("\"{}\"", kind.name()),
+                    None => "null".to_string(),
+                },
+            ));
+        }
+        passes.push(']');
+        let mut stages = String::from("[");
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                stages.push(',');
+            }
+            stages.push_str(&format!(
+                "{{\"stage\":\"{}\",\"wall_ns\":{}}}",
+                s.stage.name(),
+                s.wall_ns
+            ));
+        }
+        stages.push(']');
+        format!(
+            "{{\"schema\":\"xsfq-flow-report/1\",\"name\":\"{}\",\"aig_nodes\":{},\
+             \"aig_depth\":{},\"la_fa\":{},\"duplication_percent\":{},\"splitters\":{},\
+             \"drocs_plain\":{},\"drocs_preload\":{},\"jj_total\":{},\"jj_clock_tree\":{},\
+             \"depth_logic\":{},\"depth_with_splitters\":{},\"critical_delay_ps\":{},\
+             \"circuit_ghz\":{},\"arch_ghz\":{},\"degraded\":{},\"passes\":{passes},\
+             \"stages\":{stages}}}",
+            json_escape(&self.name),
+            self.aig_nodes,
+            self.aig_depth,
+            self.la_fa,
+            json_f64(self.duplication_percent),
+            self.splitters,
+            self.drocs_plain,
+            self.drocs_preload,
+            self.jj_total,
+            self.jj_clock_tree,
+            self.depth_logic,
+            self.depth_with_splitters,
+            json_f64(self.critical_delay_ps),
+            json_f64(self.circuit_ghz),
+            json_f64(self.arch_ghz),
+            self.degraded,
+        )
+    }
 }
 
 impl fmt::Display for FlowReport {
@@ -742,6 +874,41 @@ impl SynthesisFlow {
                 self.run_one_isolated(aig, design, &compiled, inner, arenas)
             },
         )
+    }
+
+    /// One fault-isolated job on a caller-owned pool: the serving daemon's
+    /// entry point. Unlike [`SynthesisFlow::run_many_isolated`] — which
+    /// owns its scheduling and gives every job a 1-thread inner pool — this
+    /// runs a single design with the optimization passes fanned out over
+    /// `pool` (cap it per job with
+    /// [`xsfq_exec::ThreadPool::scoped_budget`]), reusing the caller's warm
+    /// [`PassArenas`] across jobs. Every failure mode surfaces as a
+    /// structured [`JobError`] with `design == 0`; a chaos plan installed
+    /// via [`SynthesisFlow::chaos_plan`] addresses this job as design 0.
+    ///
+    /// Must not be called from inside a parallel section of `pool` (the
+    /// executor forbids nested sections).
+    #[allow(clippy::result_large_err)]
+    pub fn run_job(
+        &self,
+        aig: &Aig,
+        pool: &ThreadPool,
+        arenas: &mut PassArenas,
+    ) -> Result<FlowResult, JobError> {
+        let compiled = match self.compiled_script() {
+            Ok(c) => c,
+            Err(e) => {
+                return Err(JobError {
+                    design: 0,
+                    name: aig.name().to_string(),
+                    kind: JobErrorKind::Flow(e),
+                    pass: None,
+                    elapsed: Duration::ZERO,
+                    passes: Vec::new(),
+                })
+            }
+        };
+        self.run_one_isolated(aig, 0, &compiled, pool, arenas)
     }
 
     /// One fault-isolated job: run the compiled flow under `catch_unwind`

@@ -47,7 +47,7 @@ use std::cell::UnsafeCell;
 use std::fmt;
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{fence, AtomicBool, AtomicIsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -184,6 +184,10 @@ impl fmt::Display for WorkerPanic {
         )
     }
 }
+
+// A caught `WorkerPanic` is routinely boxed into `dyn Error` chains by the
+// layers that catch it (job runners, the serving daemon).
+impl std::error::Error for WorkerPanic {}
 
 /// Extract the conventional panic text from a payload: the `&'static str`
 /// of `panic!("...")`, the `String` of `panic!("{x}")`, the message of a
@@ -348,6 +352,22 @@ pub struct ThreadPool {
     handles: Vec<JoinHandle<()>>,
     /// Serializes whole parallel sections (the pool runs one job at a time).
     run_lock: Mutex<()>,
+    /// Participant cap installed by [`ThreadPool::scoped_budget`];
+    /// `usize::MAX` means "no cap".
+    budget: AtomicUsize,
+}
+
+/// RAII guard of a [`ThreadPool::scoped_budget`] call: restores the pool's
+/// previous participant budget when dropped.
+pub struct BudgetScope<'p> {
+    pool: &'p ThreadPool,
+    prev: usize,
+}
+
+impl Drop for BudgetScope<'_> {
+    fn drop(&mut self) {
+        self.pool.budget.store(self.prev, Ordering::Relaxed);
+    }
 }
 
 impl ThreadPool {
@@ -377,7 +397,36 @@ impl ThreadPool {
             shared,
             handles,
             run_lock: Mutex::new(()),
+            budget: AtomicUsize::new(usize::MAX),
         }
+    }
+
+    /// Cap the number of participants of the parallel sections dispatched
+    /// while the returned guard lives (the cap is `min(n, num_threads)`,
+    /// with `n` clamped to at least 1). Dropping the guard restores the
+    /// previous budget.
+    ///
+    /// A budget of **1** takes the zero-overhead sequential path: no
+    /// workers are woken, the section runs inline on the calling thread —
+    /// identical to a 1-thread pool. Budgets above 1 still wake the whole
+    /// pool, but only the first `n` participants receive work; results are
+    /// bit-identical for every budget (the determinism contract of
+    /// [`ThreadPool::map_init`] is scheduling-independent).
+    ///
+    /// The budget is a property of the pool handle, intended for pools
+    /// owned by a single job runner (the serving daemon caps each job's
+    /// worker count this way so one giant design cannot monopolize the
+    /// machine). Sharing one pool between threads that install different
+    /// budgets concurrently is unsupported — last writer wins.
+    pub fn scoped_budget(&self, n: usize) -> BudgetScope<'_> {
+        let prev = self.budget.swap(n.max(1), Ordering::Relaxed);
+        BudgetScope { pool: self, prev }
+    }
+
+    /// Participants the next parallel section will actually use: the pool
+    /// size clamped by the current [`ThreadPool::scoped_budget`].
+    pub fn effective_threads(&self) -> usize {
+        self.num_threads().min(self.budget.load(Ordering::Relaxed))
     }
 
     /// The process-wide pool: sized by the `XSFQ_THREADS` environment
@@ -490,7 +539,9 @@ impl ThreadPool {
         S: Send,
     {
         let n = items.len();
-        let threads = self.num_threads();
+        // The scoped budget caps how many participants receive deques; the
+        // surplus workers still wake but return immediately from `body`.
+        let threads = self.effective_threads();
         assert!(
             states.len() >= threads,
             "need one state per participant ({} < {threads})",
@@ -529,6 +580,10 @@ impl ThreadPool {
         let states_ptr = SendPtr(states.as_mut_ptr());
 
         let body = move |wid: usize| {
+            if wid >= threads {
+                // Participant beyond the scoped budget: no deque, no work.
+                return;
+            }
             // SAFETY: participant indices are distinct, so each `&mut S`
             // aliases nothing (bounds asserted above).
             let state = unsafe { &mut *states_ptr.slot(wid) };
@@ -815,6 +870,47 @@ mod tests {
             pool.map_init(&items, || (), |_, _, &x| x * 2),
             vec![2, 4, 6]
         );
+    }
+
+    #[test]
+    fn scoped_budget_caps_participants_and_restores() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.effective_threads(), 4);
+        let items: Vec<usize> = (0..SEQUENTIAL_CUTOFF * 4).collect();
+        let expect: Vec<usize> = items.iter().map(|&x| x * 7).collect();
+        {
+            let _cap = pool.scoped_budget(2);
+            assert_eq!(pool.effective_threads(), 2);
+            assert_eq!(pool.map_init(&items, || (), |_, _, &x| x * 7), expect);
+        }
+        assert_eq!(pool.effective_threads(), 4, "drop must restore");
+        // Budgets only clamp downward; a huge budget is the pool size.
+        let _cap = pool.scoped_budget(64);
+        assert_eq!(pool.effective_threads(), 4);
+        assert_eq!(pool.map_init(&items, || (), |_, _, &x| x * 7), expect);
+    }
+
+    #[test]
+    fn one_thread_budget_takes_the_sequential_path() {
+        let pool = ThreadPool::new(4);
+        let _cap = pool.scoped_budget(1);
+        let items: Vec<usize> = (0..SEQUENTIAL_CUTOFF * 4).collect();
+        let caller = std::thread::current().id();
+        // The sequential path runs inline on the calling thread in
+        // ascending index order — observable, unlike "no overhead".
+        let seen = std::sync::Mutex::new(Vec::new());
+        let got = pool.map_init(
+            &items,
+            || (),
+            |_, i, &x| {
+                assert_eq!(std::thread::current().id(), caller);
+                seen.lock().unwrap().push(i);
+                x + 1
+            },
+        );
+        assert_eq!(got, items.iter().map(|&x| x + 1).collect::<Vec<_>>());
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen, (0..items.len()).collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! A minimal blocking client for the daemon's TCP protocol.
+//!
+//! One [`Client`] wraps one connection; requests are strictly
+//! request-response in order. Used by the integration tests, the
+//! `serve_client` example, and the serve benchmark group — and small
+//! enough to copy into any tool that needs to talk to the daemon.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    decode_response, read_frame, write_frame, ProtocolError, Response, SubmitRequest, KIND_PING,
+    KIND_STATS, KIND_SUBMIT,
+};
+
+/// A connected client. See the [module docs](self).
+pub struct Client {
+    stream: TcpStream,
+}
+
+/// A client-side failure: transport or protocol.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server broke the framing contract (or closed mid-response).
+    Protocol(ProtocolError),
+    /// Clean EOF where a response was expected.
+    Closed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Closed => write!(f, "connection closed mid-exchange"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Protocol(e) => Some(e),
+            ClientError::Closed => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> ClientError {
+        ClientError::Protocol(e)
+    }
+}
+
+impl Client {
+    /// Connect to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // The protocol is strict request-response; Nagle only adds
+        // delayed-ACK latency to every exchange.
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    fn exchange(&mut self, kind: u8, payload: &[u8]) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, kind, payload)?;
+        match read_frame(&mut self.stream)? {
+            Some((kind, body)) => Ok(decode_response(kind, &body)?),
+            None => Err(ClientError::Closed),
+        }
+    }
+
+    /// Submit a netlist and block until its verdict.
+    pub fn submit(&mut self, request: &SubmitRequest) -> Result<Response, ClientError> {
+        self.exchange(KIND_SUBMIT, &request.encode())
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<Response, ClientError> {
+        self.exchange(KIND_PING, &[])
+    }
+
+    /// Server statistics snapshot (JSON bytes).
+    pub fn stats(&mut self) -> Result<Response, ClientError> {
+        self.exchange(KIND_STATS, &[])
+    }
+}

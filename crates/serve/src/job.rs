@@ -1,0 +1,43 @@
+//! The unit of work flowing through the daemon.
+
+use std::path::PathBuf;
+use std::sync::mpsc;
+
+use crate::protocol::FaultSpec;
+
+/// Where a finished job's response goes.
+#[derive(Debug)]
+pub enum JobSink {
+    /// A connection thread is blocked on this channel; send the encoded
+    /// response frame `(kind, payload)`. A send error means the client
+    /// hung up — the result is still journaled and cached.
+    Tcp(mpsc::Sender<(u8, Vec<u8>)>),
+    /// A job-directory submission: write `<base>.v` + `<base>.json` on
+    /// success, `<base>.err.json` on failure.
+    Dir {
+        /// Output path without extension.
+        base: PathBuf,
+    },
+    /// A journal-recovered job whose requester is gone: run it for its
+    /// side effects (cache warm + journal completion), drop the response.
+    Discard,
+}
+
+/// One admitted synthesis job.
+#[derive(Debug)]
+pub struct Job {
+    /// Journal id — unique across daemon restarts.
+    pub id: u64,
+    /// Design name (client override or netlist-derived); display only.
+    pub name: String,
+    /// Pass script; empty means the server default.
+    pub script: String,
+    /// Raw netlist bytes (BLIF or AIGER, sniffed by content).
+    pub data: Vec<u8>,
+    /// Chaos fault request (chaos builds only).
+    pub fault: Option<FaultSpec>,
+    /// Response destination.
+    pub sink: JobSink,
+    /// Retry generation, 0 for the first run.
+    pub attempt: u32,
+}

@@ -1,0 +1,93 @@
+//! Synthesis-as-a-service: talk to an `xsfq-serve` daemon over its
+//! length-prefixed TCP protocol.
+//!
+//! ```sh
+//! cargo run --release --example serve_client
+//! ```
+//!
+//! With no arguments the example starts an in-process daemon on a loopback
+//! port, so it is self-contained; pass an address to point it at a real
+//! `xsfq-serve` instance instead:
+//!
+//! ```sh
+//! xsfq-serve --state-dir /tmp/xsfq-state &   # prints "listening on ADDR"
+//! cargo run --release --example serve_client -- ADDR
+//! ```
+
+use xsfq::aig::io::write_blif;
+use xsfq::aig::{build, Aig, Lit};
+use xsfq::serve::protocol::{Response, SubmitRequest};
+use xsfq::serve::{Client, ServeConfig, Server};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A daemon to talk to: the one the user named, or a private
+    //    in-process instance (port 0 = kernel-assigned).
+    let (server, addr) = match std::env::args().nth(1) {
+        Some(addr) => (None, addr),
+        None => {
+            let state =
+                std::env::temp_dir().join(format!("xsfq-serve-example-{}", std::process::id()));
+            let server = Server::start(ServeConfig::new(&state))?;
+            let addr = server.local_addr().to_string();
+            println!("started in-process daemon on {addr}");
+            (Some(server), addr)
+        }
+    };
+
+    // 2. The job payload: any BLIF or AIGER netlist. Here, a 4-bit adder.
+    let mut aig = Aig::new("adder4");
+    let a = aig.input_word("a", 4);
+    let b = aig.input_word("b", 4);
+    let (sum, carry) = build::ripple_add(&mut aig, &a, &b, Lit::FALSE);
+    aig.output_word("sum", &sum);
+    aig.output("carry", carry);
+    let mut blif = Vec::new();
+    write_blif(&aig, &mut blif)?;
+
+    // 3. Submit it. The connection is strictly request-response; `submit`
+    //    blocks until the daemon returns a result, verdict, or BUSY.
+    let mut client = Client::connect(&*addr)?;
+    let request = SubmitRequest {
+        script: "standard".into(),
+        name: "adder4".into(),
+        data: blif,
+        fault: None,
+    };
+    match client.submit(&request)? {
+        Response::Ok {
+            cache_hit,
+            netlist,
+            report,
+        } => {
+            println!("first run: cache_hit={cache_hit}");
+            println!("--- netlist.v (first lines) ---");
+            for line in String::from_utf8(netlist)?.lines().take(8) {
+                println!("{line}");
+            }
+            println!("report bytes: {}", report.len());
+        }
+        Response::Busy { retry_after_ms } => {
+            println!("daemon at capacity; retry in {retry_after_ms} ms");
+        }
+        Response::Err { kind, verdict } => {
+            println!("job failed ({kind}): {}", String::from_utf8_lossy(&verdict));
+        }
+        other => println!("unexpected response: {other:?}"),
+    }
+
+    // 4. Resubmit: the canonical-AIG cache recognizes the design and
+    //    replays the bit-identical result without rerunning the flow.
+    if let Response::Ok { cache_hit, .. } = client.submit(&request)? {
+        println!("second run: cache_hit={cache_hit}");
+    }
+
+    // 5. Daemon health: a JSON counters frame.
+    if let Response::Stats(json) = client.stats()? {
+        println!("stats: {}", String::from_utf8(json)?);
+    }
+
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    Ok(())
+}

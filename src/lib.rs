@@ -42,6 +42,7 @@
 //! | [`spice`] | analog RCSJ Josephson-junction transient simulator (HSPICE substitute) |
 //! | [`benchmarks`] | ISCAS85 / EPFL / ISCAS89 functional equivalents |
 //! | [`baselines`] | clocked RSFQ baselines (PBMap-like, qSeq-like) |
+//! | [`serve`] | crash-tolerant synthesis daemon: TCP + watched-dir jobs, journal, result cache |
 
 pub use xsfq_aig as aig;
 pub use xsfq_baselines as baselines;
@@ -52,4 +53,5 @@ pub use xsfq_exec as exec;
 pub use xsfq_netlist as netlist;
 pub use xsfq_pulse as pulse;
 pub use xsfq_sat as sat;
+pub use xsfq_serve as serve;
 pub use xsfq_spice as spice;
