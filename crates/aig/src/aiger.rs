@@ -412,9 +412,12 @@ pub fn read_aiger<R: BufRead>(mut reader: R) -> Result<Aig, ParseAigerError> {
                 format!("malformed symbol line `{line}`"),
             ));
         };
-        let (kind, index) = match tag.split_at(1) {
-            (k @ ("i" | "l" | "o"), idx) => {
-                (k.as_bytes()[0], parse_u64(n, idx, "symbol index")? as usize)
+        // Byte-wise split: `tag` is untrusted, so it may be empty or start
+        // with a multi-byte character, either of which `split_at(1)` would
+        // panic on.
+        let (kind, index) = match tag.as_bytes().first() {
+            Some(&k @ (b'i' | b'l' | b'o')) => {
+                (k, parse_u64(n, &tag[1..], "symbol index")? as usize)
             }
             _ => {
                 return Err(ParseAigerError::new(
@@ -678,6 +681,22 @@ o1 s
         // Truncated file: missing AND definition.
         let err = read_aiger("aag 2 1 0 0 1\n2\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("end of file"));
+    }
+
+    #[test]
+    fn malformed_symbol_tags_error_instead_of_panicking() {
+        let base = "aag 1 1 0 1 0\n2\n2\n";
+        // Empty tag (line starts with a space), a multi-byte first
+        // character, and a plain unknown tag: all must return Err — the
+        // first two used to panic in `str::split_at(1)`.
+        for sym in [" 0", "é0 x", "q0 n"] {
+            let text = format!("{base}{sym}\n");
+            let err = read_aiger(text.as_bytes()).unwrap_err();
+            assert!(err.to_string().contains("symbol"), "{sym}: {err}");
+        }
+        // A tag that is only the kind letter (no index digits) errors too.
+        let err = read_aiger(format!("{base}i x\n").as_bytes()).unwrap_err();
+        assert_eq!(err.line(), 4);
     }
 
     #[test]

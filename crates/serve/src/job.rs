@@ -6,7 +6,7 @@ use std::sync::mpsc;
 use crate::protocol::FaultSpec;
 
 /// Where a finished job's response goes.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum JobSink {
     /// A connection thread is blocked on this channel; send the encoded
     /// response frame `(kind, payload)`. A send error means the client

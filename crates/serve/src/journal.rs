@@ -179,7 +179,21 @@ impl Journal {
     ) -> io::Result<()> {
         let spool_name = format!("{id}.job");
         let spool_path = spool_dir(&self.dir).join(&spool_name);
-        fs::write(&spool_path, encode_spool(request, dir_base))?;
+        // The spool payload must be durable *before* the fsynced `S` record
+        // is: otherwise a crash can surface an `S` line whose spool bytes
+        // were lost, and recovery would silently drop the job (fatal for
+        // watched-dir jobs, whose source file is already deleted).
+        {
+            let mut f = File::create(&spool_path)?;
+            f.write_all(&encode_spool(request, dir_base))?;
+            f.sync_all()?;
+        }
+        // Directory entry too — a synced file can still vanish if its
+        // directory was never flushed. Best-effort: not every platform
+        // lets a directory be opened and fsynced.
+        if let Ok(d) = File::open(spool_dir(&self.dir)) {
+            let _ = d.sync_all();
+        }
         let mut log = self.log.lock().unwrap();
         writeln!(log, "S {id} {spool_name}")?;
         log.flush()?;

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -288,18 +289,19 @@ fn deliver(sink: &JobSink, kind: u8, body: &[u8]) {
     }
 }
 
-/// Settle a successful job: journal + counters first, response last, so a
-/// client that reacts to its response always sees the updated stats.
+/// Settle a successful job: counters, then journal, then response — so
+/// anyone who observes the durable `D` record (or reacts to the response)
+/// already sees the updated stats.
 fn finish_ok(sh: &Shared, job: &Job, body: &[u8]) {
-    let _ = sh.journal.record_done(job.id, "ok");
     sh.stats.completed.fetch_add(1, Ordering::Relaxed);
+    let _ = sh.journal.record_done(job.id, "ok");
     deliver(&job.sink, KIND_OK, body);
 }
 
 /// Settle a failed job the same way.
 fn finish_err(sh: &Shared, job: &Job, kind: &str, verdict: &str) {
-    let _ = sh.journal.record_done(job.id, "err");
     sh.stats.failed.fetch_add(1, Ordering::Relaxed);
+    let _ = sh.journal.record_done(job.id, "err");
     deliver(
         &job.sink,
         KIND_ERR,
@@ -320,14 +322,20 @@ fn process(sh: &Arc<Shared>, pool: &ThreadPool, arenas: &mut PassArenas, mut job
     if job.name.is_empty() {
         job.name = aig.name().to_string();
     }
+    // Fault-injected jobs bypass the cache in both directions: a hit would
+    // skip synthesis — and the requested fault with it — and a faulted
+    // run's output must never be served to healthy resubmissions.
+    let faulted = job.fault.is_some();
     let key = CacheKey {
         digest: canonical_digest(&aig),
         script: job.script.clone(),
         guards: sh.guard_fp.clone(),
     };
-    if let Some(segments) = sh.cache.get(&key) {
-        finish_ok(sh, &job, &protocol::encode_ok_body(true, &segments));
-        return;
+    if !faulted {
+        if let Some(segments) = sh.cache.get(&key) {
+            finish_ok(sh, &job, &protocol::encode_ok_body(true, &segments));
+            return;
+        }
     }
 
     let mut flow = match SynthesisFlow::new()
@@ -367,7 +375,9 @@ fn process(sh: &Arc<Shared>, pool: &ThreadPool, arenas: &mut PassArenas, mut job
             write_verilog(result.netlist(), &mut netlist).expect("write netlist to memory");
             let report = result.report.to_json();
             let segments = protocol::encode_result_segments(&netlist, report.as_bytes());
-            sh.cache.put(key, segments.clone());
+            if !faulted {
+                sh.cache.put(key, segments.clone());
+            }
             finish_ok(sh, &job, &protocol::encode_ok_body(false, &segments));
         }
         Err(e) => {
@@ -403,7 +413,39 @@ fn worker_loop(sh: Arc<Shared>) {
     // reuses the cut arena and synthesis memo tables.
     let mut arenas = PassArenas::default();
     while let Some(job) = sh.queue.pop() {
-        process(&sh, &pool, &mut arenas, job);
+        // The shard thread must survive any single job: a panic that
+        // escapes `process` (e.g. a parser bug on untrusted input) would
+        // otherwise kill the shard, and — because the job never reaches a
+        // terminal journal state — replay and kill another one on every
+        // restart. Catch it, settle the job as failed, and move on.
+        let (id, name, attempt, sink) = (job.id, job.name.clone(), job.attempt, job.sink.clone());
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            process(&sh, &pool, &mut arenas, job);
+        }));
+        if let Err(payload) = outcome {
+            // The arenas were abandoned mid-pass; start fresh rather than
+            // trust their internal invariants.
+            arenas = PassArenas::default();
+            let detail = panic_message(payload.as_ref());
+            let v = verdict_json("panicked", &name, None, attempt, 0, &detail);
+            sh.stats.failed.fetch_add(1, Ordering::Relaxed);
+            let _ = sh.journal.record_done(id, "err");
+            deliver(
+                &sink,
+                KIND_ERR,
+                &protocol::encode_err("panicked", v.as_bytes()),
+            );
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("job processing panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("job processing panicked: {s}")
+    } else {
+        "job processing panicked".into()
     }
 }
 
@@ -543,6 +585,9 @@ fn watcher_loop(sh: Arc<Shared>, watch_dir: PathBuf, out_dir: PathBuf) {
                     .collect()
             })
             .unwrap_or_default();
+        // Files that vanished between polls (consumed by another process,
+        // deleted by the user) must not pin map entries forever.
+        sizes.retain(|p, _| entries.contains(p));
         for path in entries {
             let Ok(meta) = fs::metadata(&path) else {
                 continue;
@@ -643,7 +688,29 @@ impl Server {
                 None => JobSink::Discard,
             };
             shared.stats.recovered.fetch_add(1, Ordering::Relaxed);
-            admit(&shared, r.request, sink, Some(r.id));
+            let (id, name) = (r.id, r.request.name.clone());
+            match admit(&shared, r.request, sink.clone(), Some(r.id)) {
+                Admit::Queued => {}
+                // Recovered jobs bypass the capacity check and drain never
+                // starts before recovery, so Busy is unreachable; if it
+                // ever fires, admit has already journaled the job as shed.
+                Admit::Busy(_) => {}
+                // A spool this build no longer accepts (script rejected by
+                // a newer parser, fault spec on a non-chaos build) must
+                // still reach a terminal journal state, or it replays and
+                // is re-rejected at every startup and its spool file is
+                // never reclaimed.
+                Admit::Rejected(msg) => {
+                    shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = shared.journal.record_done(id, "err");
+                    let v = verdict_json("rejected", &name, None, 0, 0, &msg);
+                    deliver(
+                        &sink,
+                        KIND_ERR,
+                        &protocol::encode_err("rejected", v.as_bytes()),
+                    );
+                }
+            }
         }
 
         let listener = TcpListener::bind(&cfg.addr)?;

@@ -235,6 +235,13 @@ fn killed_daemon_recovers_exactly_the_incomplete_jobs() {
             ));
         }
     }));
+    // Wait until the shard has dequeued the stall job (accepted and no
+    // longer queued) before submitting healthy traffic: only then is it
+    // guaranteed that none of the healthy jobs can start.
+    wait_for(deadline, "stall job to occupy the shard", || {
+        let stats = stats_of(&addr);
+        stats.contains("\"accepted\":1") && stats.contains("\"queue_len\":0")
+    });
     for name in ["int2float", "priority", "cavlc"] {
         let data = blif_bytes(&xsfq_benchmarks::by_name(name).unwrap());
         let addr = addr.clone();

@@ -299,6 +299,40 @@ fn stats_frame_reports_progress() {
 }
 
 #[test]
+fn recovered_job_rejected_by_admission_reaches_a_terminal_state() {
+    let state = tmpdir("recover-reject");
+    // Simulate a previous incarnation that accepted a job this build's
+    // admission rejects (unparsable script), then crashed before a D
+    // record: journal the S record directly and drop the journal.
+    {
+        let (j, recovered) = xsfq_serve::journal::Journal::open(&state).unwrap();
+        assert!(recovered.is_empty());
+        let id = j.next_id();
+        j.record_submit(
+            id,
+            &SubmitRequest {
+                script: "repeat { b }".into(), // missing count: parse error
+                name: "stale".into(),
+                data: b"junk".to_vec(),
+                fault: None,
+            },
+            None,
+        )
+        .unwrap();
+    }
+    // First restart recovers the job; admission rejects it, which must
+    // still journal a terminal state — not leave it to replay forever.
+    let server = Server::start(ServeConfig::new(&state)).unwrap();
+    server.shutdown();
+    let (_, recovered) = xsfq_serve::journal::Journal::open(&state).unwrap();
+    assert!(
+        recovered.is_empty(),
+        "rejected recovered job must not replay: {recovered:?}"
+    );
+    let _ = fs::remove_dir_all(&state);
+}
+
+#[test]
 fn drain_refuses_new_work_and_finishes_queued_work() {
     let state = tmpdir("drain");
     let server = Server::start(ServeConfig::new(&state)).unwrap();
