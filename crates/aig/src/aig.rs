@@ -228,6 +228,25 @@ impl fmt::Display for AigStats {
     }
 }
 
+/// One violation found by [`Aig::validate`]: the offending node (when the
+/// defect is attributable to one) and a human-readable description.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AigDefect {
+    /// Index of the offending node, if the defect anchors to one.
+    pub node: Option<usize>,
+    /// What is wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for AigDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node {
+            Some(n) => write!(f, "node {n}: {}", self.detail),
+            None => f.write_str(&self.detail),
+        }
+    }
+}
+
 /// An AND-Inverter graph: the tech-independent logic representation used by
 /// the whole flow (ABC's internal representation, per paper §3.1.3).
 ///
@@ -606,6 +625,132 @@ impl Aig {
         }
     }
 
+    /// Audit every structural invariant the rest of the flow assumes and
+    /// return the violations (empty = well-formed).
+    ///
+    /// Checked invariants:
+    /// - node 0 is the unique `Const0`;
+    /// - AND fanins reference strictly earlier nodes (topological order,
+    ///   which also proves acyclicity) and are stored in canonical
+    ///   `a.raw() < b.raw()` order with no constant or duplicated fanin
+    ///   (the trivial cases [`Aig::and`] folds away);
+    /// - every AND re-looks-up to itself in the structural hash table
+    ///   (no duplicate or orphaned strash entries), and the maintained
+    ///   [`Aig::num_ands`] counter matches the node table;
+    /// - `Input`/`Latch` nodes and the `inputs`/`latches`/`input_names`
+    ///   side tables form a consistent bijection;
+    /// - output and latch next-state literals point inside the node table
+    ///   (no dangling literals).
+    ///
+    /// Level consistency is implied: [`Aig::levels`] derives levels from
+    /// the fanin order validated here, so a graph that passes cannot carry
+    /// a stale incremental level.
+    pub fn validate(&self) -> Vec<AigDefect> {
+        let mut out = Vec::new();
+        let mut defect = |node: Option<usize>, detail: String| {
+            out.push(AigDefect { node, detail });
+        };
+        if self.nodes.first() != Some(&NodeKind::Const0) {
+            defect(Some(0), "node 0 is not Const0".into());
+        }
+        if self.input_names.len() != self.inputs.len() {
+            defect(
+                None,
+                format!(
+                    "{} input names for {} inputs",
+                    self.input_names.len(),
+                    self.inputs.len()
+                ),
+            );
+        }
+        let mut ands = 0usize;
+        let mut latch_nodes = 0usize;
+        for (i, n) in self.nodes.iter().enumerate() {
+            match *n {
+                NodeKind::Const0 => {
+                    if i != 0 {
+                        defect(Some(i), "stray Const0 past node 0".into());
+                    }
+                }
+                NodeKind::Input { index } => {
+                    let idx = index as usize;
+                    if self.inputs.get(idx).map(|id| id.index()) != Some(i) {
+                        defect(
+                            Some(i),
+                            format!("input table slot {idx} does not point back"),
+                        );
+                    }
+                }
+                NodeKind::Latch { index } => {
+                    latch_nodes += 1;
+                    let idx = index as usize;
+                    if self.latches.get(idx).map(|l| l.output.index()) != Some(i) {
+                        defect(
+                            Some(i),
+                            format!("latch table slot {idx} does not point back"),
+                        );
+                    }
+                }
+                NodeKind::And { a, b } => {
+                    ands += 1;
+                    if a.node().index() >= i || b.node().index() >= i {
+                        defect(Some(i), "fanin references a node at or past itself".into());
+                        continue;
+                    }
+                    if a.raw() >= b.raw() {
+                        defect(Some(i), "fanins out of canonical order".into());
+                    }
+                    if a.is_const() || b.is_const() {
+                        defect(Some(i), "unfolded constant fanin".into());
+                    }
+                    if self.strash.lookup(a, b, &self.nodes) != Some(i as u32) {
+                        defect(Some(i), "strash re-lookup does not return this node".into());
+                    }
+                }
+            }
+        }
+        if ands != self.and_count {
+            defect(
+                None,
+                format!("and_count {} but {ands} AND nodes", self.and_count),
+            );
+        }
+        if latch_nodes != self.latches.len() {
+            defect(
+                None,
+                format!(
+                    "{} latch entries but {latch_nodes} Latch nodes",
+                    self.latches.len()
+                ),
+            );
+        }
+        for (i, o) in self.outputs.iter().enumerate() {
+            if o.lit.node().index() >= self.nodes.len() {
+                defect(None, format!("output {i} (`{}`) literal dangles", o.name));
+            }
+        }
+        for (i, l) in self.latches.iter().enumerate() {
+            if l.next.node().index() >= self.nodes.len() {
+                defect(
+                    None,
+                    format!("latch {i} (`{}`) next-state literal dangles", l.name),
+                );
+            }
+            if l.output.index() >= self.nodes.len() {
+                defect(
+                    None,
+                    format!("latch {i} (`{}`) output node dangles", l.name),
+                );
+            } else if !self.nodes[l.output.index()].is_latch() {
+                defect(
+                    Some(l.output.index()),
+                    format!("latch {i} (`{}`) output is not a Latch node", l.name),
+                );
+            }
+        }
+        out
+    }
+
     /// Remove all nodes with index `>= watermark`, undoing their structural
     /// hash entries. Only valid when nothing below the watermark references
     /// them (true for freshly appended nodes), which is how the optimization
@@ -793,5 +938,79 @@ mod tests {
         let c = g.compact();
         assert_eq!(c.num_latches(), 1);
         assert_eq!(c.num_ands(), 3);
+    }
+
+    fn small_graph() -> Aig {
+        let mut g = Aig::new("v");
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("c");
+        let x = g.and(a, b);
+        let y = g.and(x, c);
+        g.output("o", y);
+        g
+    }
+
+    #[test]
+    fn validate_passes_well_formed_graphs() {
+        assert!(small_graph().validate().is_empty());
+        let mut g = Aig::new("seq");
+        let d = g.input("d");
+        let q = g.latch("q", true);
+        let n = g.xor(d, q);
+        g.set_latch_next(q, n);
+        g.output("o", q);
+        assert!(g.validate().is_empty());
+    }
+
+    #[test]
+    fn validate_catches_fanin_disorder() {
+        let mut g = small_graph();
+        // Corrupt the last AND: swap its fanins out of canonical order.
+        let idx = g.nodes.len() - 1;
+        let NodeKind::And { a, b } = g.nodes[idx] else {
+            panic!("expected an AND");
+        };
+        g.nodes[idx] = NodeKind::And { a: b, b: a };
+        let defects = g.validate();
+        assert!(
+            defects
+                .iter()
+                .any(|d| d.node == Some(idx) && d.detail.contains("canonical order")),
+            "{defects:?}"
+        );
+    }
+
+    #[test]
+    fn validate_catches_strash_divergence() {
+        let mut g = small_graph();
+        // Rewire an AND fanin behind the strash table's back: the
+        // re-lookup check must notice the table no longer agrees.
+        let idx = g.nodes.len() - 1;
+        let NodeKind::And { a, .. } = g.nodes[idx] else {
+            panic!("expected an AND");
+        };
+        g.nodes[idx] = NodeKind::And { a: !a, b: a };
+        let defects = g.validate();
+        assert!(
+            defects.iter().any(|d| d.detail.contains("strash")),
+            "{defects:?}"
+        );
+    }
+
+    #[test]
+    fn validate_catches_dangling_output_and_bad_count() {
+        let mut g = small_graph();
+        g.outputs[0].lit = Lit::new(NodeId(999), false);
+        g.and_count = 7;
+        let defects = g.validate();
+        assert!(
+            defects.iter().any(|d| d.detail.contains("dangles")),
+            "{defects:?}"
+        );
+        assert!(
+            defects.iter().any(|d| d.detail.contains("and_count")),
+            "{defects:?}"
+        );
     }
 }

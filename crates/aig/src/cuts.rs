@@ -274,6 +274,50 @@ impl CutArena {
     pub fn iter(&self) -> impl Iterator<Item = &[Cut]> + '_ {
         (0..self.ranges.len()).map(move |i| self.node(i))
     }
+
+    /// Audit the CSR storage invariants: every node range lies inside the
+    /// flat cut buffer, cut sizes respect [`MAX_CUT_SIZE`], leaves are
+    /// strictly sorted and point at nodes the arena knows about, and each
+    /// stored signature matches the one recomputed from its leaves.
+    ///
+    /// Returns the first violation as a description, `Ok(())` on a clean
+    /// arena (including the empty one).
+    pub fn check_integrity(&self) -> Result<(), String> {
+        for (i, &(start, end)) in self.ranges.iter().enumerate() {
+            if start > end || end as usize > self.cuts.len() {
+                return Err(format!(
+                    "node {i}: range {start}..{end} escapes the cut buffer (len {})",
+                    self.cuts.len()
+                ));
+            }
+            for (ci, cut) in self.cuts[start as usize..end as usize].iter().enumerate() {
+                if cut.len() > MAX_CUT_SIZE {
+                    return Err(format!("node {i} cut {ci}: {} leaves", cut.len()));
+                }
+                let leaves = cut.leaves();
+                let mut sig = 0u64;
+                for (li, &leaf) in leaves.iter().enumerate() {
+                    if leaf.index() >= self.ranges.len() {
+                        return Err(format!(
+                            "node {i} cut {ci}: leaf {} out of bounds",
+                            leaf.index()
+                        ));
+                    }
+                    if li > 0 && leaves[li - 1] >= leaf {
+                        return Err(format!("node {i} cut {ci}: leaves not strictly sorted"));
+                    }
+                    sig |= leaf_sig(leaf);
+                }
+                if cut.signature() != sig {
+                    return Err(format!(
+                        "node {i} cut {ci}: stored signature {:#x} != recomputed {sig:#x}",
+                        cut.signature()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Enumerate up to `max_cuts` k-feasible cuts per node (the trivial cut is
@@ -729,6 +773,23 @@ mod tests {
         let c = Cut::trivial(NodeId::from_index(3));
         assert!(ab.merge(&c, 2).is_none());
         assert!(ab.merge(&c, 3).is_some());
+    }
+
+    #[test]
+    fn integrity_check_accepts_real_enumerations_and_catches_corruption() {
+        let (g, _, _) = full_adder_aig();
+        let mut arena = enumerate_cuts(&g, 4, 8);
+        arena.check_integrity().unwrap();
+        // Corrupt a stored signature: the audit must localize it.
+        if let Some(cut) = arena.cuts.iter_mut().find(|c| !c.is_empty()) {
+            cut.sig ^= 0xdead_beef;
+        }
+        assert!(arena.check_integrity().unwrap_err().contains("signature"));
+        // Corrupt a range: escapes the buffer.
+        let mut arena = enumerate_cuts(&g, 4, 8);
+        let last = arena.ranges.len() - 1;
+        arena.ranges[last].1 = u32::MAX;
+        assert!(arena.check_integrity().unwrap_err().contains("escapes"));
     }
 
     #[test]

@@ -80,5 +80,5 @@ pub mod sim;
 pub mod synth;
 pub mod tt;
 
-pub use aig::{Aig, AigStats, Latch, NodeKind, Output};
+pub use aig::{Aig, AigDefect, AigStats, Latch, NodeKind, Output};
 pub use lit::{Lit, NodeId};

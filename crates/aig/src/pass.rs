@@ -209,6 +209,10 @@ pub trait PassObserver {
     fn on_pass_start(&mut self, _name: &str) {}
     /// Called once per executed pass, in execution order.
     fn on_pass(&mut self, stat: &PassStat);
+    /// Called with the graph a pass produced (after guard rollback, so it
+    /// is exactly the graph the rest of the script will see). Paranoid
+    /// validation hooks in here; the default does nothing.
+    fn on_graph(&mut self, _aig: &Aig) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -388,6 +392,13 @@ impl<'p, 'o> PassCtx<'p, 'o> {
         self.pool
     }
 
+    /// The shared CSR cut arena the rewrite passes enumerate into. Exposed
+    /// read-only so integrity audits (`CutArena::check_integrity`) can run
+    /// between passes without detaching the arenas.
+    pub fn cut_arena(&self) -> &CutArena {
+        &self.cut_arena
+    }
+
     /// Report `n` committed transformations (accepted replacements, merges,
     /// rebuilt trees) for the currently running pass.
     pub fn add_commits(&mut self, n: u64) {
@@ -459,6 +470,7 @@ impl<'p, 'o> PassCtx<'p, 'o> {
         };
         if let Some(obs) = self.observer.as_deref_mut() {
             obs.on_pass(&stat);
+            obs.on_graph(&out);
         }
         self.telemetry.push(stat);
         out

@@ -6,7 +6,8 @@
 use criterion::{criterion_group, criterion_main};
 
 use xsfq_bench::perf::{
-    bench_cec, bench_flow, bench_mapping, bench_optimize, bench_pulse_sim, bench_serve, bench_spice,
+    bench_cec, bench_flow, bench_lint, bench_mapping, bench_optimize, bench_pulse_sim, bench_serve,
+    bench_spice,
 };
 
 criterion_group!(
@@ -17,6 +18,7 @@ criterion_group!(
     bench_cec,
     bench_spice,
     bench_flow,
-    bench_serve
+    bench_serve,
+    bench_lint
 );
 criterion_main!(benches);

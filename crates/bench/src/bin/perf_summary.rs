@@ -26,7 +26,7 @@ fn parse_args() -> (String, Option<String>, Vec<String>) {
     let mut out = "BENCH_1.json".to_string();
     let mut baseline = None;
     let mut groups: Vec<String> = [
-        "optimize", "map", "pulse", "verify", "spice", "flow", "serve",
+        "optimize", "map", "pulse", "verify", "spice", "flow", "serve", "lint",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -102,10 +102,11 @@ fn main() {
             "spice" => perf::bench_spice(&mut criterion),
             "flow" => perf::bench_flow(&mut criterion),
             "serve" => perf::bench_serve(&mut criterion),
+            "lint" => perf::bench_lint(&mut criterion),
             other => {
                 panic!(
                     "unknown group {other} \
-                     (expected optimize|map|pulse|verify|spice|flow|serve)"
+                     (expected optimize|map|pulse|verify|spice|flow|serve|lint)"
                 )
             }
         }

@@ -274,6 +274,61 @@ pub fn bench_serve(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `lint` group: the static checker's cost envelope. `epfl_suite` DRCs the
+/// physical netlists of every EPFL design (the full CheckLevel::Stage
+/// netlist bill per suite run); `stats_epfl_suite` runs the `NetlistStats`
+/// analysis pass over the same netlists — the yardstick the DRC is specced
+/// against (same order of magnitude: both are linear traversals of the
+/// cell/net tables). `flow_checked` / `flow_unchecked` pair a full `ctrl`
+/// flow at `CheckLevel::Stage` against `CheckLevel::Off`, so every
+/// `BENCH_<n>.json` records that `Off` costs exactly nothing and `Stage`
+/// stays in the noise of a real synthesis run.
+pub fn bench_lint(c: &mut Criterion) {
+    use xsfq_lint::{lint_netlist, CheckLevel, NetlistProfile};
+    let physicals: Vec<xsfq_netlist::Netlist> = xsfq_benchmarks::all()
+        .iter()
+        .filter(|b| b.suite == xsfq_benchmarks::Suite::Epfl)
+        .map(|b| {
+            SynthesisFlow::new()
+                .script(Script::named("fast").unwrap())
+                .run(&(b.build)())
+                .unwrap()
+                .mapped
+                .physical
+        })
+        .collect();
+    let mut g = c.benchmark_group("lint");
+    g.sample_size(10);
+    g.bench_function("epfl_suite", |b| {
+        b.iter(|| {
+            for n in std::hint::black_box(&physicals) {
+                assert!(!xsfq_lint::has_errors(&lint_netlist(
+                    n,
+                    NetlistProfile::Physical
+                )));
+            }
+        })
+    });
+    g.bench_function("stats_epfl_suite", |b| {
+        b.iter(|| {
+            std::hint::black_box(&physicals)
+                .iter()
+                .map(|n| n.stats_uncached().jj_total)
+                .sum::<u64>()
+        })
+    });
+    let ctrl = xsfq_benchmarks::by_name("ctrl").unwrap();
+    let flow = SynthesisFlow::new().script(Script::named("fast").unwrap());
+    g.bench_function("flow_unchecked", |b| {
+        b.iter(|| flow.run(std::hint::black_box(&ctrl)).unwrap())
+    });
+    let checked = flow.clone().check(CheckLevel::Stage);
+    g.bench_function("flow_checked", |b| {
+        b.iter(|| checked.run(std::hint::black_box(&ctrl)).unwrap())
+    });
+    g.finish();
+}
+
 /// `spice` group: RCSJ transient of a 4-stage JTL.
 pub fn bench_spice(c: &mut Criterion) {
     let mut g = c.benchmark_group("spice");

@@ -22,6 +22,7 @@ use xsfq_aig::pass::{
 use xsfq_aig::Aig;
 use xsfq_cells::{CellKind, InterconnectStyle};
 use xsfq_exec::{panic_message, CancelCause, CancelToken, ThreadPool};
+use xsfq_lint::{CheckLevel, Diag, NetlistProfile};
 use xsfq_netlist::Netlist;
 
 use crate::map::{map_with_assignment_pool, MapOptions, MappedDesign};
@@ -77,6 +78,13 @@ pub struct FlowOptions {
     /// to the `fast` preset instead of failing the job). Defaults to no
     /// budgets. See [`PassGuards`].
     pub guards: PassGuards,
+    /// Static checking level (see [`CheckLevel`]): `Off` is byte-for-byte
+    /// the unchecked flow, `Stage` validates the AIG after the optimize
+    /// stage and DRCs both mapped netlists after the map stage, `Paranoid`
+    /// additionally validates after every optimization pass and audits the
+    /// cut arena. Error-severity findings fail the job with
+    /// [`FlowError::LintFailed`].
+    pub check: CheckLevel,
     /// Deterministic fault-injection plan, applied per batch design index
     /// by [`SynthesisFlow::run_many_isolated`] (solo [`SynthesisFlow::run`]
     /// ignores it). Test-only; see [`xsfq_aig::chaos`].
@@ -98,6 +106,7 @@ impl Default for FlowOptions {
             cancel: None,
             job_deadline: None,
             guards: PassGuards::none(),
+            check: CheckLevel::Off,
             #[cfg(feature = "chaos")]
             chaos: None,
         }
@@ -125,6 +134,10 @@ pub enum FlowError {
         /// Which budget.
         kind: GuardKind,
     },
+    /// A static check ([`FlowOptions::check`]) found error-severity
+    /// diagnostics; the job stopped at the stage that produced the
+    /// ill-formed structure.
+    LintFailed(Vec<Diag>),
 }
 
 impl fmt::Display for FlowError {
@@ -139,6 +152,16 @@ impl fmt::Display for FlowError {
             FlowError::Cancelled(CancelCause::Deadline) => write!(f, "job deadline expired"),
             FlowError::GuardTripped { pass, kind } => {
                 write!(f, "pass `{pass}` tripped its {kind} guard")
+            }
+            FlowError::LintFailed(diags) => {
+                write!(f, "lint failed with {} finding(s)", diags.len())?;
+                for d in diags.iter().take(3) {
+                    write!(f, "; {d}")?;
+                }
+                if diags.len() > 3 {
+                    write!(f, "; …")?;
+                }
+                Ok(())
             }
         }
     }
@@ -316,12 +339,18 @@ pub trait FlowObserver {
 
 /// Owns the optional [`FlowObserver`] for one flow run: forwards
 /// script-engine pass telemetry (as a [`PassObserver`]) and stage
-/// completions to it.
-struct ObserverProxy<'o>(Option<&'o mut dyn FlowObserver>);
+/// completions to it. Under [`CheckLevel::Paranoid`] it also validates
+/// the graph after every pass (via [`PassObserver::on_graph`], which
+/// sees the post-rollback graph) and accumulates any findings.
+struct ObserverProxy<'o> {
+    obs: Option<&'o mut dyn FlowObserver>,
+    check: CheckLevel,
+    lint: Vec<Diag>,
+}
 
 impl ObserverProxy<'_> {
     fn on_stage(&mut self, stat: &StageStat) {
-        if let Some(obs) = self.0.as_deref_mut() {
+        if let Some(obs) = self.obs.as_deref_mut() {
             obs.on_stage(stat);
         }
     }
@@ -329,13 +358,18 @@ impl ObserverProxy<'_> {
 
 impl PassObserver for ObserverProxy<'_> {
     fn on_pass_start(&mut self, name: &str) {
-        if let Some(obs) = self.0.as_deref_mut() {
+        if let Some(obs) = self.obs.as_deref_mut() {
             obs.on_pass_start(name);
         }
     }
     fn on_pass(&mut self, stat: &PassStat) {
-        if let Some(obs) = self.0.as_deref_mut() {
+        if let Some(obs) = self.obs.as_deref_mut() {
             obs.on_pass(stat);
+        }
+    }
+    fn on_graph(&mut self, aig: &Aig) {
+        if self.check >= CheckLevel::Paranoid {
+            self.lint.extend(xsfq_lint::lint_aig(aig));
         }
     }
 }
@@ -710,6 +744,14 @@ impl SynthesisFlow {
         self
     }
 
+    /// Set the static checking level (see [`FlowOptions::check`]). The
+    /// default `Off` adds exactly zero work to the flow.
+    #[must_use]
+    pub fn check(mut self, level: CheckLevel) -> Self {
+        self.options.check = level;
+        self
+    }
+
     /// Install a deterministic fault-injection plan for
     /// [`SynthesisFlow::run_many_isolated`] (see [`xsfq_aig::chaos`]).
     /// Solo [`SynthesisFlow::run`] ignores the plan.
@@ -1018,7 +1060,11 @@ impl SynthesisFlow {
         let cancelled = |token: &CancelToken| {
             FlowError::Cancelled(token.cause().unwrap_or(CancelCause::Explicit))
         };
-        let mut proxy = ObserverProxy(observer);
+        let mut proxy = ObserverProxy {
+            obs: observer,
+            check: o.check,
+            lint: Vec::new(),
+        };
         let mut stages: Vec<StageStat> = Vec::new();
         let note = |stage: FlowStage,
                     start: Instant,
@@ -1036,7 +1082,7 @@ impl SynthesisFlow {
         // driver hands in its worker's warm arena set; it is returned after
         // the script so the next design reuses it.
         let start = Instant::now();
-        let (optimized, passes, degraded, guard_trip) = {
+        let (optimized, passes, degraded, guard_trip, arena_lint) = {
             let mut ctx = PassCtx::with_observer(pool, &mut proxy);
             ctx.set_token(token.clone());
             ctx.set_guards(o.guards.clone());
@@ -1050,13 +1096,21 @@ impl SynthesisFlow {
             }
             let optimized = compiled.run(aig, &mut ctx);
             let passes = ctx.take_telemetry();
+            // Audit the cut arena while the ctx still owns it — the CSR
+            // ranges and signatures are scratch state the next pass would
+            // silently trust.
+            let arena_lint = if o.check >= CheckLevel::Paranoid {
+                xsfq_lint::lint_cut_arena(ctx.cut_arena())
+            } else {
+                Vec::new()
+            };
             if let Some(store) = arenas {
                 *store = ctx.take_arenas();
             }
             let guard_trip = ctx
                 .guard_trip()
                 .map(|(pass, kind)| (pass.to_string(), kind));
-            (optimized, passes, ctx.degraded(), guard_trip)
+            (optimized, passes, ctx.degraded(), guard_trip, arena_lint)
         };
         note(FlowStage::Optimize, start, &mut stages, &mut proxy);
         if token.is_cancelled() {
@@ -1064,6 +1118,14 @@ impl SynthesisFlow {
         }
         if let Some((pass, kind)) = guard_trip {
             return Err(FlowError::GuardTripped { pass, kind });
+        }
+        if o.check >= CheckLevel::Stage {
+            let mut diags = std::mem::take(&mut proxy.lint);
+            diags.extend(arena_lint);
+            diags.extend(xsfq_lint::lint_aig(&optimized));
+            if xsfq_lint::has_errors(&diags) {
+                return Err(FlowError::LintFailed(diags));
+            }
         }
 
         // -- Pipeline: rank-level selection (no-op for 0 stages).
@@ -1095,6 +1157,16 @@ impl SynthesisFlow {
         note(FlowStage::Map, start, &mut stages, &mut proxy);
         if token.is_cancelled() {
             return Err(cancelled(&token));
+        }
+        if o.check >= CheckLevel::Stage {
+            let mut diags = xsfq_lint::lint_netlist(&mapped.logical, NetlistProfile::Logical);
+            diags.extend(xsfq_lint::lint_netlist(
+                &mapped.physical,
+                NetlistProfile::Physical,
+            ));
+            if xsfq_lint::has_errors(&diags) {
+                return Err(FlowError::LintFailed(diags));
+            }
         }
 
         // -- Verify: SAT proof the mapping preserved the function.

@@ -53,3 +53,4 @@ pub use polarity::{
     assign_polarities, assign_polarities_with_pool, OutputPolarity, PolarityAssignment,
     PolarityMode, RailRequirements,
 };
+pub use xsfq_lint::CheckLevel;

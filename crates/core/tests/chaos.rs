@@ -196,6 +196,33 @@ fn injected_guard_trip_degrades_to_the_fast_preset() {
     );
 }
 
+/// A guard trip under `degrade_to_fast` rolls the tripped pass back and
+/// switches presets mid-script — exactly the path where a buggy rollback
+/// would leave a corrupt graph behind. Paranoid checking validates the
+/// graph after every pass (including the rolled-back one), so a clean
+/// completion here pins the rollback's structural integrity.
+#[test]
+fn degraded_jobs_stay_lint_clean_under_paranoid_checking() {
+    use xsfq_core::CheckLevel;
+    let designs = batch();
+    let flow = SynthesisFlow::new()
+        .check(CheckLevel::Paranoid)
+        .guards(PassGuards {
+            degrade_to_fast: true,
+            ..PassGuards::none()
+        })
+        .chaos_plan(FaultPlan::new().fault(0, 1, FaultKind::GuardTrip));
+    let results = flow.run_many_isolated(&designs[..1]);
+    let res = results[0].as_ref().unwrap_or_else(|e| {
+        panic!("degraded job must stay lint-clean: {e}");
+    });
+    assert!(res.report.degraded, "report must flag the degradation");
+    assert!(
+        sim::random_equiv(&designs[0], &res.optimized, 16, 7),
+        "degraded optimization broke the function"
+    );
+}
+
 /// `run_many` (the all-or-nothing wrapper) maps an isolated deadline fault
 /// to `FlowError::Cancelled(Deadline)` instead of a panic.
 #[test]

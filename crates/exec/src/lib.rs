@@ -258,6 +258,9 @@ impl Deque {
             (b - t) as usize <= self.mask,
             "deque overflow: capacity must cover all outstanding tasks"
         );
+        // SAFETY: only the owner writes, and the capacity assert above
+        // proves slot `b` is not reachable by any stealer (t..b excludes it)
+        // until the release fence publishes the new bottom.
         unsafe { *self.buf[b as usize & self.mask].get() = task };
         // Publish the slot before the new bottom becomes visible to stealers.
         fence(Ordering::Release);
@@ -273,6 +276,11 @@ impl Deque {
         fence(Ordering::SeqCst);
         let t = self.top.load(Ordering::Relaxed);
         if t <= b {
+            // SAFETY: `t <= b` proves the slot holds a published task; the
+            // owner already reserved index `b` by decrementing `bottom`
+            // (sequenced by the SeqCst fence), and the `t == b` CAS below
+            // settles the only possible race — a stealer after the same
+            // last task.
             let task = unsafe { *self.buf[b as usize & self.mask].get() };
             if t == b {
                 // Single task left: race the stealers for it.
@@ -297,6 +305,10 @@ impl Deque {
         fence(Ordering::SeqCst);
         let b = self.bottom.load(Ordering::Acquire);
         if t < b {
+            // SAFETY: `t < b` (with the acquire loads + fence above) proves
+            // slot `t` was published by the owner; the CAS below discards
+            // the read unless this thread won the slot, so a torn claim is
+            // impossible.
             let task = unsafe { *self.buf[t as usize & self.mask].get() };
             if self
                 .top
@@ -322,6 +334,9 @@ type Job = *const (dyn Fn(usize) + Sync);
 /// Raw job pointer made sendable; validity is guaranteed by the dispatch
 /// protocol (the dispatcher blocks until every worker finished the job).
 struct SendJob(Job);
+// SAFETY: the pointee is `Sync` (the `Job` type requires it) and the
+// dispatch protocol keeps it alive across the send — the dispatcher does
+// not return from `run` until every worker has finished calling it.
 unsafe impl Send for SendJob {}
 
 struct JobSlot {
@@ -691,13 +706,25 @@ impl std::fmt::Debug for ThreadPool {
 }
 
 struct SendPtr<T>(*mut T);
+// SAFETY: a raw pointer is Send/Sync-neutral by itself; every dereference
+// site (`slot` callers) separately proves disjoint access — each index is
+// written by exactly one thread — so sharing the pointer value is sound
+// for `T: Send`.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: as above — the pointer value is shared, disjointness of the
+// actual accesses is proven at each dereference site.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
     /// Pointer to slot `i`. A method (rather than direct field access) so
     /// closures capture the whole `SendPtr` — the `Sync` carrier — instead
     /// of the raw `*mut T` field, which is not `Sync`.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be in bounds of the allocation `self.0` points into, and
+    /// the caller must uphold the aliasing rules for whatever it does with
+    /// the returned pointer.
     #[inline]
     unsafe fn slot(&self, i: usize) -> *mut T {
         self.0.add(i)

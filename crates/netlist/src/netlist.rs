@@ -405,21 +405,51 @@ impl Netlist {
         self.cells[cell.index()].inputs[pin] = net;
     }
 
+    /// Every unconnected cell input pin as `(cell, pin)`, in cell order.
+    ///
+    /// A pin is unconnected when it still holds the deferred-wiring
+    /// sentinel of [`Netlist::add_cell_deferred`] (or any net index past
+    /// the driver table). This is the single source of truth for
+    /// connectivity: both [`Netlist::assert_connected`] and the `X001`
+    /// lint in `xsfq-lint` are wrappers over it, so the panicking API and
+    /// the diagnostic API can never disagree.
+    pub fn unconnected_pins(&self) -> Vec<(CellId, usize)> {
+        let mut out = Vec::new();
+        for (i, cell) in self.cells.iter().enumerate() {
+            for (pin, &n) in cell.inputs.iter().enumerate() {
+                if n.index() >= self.drivers.len() {
+                    out.push((CellId(i as u32), pin));
+                }
+            }
+        }
+        out
+    }
+
     /// Check that every cell input is connected.
     ///
     /// # Panics
     ///
     /// Panics with the offending cell if any input pin is unconnected.
     pub fn assert_connected(&self) {
-        for (i, cell) in self.cells.iter().enumerate() {
-            for (pin, &n) in cell.inputs.iter().enumerate() {
-                assert!(
-                    n.index() < self.drivers.len(),
-                    "cell {i} ({}) input pin {pin} is unconnected",
-                    cell.kind
-                );
-            }
+        if let Some(&(cell, pin)) = self.unconnected_pins().first() {
+            panic!(
+                "cell {} ({}) input pin {pin} is unconnected",
+                cell.index(),
+                self.cells[cell.index()].kind
+            );
         }
+    }
+
+    /// Raw mutable access to a cell, bypassing every pin-count and
+    /// connectivity invariant the ordinary mutators enforce.
+    ///
+    /// This exists solely so the lint test suite can build deliberately
+    /// corrupted netlists (pin-count mismatches, dangling nets) and assert
+    /// the checker's diagnostics; it is not part of the supported API.
+    #[doc(hidden)]
+    pub fn corrupt_cell_for_tests(&mut self, id: CellId) -> &mut Cell {
+        self.mark_stats_dirty();
+        &mut self.cells[id.index()]
     }
 
     /// Number of sinks per net (cell input pins plus output ports).

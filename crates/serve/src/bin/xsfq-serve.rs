@@ -6,7 +6,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use xsfq_aig::pass::PassGuards;
-use xsfq_serve::{signal, ServeConfig, Server};
+use xsfq_serve::{signal, CheckLevel, ServeConfig, Server};
 
 const USAGE: &str = "\
 xsfq-serve — crash-tolerant xSFQ synthesis daemon
@@ -28,6 +28,7 @@ OPTIONS:
     --retry-base-ms MS     first retry delay, doubles per attempt (default 20)
     --cache-budget BYTES   result-cache byte budget (default 67108864; 0 = off)
     --script SCRIPT        default pass script (default \"standard\")
+    --check LEVEL          static checking: off | stage | paranoid (default stage)
     --max-growth FACTOR    per-pass node-growth guard (off by default)
     --pass-budget-ms MS    per-pass wall-time guard (off by default)
     --drain-grace-ms MS    drain grace before cancelling in-flight jobs (default 5000)
@@ -74,6 +75,16 @@ fn parse_args() -> Result<ServeConfig, String> {
             "--retry-base-ms" => cfg.retry_base = Duration::from_millis(num(&v, &flag)?),
             "--cache-budget" => cfg.cache_budget = num(&v, &flag)? as usize,
             "--script" => cfg.default_script = v,
+            "--check" => {
+                cfg.check = match v.as_str() {
+                    "off" => CheckLevel::Off,
+                    "stage" => CheckLevel::Stage,
+                    "paranoid" => CheckLevel::Paranoid,
+                    other => {
+                        return Err(format!("--check expects off|stage|paranoid, got `{other}`"))
+                    }
+                };
+            }
             "--max-growth" => {
                 let factor = v
                     .parse::<f64>()

@@ -79,6 +79,24 @@
 //! original run produced, flagged with `cache_hit = 1`. The cache is LRU
 //! under `cache_budget` bytes; 0 disables it.
 //!
+//! **Static checking.** `check` sets the [`CheckLevel`] for admission and
+//! every job. At the default `Stage`, a submission that parses but is
+//! structurally ill-formed (duplicate ports, an output shadowing an input,
+//! …) is *rejected at admission* — the client gets a `rejected` verdict
+//! whose `diags` field carries the lint findings as an
+//! `xsfq-lint-diags/1` array (stable codes like `X008`), and no shard
+//! time is spent on it. The same level is applied inside the flow, so a
+//! pass or mapper bug that produces an ill-formed intermediate surfaces
+//! as a `flow` verdict naming the lint codes instead of corrupt output.
+//! `Paranoid` additionally validates the AIG after every optimization
+//! pass and audits the cut arena — for debugging passes, not production
+//! (expect measurable per-job overhead). `Off` restores the unchecked
+//! fast path; the verdict `diags` field is then always `[]`. The checking
+//! level is part of the result-cache fingerprint, so flipping it never
+//! serves stale bytes. Recovered jobs are re-linted at replay: a spool
+//! that a stricter level now rejects reaches a terminal journal state
+//! instead of replaying forever.
+//!
 //! **Drain.** On SIGTERM/SIGINT (the `xsfq-serve` binary) or
 //! [`Server::shutdown`] (embedded), the daemon stops admitting — new
 //! submissions get BUSY — finishes queued and in-flight jobs, and after
@@ -115,3 +133,4 @@ pub mod signal;
 
 pub use client::{Client, ClientError};
 pub use server::{ServeConfig, Server};
+pub use xsfq_lint::CheckLevel;

@@ -17,6 +17,7 @@ use xsfq_aig::io::read_netlist_auto;
 use xsfq_aig::pass::{PassArenas, PassGuards, Script};
 use xsfq_core::SynthesisFlow;
 use xsfq_exec::{CancelToken, ThreadPool};
+use xsfq_lint::{has_errors, lint_aig, render_json, CheckLevel};
 use xsfq_netlist::writers::write_verilog;
 
 use crate::cache::{CacheKey, ResultCache};
@@ -68,6 +69,12 @@ pub struct ServeConfig {
     pub default_script: String,
     /// Per-pass resource guards applied to every job.
     pub guards: PassGuards,
+    /// Static checking level for every job (see [`CheckLevel`]): the
+    /// default `Stage` lints submissions at admission (ill-formed netlists
+    /// are rejected with structured diagnostics instead of occupying a
+    /// shard) and validates each job's intermediate structures between
+    /// flow stages. `Off` restores the unchecked fast path.
+    pub check: CheckLevel,
     /// How long a drain lets in-flight jobs finish before cancelling them.
     pub drain_grace: Duration,
 }
@@ -100,6 +107,7 @@ impl ServeConfig {
             cache_budget: 64 << 20,
             default_script: "standard".into(),
             guards: PassGuards::none(),
+            check: CheckLevel::Stage,
             drain_grace: Duration::from_secs(5),
         }
     }
@@ -132,6 +140,7 @@ struct Shared {
     retry_base: Duration,
     job_deadline: Option<Duration>,
     guards: PassGuards,
+    check: CheckLevel,
     /// Cache-key component covering everything job-independent the result
     /// depends on (guards, deadline presence, flow defaults).
     guard_fp: String,
@@ -163,19 +172,35 @@ fn verdict_json(
     elapsed_ms: u64,
     detail: &str,
 ) -> String {
+    verdict_json_diags(kind, name, pass, attempts, elapsed_ms, detail, "[]")
+}
+
+/// [`verdict_json`] with lint findings attached: `diags` is a pre-rendered
+/// `xsfq-lint-diags/1` JSON array (see [`render_json`]), `[]` when none.
+#[allow(clippy::too_many_arguments)]
+fn verdict_json_diags(
+    kind: &str,
+    name: &str,
+    pass: Option<&str>,
+    attempts: u32,
+    elapsed_ms: u64,
+    detail: &str,
+    diags: &str,
+) -> String {
     let pass = match pass {
         Some(p) => format!("\"{}\"", json_escape(p)),
         None => "null".into(),
     };
     format!(
         "{{\"schema\":\"xsfq-serve-verdict/1\",\"name\":\"{}\",\"kind\":\"{}\",\
-         \"pass\":{},\"attempts\":{},\"elapsed_ms\":{},\"detail\":\"{}\"}}",
+         \"pass\":{},\"attempts\":{},\"elapsed_ms\":{},\"detail\":\"{}\",\"diags\":{}}}",
         json_escape(name),
         json_escape(kind),
         pass,
         attempts,
         elapsed_ms,
-        json_escape(detail)
+        json_escape(detail),
+        diags
     )
 }
 
@@ -186,7 +211,21 @@ fn busy_hint_ms(queue_len: usize) -> u32 {
 enum Admit {
     Queued,
     Busy(u32),
-    Rejected(String),
+    Rejected {
+        msg: String,
+        /// Pre-rendered `xsfq-lint-diags/1` JSON array; `[]` for
+        /// rejections that carry no lint findings.
+        diags: String,
+    },
+}
+
+impl Admit {
+    fn rejected(msg: impl Into<String>) -> Admit {
+        Admit::Rejected {
+            msg: msg.into(),
+            diags: "[]".into(),
+        }
+    }
 }
 
 /// The single admission path: validate, make durable, enqueue. Shared by
@@ -198,10 +237,10 @@ fn admit(sh: &Arc<Shared>, request: SubmitRequest, sink: JobSink, recovered: Opt
     }
     if let Some(f) = request.fault {
         if !(1..=3).contains(&f.kind) {
-            return Admit::Rejected(format!("unknown fault kind {}", f.kind));
+            return Admit::rejected(format!("unknown fault kind {}", f.kind));
         }
         if !cfg!(feature = "chaos") {
-            return Admit::Rejected("fault injection requires a chaos build".into());
+            return Admit::rejected("fault injection requires a chaos build");
         }
     }
     let script = if request.script.is_empty() {
@@ -210,7 +249,24 @@ fn admit(sh: &Arc<Shared>, request: SubmitRequest, sink: JobSink, recovered: Opt
         request.script.clone()
     };
     if let Err(e) = Script::parse(&script) {
-        return Admit::Rejected(format!("bad script: {e}"));
+        return Admit::rejected(format!("bad script: {e}"));
+    }
+    // Admission-time lint: a submission that parses but is structurally
+    // ill-formed (duplicate ports, output shadowing an input, …) would
+    // fail deep inside the flow — or worse, synthesize a netlist with
+    // colliding dual-rail port names. Reject it here with the findings
+    // attached. Bytes that do not parse at all stay on the in-job path,
+    // which answers with the richer per-format `parse` verdict.
+    if sh.check >= CheckLevel::Stage {
+        if let Ok(aig) = read_netlist_auto(&request.data) {
+            let diags = lint_aig(&aig);
+            if has_errors(&diags) {
+                return Admit::Rejected {
+                    msg: format!("submission failed lint with {} finding(s)", diags.len()),
+                    diags: render_json(&diags),
+                };
+            }
+        }
     }
     let id = match recovered {
         Some(id) => id,
@@ -223,7 +279,7 @@ fn admit(sh: &Arc<Shared>, request: SubmitRequest, sink: JobSink, recovered: Opt
             // Durability before acceptance: a job the client saw admitted
             // must be recoverable. A journal write failure refuses the job.
             if let Err(e) = sh.journal.record_submit(id, &request, dir_base) {
-                return Admit::Rejected(format!("journal write failed: {e}"));
+                return Admit::rejected(format!("journal write failed: {e}"));
             }
             id
         }
@@ -340,6 +396,7 @@ fn process(sh: &Arc<Shared>, pool: &ThreadPool, arenas: &mut PassArenas, mut job
 
     let mut flow = match SynthesisFlow::new()
         .guards(sh.guards.clone())
+        .check(sh.check)
         .cancel_token(sh.cancel.clone())
         .script_str(&job.script)
     {
@@ -486,8 +543,8 @@ fn connection(sh: &Arc<Shared>, mut stream: TcpStream) {
                 }
             }
             KIND_SUBMIT => {
-                let reject = |stream: &mut TcpStream, msg: &str| {
-                    let v = verdict_json("rejected", "", None, 0, 0, msg);
+                let reject = |stream: &mut TcpStream, msg: &str, diags: &str| {
+                    let v = verdict_json_diags("rejected", "", None, 0, 0, msg, diags);
                     write_frame(
                         stream,
                         KIND_ERR,
@@ -497,7 +554,7 @@ fn connection(sh: &Arc<Shared>, mut stream: TcpStream) {
                 let request = match SubmitRequest::decode(&payload) {
                     Ok(r) => r,
                     Err(e) => {
-                        let _ = reject(&mut stream, &format!("bad submit payload: {e}"));
+                        let _ = reject(&mut stream, &format!("bad submit payload: {e}"), "[]");
                         return;
                     }
                 };
@@ -510,7 +567,7 @@ fn connection(sh: &Arc<Shared>, mut stream: TcpStream) {
                             }
                         }
                         Err(_) => {
-                            let _ = reject(&mut stream, "server shut down mid-job");
+                            let _ = reject(&mut stream, "server shut down mid-job", "[]");
                             return;
                         }
                     },
@@ -519,8 +576,8 @@ fn connection(sh: &Arc<Shared>, mut stream: TcpStream) {
                             return;
                         }
                     }
-                    Admit::Rejected(msg) => {
-                        if reject(&mut stream, &msg).is_err() {
+                    Admit::Rejected { msg, diags } => {
+                        if reject(&mut stream, &msg, &diags).is_err() {
                             return;
                         }
                     }
@@ -619,8 +676,8 @@ fn watcher_loop(sh: Arc<Shared>, watch_dir: PathBuf, out_dir: PathBuf) {
                 }
                 // Queue full: leave the file in place, retry next poll.
                 Admit::Busy(_) => {}
-                Admit::Rejected(msg) => {
-                    let v = verdict_json("rejected", &stem, None, 0, 0, &msg);
+                Admit::Rejected { msg, diags } => {
+                    let v = verdict_json_diags("rejected", &stem, None, 0, 0, &msg, &diags);
                     if let Some(parent) = base.parent() {
                         let _ = fs::create_dir_all(parent);
                     }
@@ -656,8 +713,8 @@ impl Server {
             .unwrap_or_else(|| cfg.state_dir.join("results"));
         let (journal, recovered) = Journal::open(&cfg.state_dir)?;
         let guard_fp = format!(
-            "guards={:?};deadline={:?};script-defaults=v1",
-            cfg.guards, cfg.job_deadline
+            "guards={:?};deadline={:?};check={:?};script-defaults=v1",
+            cfg.guards, cfg.job_deadline, cfg.check
         );
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.queue_capacity),
@@ -674,6 +731,7 @@ impl Server {
             retry_base: cfg.retry_base,
             job_deadline: cfg.job_deadline,
             guards: cfg.guards.clone(),
+            check: cfg.check,
             guard_fp,
             default_script: cfg.default_script.clone(),
         });
@@ -700,10 +758,10 @@ impl Server {
                 // still reach a terminal journal state, or it replays and
                 // is re-rejected at every startup and its spool file is
                 // never reclaimed.
-                Admit::Rejected(msg) => {
+                Admit::Rejected { msg, diags } => {
                     shared.stats.failed.fetch_add(1, Ordering::Relaxed);
                     let _ = shared.journal.record_done(id, "err");
-                    let v = verdict_json("rejected", &name, None, 0, 0, &msg);
+                    let v = verdict_json_diags("rejected", &name, None, 0, 0, &msg, &diags);
                     deliver(
                         &sink,
                         KIND_ERR,

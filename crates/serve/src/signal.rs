@@ -29,6 +29,10 @@ mod imp {
     }
 
     pub fn install() {
+        // SAFETY: plain FFI into libc `signal(2)` with a valid
+        // `extern "C"` handler address; the handler body is restricted to
+        // a single atomic store, which is async-signal-safe, so no
+        // handler-context UB is possible.
         unsafe {
             signal(SIGTERM, on_signal as *const () as usize);
             signal(SIGINT, on_signal as *const () as usize);

@@ -280,6 +280,41 @@ fn malformed_input_gets_a_structured_verdict_not_a_dead_server() {
 }
 
 #[test]
+fn ill_formed_submission_is_rejected_at_admission_with_lint_diags() {
+    let state = tmpdir("lint");
+    let server = Server::start(ServeConfig::new(&state)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Parses fine, but the output port shadows an input — downstream the
+    // dual-rail mapper would emit colliding `a_p`/`a_n` ports. Admission
+    // lint must refuse it with the stable code, before any shard work.
+    match submit(
+        &mut client,
+        "shadow",
+        b".model t\n.inputs a\n.outputs a\n.end\n".to_vec(),
+    ) {
+        Response::Err { kind, verdict } => {
+            assert_eq!(kind, "rejected");
+            let v = String::from_utf8(verdict).unwrap();
+            assert!(v.contains("\"schema\":\"xsfq-serve-verdict/1\""), "{v}");
+            assert!(v.contains("\"code\":\"X008\""), "{v}");
+            assert!(v.contains("shadows"), "{v}");
+        }
+        other => panic!("expected Err, got {other:?}"),
+    }
+
+    // The shard never saw the job and stays fully alive: a healthy
+    // submission on the same connection synthesizes normally.
+    let aig = xsfq_benchmarks::by_name("ctrl").unwrap();
+    match submit(&mut client, "ctrl", blif_bytes(&aig)) {
+        Response::Ok { .. } => {}
+        other => panic!("expected Ok after rejection, got {other:?}"),
+    }
+    server.shutdown();
+    let _ = fs::remove_dir_all(&state);
+}
+
+#[test]
 fn stats_frame_reports_progress() {
     let state = tmpdir("stats");
     let server = Server::start(ServeConfig::new(&state)).unwrap();

@@ -43,6 +43,7 @@
 //! | [`benchmarks`] | ISCAS85 / EPFL / ISCAS89 functional equivalents |
 //! | [`baselines`] | clocked RSFQ baselines (PBMap-like, qSeq-like) |
 //! | [`serve`] | crash-tolerant synthesis daemon: TCP + watched-dir jobs, journal, result cache |
+//! | [`lint`] | static design-rule checker: netlist DRC (X001–X008), AIG/arena validators, diagnostics |
 
 pub use xsfq_aig as aig;
 pub use xsfq_baselines as baselines;
@@ -50,6 +51,7 @@ pub use xsfq_benchmarks as benchmarks;
 pub use xsfq_cells as cells;
 pub use xsfq_core as core;
 pub use xsfq_exec as exec;
+pub use xsfq_lint as lint;
 pub use xsfq_netlist as netlist;
 pub use xsfq_pulse as pulse;
 pub use xsfq_sat as sat;

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Unsafe-code audit gate: every `unsafe` occurrence in first-party crates
+# must be justified by a `// SAFETY:` comment (or a `# Safety` doc section
+# for `unsafe fn` declarations) on the same line or within the preceding
+# few lines. Scans crates/ only — vendored code is out of scope.
+#
+# Usage: tools/check_safety.sh [repo-root]   (exit 1 on violations)
+set -u
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+window=6
+fail=0
+
+while IFS= read -r file; do
+    violations=$(awk -v window="$window" '
+        BEGIN { last_safety = -1000000 }
+        {
+            line = $0
+            sub(/^[ \t]+/, "", line)
+            # Comment and doc lines never *are* unsafe code; they may
+            # carry the justification.
+            is_comment = (line ~ /^\/\//)
+            if ($0 ~ /SAFETY:/ || $0 ~ /# Safety/) last_safety = NR
+            if (is_comment) next
+            if ($0 ~ /(^|[^[:alnum:]_"])unsafe([^[:alnum:]_"]|$)/) {
+                if (NR - last_safety > window) {
+                    printf "%d: %s\n", NR, $0
+                }
+            }
+        }
+    ' "$file")
+    if [ -n "$violations" ]; then
+        echo "unannotated unsafe in $file:"
+        echo "$violations"
+        fail=1
+    fi
+done < <(find "$root/crates" -name '*.rs' -type f | sort)
+
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "error: unsafe code without a SAFETY justification (see above)."
+    echo "Add a \`// SAFETY: ...\` comment within $window lines before the block."
+    exit 1
+fi
+echo "check_safety: every unsafe occurrence is SAFETY-annotated."
