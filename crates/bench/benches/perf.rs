@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main};
 
 use xsfq_bench::perf::{
     bench_cec, bench_flow, bench_lint, bench_mapping, bench_optimize, bench_pulse_sim, bench_serve,
-    bench_spice,
+    bench_spice, bench_timing,
 };
 
 criterion_group!(
@@ -19,6 +19,7 @@ criterion_group!(
     bench_spice,
     bench_flow,
     bench_serve,
-    bench_lint
+    bench_lint,
+    bench_timing
 );
 criterion_main!(benches);

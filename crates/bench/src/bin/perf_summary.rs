@@ -26,7 +26,7 @@ fn parse_args() -> (String, Option<String>, Vec<String>) {
     let mut out = "BENCH_1.json".to_string();
     let mut baseline = None;
     let mut groups: Vec<String> = [
-        "optimize", "map", "pulse", "verify", "spice", "flow", "serve", "lint",
+        "optimize", "map", "pulse", "verify", "spice", "flow", "serve", "lint", "timing",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -103,10 +103,11 @@ fn main() {
             "flow" => perf::bench_flow(&mut criterion),
             "serve" => perf::bench_serve(&mut criterion),
             "lint" => perf::bench_lint(&mut criterion),
+            "timing" => perf::bench_timing(&mut criterion),
             other => {
                 panic!(
                     "unknown group {other} \
-                     (expected optimize|map|pulse|verify|spice|flow|serve|lint)"
+                     (expected optimize|map|pulse|verify|spice|flow|serve|lint|timing)"
                 )
             }
         }

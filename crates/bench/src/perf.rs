@@ -329,6 +329,49 @@ pub fn bench_lint(c: &mut Criterion) {
     g.finish();
 }
 
+/// `timing` group: the static timing backend on `voter`, the largest EPFL
+/// circuit in the suite. `analyse_voter` is the pure engine sweep (balance
+/// off), `constrain_voter` adds the slack-matching plan + netlist rebuild,
+/// and `flow_timed` / `flow_untimed` pair a full `ctrl` flow with the
+/// Timing stage enabled against the default — so every `BENCH_<n>.json`
+/// records that an unset `FlowOptions::timing` costs exactly nothing.
+pub fn bench_timing(c: &mut Criterion) {
+    use xsfq_timing::{balance_netlist, BalanceMode, TimingAnalysis, TimingOptions};
+    let voter = SynthesisFlow::new()
+        .script(Script::named("fast").unwrap())
+        .run(&xsfq_benchmarks::by_name("voter").unwrap())
+        .unwrap()
+        .mapped
+        .physical;
+    let analyse = TimingOptions {
+        balance: BalanceMode::Off,
+        tolerance_ps: None,
+    };
+    let constrain = TimingOptions::default();
+    let mut g = c.benchmark_group("timing");
+    g.sample_size(10);
+    g.bench_function("analyse_voter", |b| {
+        b.iter(|| TimingAnalysis::analyze(std::hint::black_box(&voter), &analyse))
+    });
+    g.bench_function("constrain_voter", |b| {
+        b.iter(|| {
+            let outcome = balance_netlist(std::hint::black_box(&voter), &constrain, None);
+            assert!(outcome.summary.worst_slack_ps >= 0.0);
+            outcome
+        })
+    });
+    let ctrl = xsfq_benchmarks::by_name("ctrl").unwrap();
+    let flow = SynthesisFlow::new().script(Script::named("fast").unwrap());
+    g.bench_function("flow_untimed", |b| {
+        b.iter(|| flow.run(std::hint::black_box(&ctrl)).unwrap())
+    });
+    let timed = flow.clone().timing(TimingOptions::default());
+    g.bench_function("flow_timed", |b| {
+        b.iter(|| timed.run(std::hint::black_box(&ctrl)).unwrap())
+    });
+    g.finish();
+}
+
 /// `spice` group: RCSJ transient of a 4-stage JTL.
 pub fn bench_spice(c: &mut Criterion) {
     let mut g = c.benchmark_group("spice");

@@ -29,6 +29,7 @@ use crate::map::{map_with_assignment_pool, MapOptions, MappedDesign};
 use crate::pipeline::choose_rank_levels;
 use crate::polarity::{assign_polarities_with_pool, PolarityMode};
 use crate::verify::verify_mapping;
+use xsfq_timing::{BalanceMode, TimingOptions, TimingSummary};
 
 /// The pass registry the synthesis flow compiles scripts against: the
 /// structural AIG passes plus `f`/`fraig` from `xsfq-sat`.
@@ -85,6 +86,12 @@ pub struct FlowOptions {
     /// cut arena. Error-severity findings fail the job with
     /// [`FlowError::LintFailed`].
     pub check: CheckLevel,
+    /// Optional post-Map timing stage (see [`xsfq_timing`]): static
+    /// arrival/slack analysis of the physical netlist plus slack-matching
+    /// JTL insertion per [`TimingOptions::balance`]. `None` (the default)
+    /// skips the stage entirely — the flow's outputs are byte-identical
+    /// to a build without the timing subsystem.
+    pub timing: Option<TimingOptions>,
     /// Deterministic fault-injection plan, applied per batch design index
     /// by [`SynthesisFlow::run_many_isolated`] (solo [`SynthesisFlow::run`]
     /// ignores it). Test-only; see [`xsfq_aig::chaos`].
@@ -107,6 +114,7 @@ impl Default for FlowOptions {
             job_deadline: None,
             guards: PassGuards::none(),
             check: CheckLevel::Off,
+            timing: None,
             #[cfg(feature = "chaos")]
             chaos: None,
         }
@@ -288,6 +296,9 @@ pub enum FlowStage {
     Polarity,
     /// Dual-rail technology mapping + splitter insertion.
     Map,
+    /// Static timing analysis + slack-matching buffer insertion
+    /// (only present when [`FlowOptions::timing`] is set).
+    Timing,
     /// SAT proof that mapping preserved the function.
     Verify,
 }
@@ -300,6 +311,7 @@ impl FlowStage {
             FlowStage::Pipeline => "pipeline",
             FlowStage::Polarity => "polarity",
             FlowStage::Map => "map",
+            FlowStage::Timing => "timing",
             FlowStage::Verify => "verify",
         }
     }
@@ -417,6 +429,11 @@ pub struct FlowReport {
     /// preset ([`PassGuards::degrade_to_fast`]); the tripping pass carries
     /// [`PassStat::tripped`] in [`FlowReport::passes`].
     pub degraded: bool,
+    /// Result of the optional Timing stage: engine-measured critical path,
+    /// worst slack/skew, and the buffer/JJ cost of balancing. `None` when
+    /// [`FlowOptions::timing`] was unset (and then absent from the JSON,
+    /// keeping untimed reports byte-identical to earlier releases).
+    pub timing: Option<TimingSummary>,
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control bytes).
@@ -485,13 +502,19 @@ impl FlowReport {
             ));
         }
         stages.push(']');
+        // The `timing` key only exists when the stage ran: untimed reports
+        // stay byte-identical to the pre-timing schema.
+        let timing = match &self.timing {
+            Some(t) => format!(",\"timing\":{}", t.to_json()),
+            None => String::new(),
+        };
         format!(
             "{{\"schema\":\"xsfq-flow-report/1\",\"name\":\"{}\",\"aig_nodes\":{},\
              \"aig_depth\":{},\"la_fa\":{},\"duplication_percent\":{},\"splitters\":{},\
              \"drocs_plain\":{},\"drocs_preload\":{},\"jj_total\":{},\"jj_clock_tree\":{},\
              \"depth_logic\":{},\"depth_with_splitters\":{},\"critical_delay_ps\":{},\
              \"circuit_ghz\":{},\"arch_ghz\":{},\"degraded\":{},\"passes\":{passes},\
-             \"stages\":{stages}}}",
+             \"stages\":{stages}{timing}}}",
             json_escape(&self.name),
             self.aig_nodes,
             self.aig_depth,
@@ -749,6 +772,16 @@ impl SynthesisFlow {
     #[must_use]
     pub fn check(mut self, level: CheckLevel) -> Self {
         self.options.check = level;
+        self
+    }
+
+    /// Enable the post-Map timing stage (see [`FlowOptions::timing`]):
+    /// static arrival/slack analysis plus slack-matching JTL insertion
+    /// per [`TimingOptions::balance`]. Not setting it skips the stage
+    /// entirely, leaving every output byte-identical to an untimed flow.
+    #[must_use]
+    pub fn timing(mut self, options: TimingOptions) -> Self {
+        self.options.timing = Some(options);
         self
     }
 
@@ -1041,8 +1074,9 @@ impl SynthesisFlow {
     }
 
     /// The staged pipeline body: Optimize → Pipeline → Polarity → Map →
-    /// Verify, with per-stage timing, (optional) observer callbacks, and
-    /// cancellation checks at every stage boundary.
+    /// [Timing] → Verify (Timing only when configured), with per-stage
+    /// timing, (optional) observer callbacks, and cancellation checks at
+    /// every stage boundary.
     fn run_compiled(
         &self,
         aig: &Aig,
@@ -1144,7 +1178,7 @@ impl SynthesisFlow {
         // -- Map: dual-rail mapping (parallel requirements sweep, sequential
         // emission commit) + splitter insertion.
         let start = Instant::now();
-        let mapped = map_with_assignment_pool(
+        let mut mapped = map_with_assignment_pool(
             &optimized,
             &MapOptions {
                 polarity: o.polarity,
@@ -1167,6 +1201,37 @@ impl SynthesisFlow {
             if xsfq_lint::has_errors(&diags) {
                 return Err(FlowError::LintFailed(diags));
             }
+        }
+
+        // -- Timing (optional): static arrival/slack analysis of the
+        // physical netlist plus slack-matching JTL insertion. The balanced
+        // netlist replaces `mapped.physical`, so the report's area numbers
+        // include the buffers; reconstruction treats JTLs as wires, so the
+        // Verify proof below covers the balanced netlist's function too.
+        let mut timing_summary = None;
+        if let Some(topts) = &o.timing {
+            let start = Instant::now();
+            let outcome = xsfq_timing::balance_netlist(&mapped.physical, topts, Some(pool));
+            if let Some(balanced) = outcome.netlist {
+                mapped.physical = balanced;
+            }
+            note(FlowStage::Timing, start, &mut stages, &mut proxy);
+            if token.is_cancelled() {
+                return Err(cancelled(&token));
+            }
+            // Full balancing promises sub-tolerance residual skew; hold it
+            // to that promise at Stage level (Budget/Off residue is the
+            // requested trade-off, not a defect).
+            if o.check >= CheckLevel::Stage && topts.balance == BalanceMode::Full {
+                let diags = xsfq_lint::lint_timing(
+                    &mapped.physical,
+                    topts.allowed_skew_for(&mapped.physical),
+                );
+                if xsfq_lint::has_errors(&diags) {
+                    return Err(FlowError::LintFailed(diags));
+                }
+            }
+            timing_summary = Some(outcome.summary);
         }
 
         // -- Verify: SAT proof the mapping preserved the function.
@@ -1199,6 +1264,7 @@ impl SynthesisFlow {
             passes,
             stages,
             degraded,
+            timing: timing_summary,
         };
         Ok(FlowResult {
             optimized,

@@ -54,3 +54,4 @@ pub use polarity::{
     PolarityMode, RailRequirements,
 };
 pub use xsfq_lint::CheckLevel;
+pub use xsfq_timing::{BalanceMode, TimingOptions, TimingSummary};

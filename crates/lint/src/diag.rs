@@ -36,6 +36,7 @@ pub enum Code {
     X008,
     X009,
     X010,
+    X011,
     W101,
     W102,
 }
@@ -54,6 +55,7 @@ impl Code {
             Code::X008 => "X008",
             Code::X009 => "X009",
             Code::X010 => "X010",
+            Code::X011 => "X011",
             Code::W101 => "W101",
             Code::W102 => "W102",
         }

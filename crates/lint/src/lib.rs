@@ -11,11 +11,12 @@
 //!
 //! Entry points: [`lint_netlist`] (technology netlists), [`lint_aig`]
 //! (AND-inverter graphs, wrapping [`xsfq_aig::Aig::validate`]),
-//! [`lint_cut_arena`] (the CSR cut storage of the rewrite passes), and the
-//! `xsfq-lint` CLI binary (BLIF/AIGER in, diagnostics out, nonzero exit on
-//! errors). The flow runs these via the `CheckLevel` knob on
-//! `xsfq_core::FlowOptions`; the `xsfq-serve` daemon lints submissions at
-//! admission time.
+//! [`lint_cut_arena`] (the CSR cut storage of the rewrite passes),
+//! [`lint_timing`] (residual arrival-skew audit of balanced netlists, on
+//! the `xsfq_timing` engine), and the `xsfq-lint` CLI binary (BLIF/AIGER
+//! in, diagnostics out, nonzero exit on errors). The flow runs these via
+//! the `CheckLevel` knob on `xsfq_core::FlowOptions`; the `xsfq-serve`
+//! daemon lints submissions at admission time.
 //!
 //! ## Lint-code catalog
 //!
@@ -34,6 +35,7 @@
 //! | `X008` | port-name collision: duplicate input names, duplicate output names, or an output shadowing an input | dual-rail emission appends `_p`/`_n` to port names, so colliding base names produce colliding Verilog ports | rename the offending ports at the source |
 //! | `X009` | AIG structural invariant violation (see [`xsfq_aig::Aig::validate`]) | every pass assumes topological fanin order and strash canonicity; a violation turns later passes into silent miscompiles | rebuild the graph through `Aig::and` instead of mutating nodes |
 //! | `X010` | cut-arena CSR integrity violation (see `CutArena::check_integrity`) | mapping reads cut lists by node range; a corrupt range reads another node's cuts | re-enumerate cuts; report the pass that corrupted the arena |
+//! | `X011` | residual dual-rail arrival skew beyond tolerance at a join cell or output rail pair (post-balancing timing check, [`lint_timing`]) | alternating logic only works when paired pulse arrivals stay aligned (§2.1); skew past the tolerance lets a pulse race its partner wave at a C-element | run the flow's Timing stage with full balancing (`xsfq_timing::balance_netlist`), or widen `TimingOptions::tolerance_ps` |
 //! | `W101` | dead cell: no output net reaches a sink | dead hardware still costs JJs and bias current | sweep dead logic before mapping (`Aig::compact`) |
 //! | `W102` | unbalanced splitter tree (leaf depths differ by more than one) | splitter depth adds to the critical path (§4.2.1); a chain where a tree fits wastes clock period | rebuild the tree with `Netlist::insert_splitters` |
 
@@ -41,6 +43,8 @@
 
 mod diag;
 mod drc;
+mod timing;
 
 pub use diag::{has_errors, render_json, render_text, CheckLevel, Code, Diag, Severity, Site};
 pub use drc::{lint_aig, lint_cut_arena, lint_netlist, NetlistProfile};
+pub use timing::lint_timing;

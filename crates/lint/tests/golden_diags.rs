@@ -4,7 +4,7 @@
 
 use xsfq_aig::Aig;
 use xsfq_cells::{CellKind, CellLibrary};
-use xsfq_lint::{lint_aig, lint_netlist, Code, Diag, NetlistProfile, Severity, Site};
+use xsfq_lint::{lint_aig, lint_netlist, lint_timing, Code, Diag, NetlistProfile, Severity, Site};
 use xsfq_netlist::{CellId, Netlist, PinVec};
 
 fn codes(diags: &[Diag]) -> Vec<(Code, Site)> {
@@ -267,4 +267,57 @@ fn aig_port_collisions_and_validation() {
     g.output("y", x);
     assert!(lint_aig(&g).is_empty());
     assert!(g.validate().is_empty());
+}
+
+#[test]
+fn x011_residual_arrival_skew() {
+    // Join skew: an LA chain where one input of cell 1 lags by a full LA
+    // delay (7.2 ps > the 4.6 ps JTL tolerance).
+    let mut n = Netlist::new("x011", CellLibrary::xsfq_abutted());
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let c = n.add_input("c");
+    let la1 = n.add_cell(CellKind::La, &[a, b]);
+    let la2 = n.add_cell(CellKind::La, &[la1[0], c]);
+    n.add_output("y", la2[0]);
+    let tol = n.library().delay(CellKind::Jtl);
+    let diags = lint_timing(&n, tol);
+    assert_eq!(
+        codes(&diags),
+        vec![(Code::X011, Site::Cell(1))],
+        "{diags:?}"
+    );
+    assert_eq!(diags[0].severity, Severity::Error);
+
+    // Dual-rail output skew: `y_p` goes straight out, `y_n` through two
+    // JTLs (9.2 ps apart > 4.6 ps tolerance) — flagged at the `_p` port.
+    let mut n = Netlist::new("x011-rails", CellLibrary::xsfq_abutted());
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let sp = n.add_cell(CellKind::Splitter, &[a]);
+    let j1 = n.add_cell(CellKind::Jtl, &[sp[1]]);
+    let j2 = n.add_cell(CellKind::Jtl, &[j1[0]]);
+    n.add_output("y_p", sp[0]);
+    n.add_output("y_n", j2[0]);
+    n.add_output("z", b);
+    let diags = lint_timing(&n, tol);
+    assert_eq!(
+        codes(&diags),
+        vec![(Code::X011, Site::Port("y_p".into()))],
+        "{diags:?}"
+    );
+
+    // Balancing clears both findings.
+    use xsfq_timing::{balance_netlist, TimingOptions};
+    let mut n = Netlist::new("x011-fixed", CellLibrary::xsfq_abutted());
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let c = n.add_input("c");
+    let la1 = n.add_cell(CellKind::La, &[a, b]);
+    let la2 = n.add_cell(CellKind::La, &[la1[0], c]);
+    n.add_output("y", la2[0]);
+    let balanced = balance_netlist(&n, &TimingOptions::default(), None)
+        .netlist
+        .expect("skewed join gets a pad");
+    assert!(lint_timing(&balanced, tol).is_empty());
 }

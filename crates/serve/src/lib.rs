@@ -97,6 +97,20 @@
 //! that a stricter level now rejects reaches a terminal journal state
 //! instead of replaying forever.
 //!
+//! **Timing and constraints.** Setting `ServeConfig::timing` (a
+//! [`xsfq_timing::TimingOptions`]) runs the flow's post-Map Timing stage
+//! on every job: a static arrival/slack analysis of the mapped physical
+//! netlist and — under `BalanceMode::Full` or `Budget` — slack-matching
+//! JTL insertion that aligns pulse arrivals at join cells and dual-rail
+//! output pairs. The report JSON inside the OK frame then carries a
+//! `timing` object (critical path, worst slack/skew, buffers inserted, JJ
+//! delta); with timing unset the key is absent and every byte matches an
+//! untimed daemon. The timing configuration is part of the result-cache
+//! fingerprint, so retuning the balance mode or tolerance never replays a
+//! netlist balanced under the old settings. For one-off analysis or SDC /
+//! CSV artifact export outside the daemon, use the `xsfq-time` CLI on the
+//! emitted netlist instead of re-synthesizing.
+//!
 //! **Drain.** On SIGTERM/SIGINT (the `xsfq-serve` binary) or
 //! [`Server::shutdown`] (embedded), the daemon stops admitting — new
 //! submissions get BUSY — finishes queued and in-flight jobs, and after

@@ -19,6 +19,7 @@ use xsfq_core::SynthesisFlow;
 use xsfq_exec::{CancelToken, ThreadPool};
 use xsfq_lint::{has_errors, lint_aig, render_json, CheckLevel};
 use xsfq_netlist::writers::write_verilog;
+use xsfq_timing::TimingOptions;
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::job::{Job, JobSink};
@@ -75,6 +76,14 @@ pub struct ServeConfig {
     /// shard) and validates each job's intermediate structures between
     /// flow stages. `Off` restores the unchecked fast path.
     pub check: CheckLevel,
+    /// Optional timing stage for every job (see `xsfq_core::FlowOptions::
+    /// timing`): static arrival/slack analysis plus slack-matching JTL
+    /// insertion on the mapped netlist; the verdict's report JSON then
+    /// carries a `timing` summary. `None` (the default) keeps results
+    /// byte-identical to earlier releases. The configuration joins the
+    /// result-cache fingerprint, so flipping it can never replay a
+    /// differently-timed cached netlist.
+    pub timing: Option<TimingOptions>,
     /// How long a drain lets in-flight jobs finish before cancelling them.
     pub drain_grace: Duration,
 }
@@ -108,6 +117,7 @@ impl ServeConfig {
             default_script: "standard".into(),
             guards: PassGuards::none(),
             check: CheckLevel::Stage,
+            timing: None,
             drain_grace: Duration::from_secs(5),
         }
     }
@@ -141,6 +151,7 @@ struct Shared {
     job_deadline: Option<Duration>,
     guards: PassGuards,
     check: CheckLevel,
+    timing: Option<TimingOptions>,
     /// Cache-key component covering everything job-independent the result
     /// depends on (guards, deadline presence, flow defaults).
     guard_fp: String,
@@ -411,6 +422,9 @@ fn process(sh: &Arc<Shared>, pool: &ThreadPool, arenas: &mut PassArenas, mut job
     };
     if let Some(d) = sh.job_deadline {
         flow = flow.job_deadline(d);
+    }
+    if let Some(t) = &sh.timing {
+        flow = flow.timing(t.clone());
     }
     #[cfg(feature = "chaos")]
     if let Some(f) = job.fault {
@@ -713,8 +727,8 @@ impl Server {
             .unwrap_or_else(|| cfg.state_dir.join("results"));
         let (journal, recovered) = Journal::open(&cfg.state_dir)?;
         let guard_fp = format!(
-            "guards={:?};deadline={:?};check={:?};script-defaults=v1",
-            cfg.guards, cfg.job_deadline, cfg.check
+            "guards={:?};deadline={:?};check={:?};timing={:?};script-defaults=v1",
+            cfg.guards, cfg.job_deadline, cfg.check, cfg.timing
         );
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.queue_capacity),
@@ -732,6 +746,7 @@ impl Server {
             job_deadline: cfg.job_deadline,
             guards: cfg.guards.clone(),
             check: cfg.check,
+            timing: cfg.timing.clone(),
             guard_fp,
             default_script: cfg.default_script.clone(),
         });

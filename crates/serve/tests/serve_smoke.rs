@@ -386,3 +386,45 @@ fn drain_refuses_new_work_and_finishes_queued_work() {
     );
     let _ = fs::remove_dir_all(&state);
 }
+
+#[test]
+fn timed_daemon_carries_timing_summary_and_matches_timed_solo() {
+    use xsfq_timing::TimingOptions;
+    let state = tmpdir("timed");
+    let mut cfg = ServeConfig::new(&state);
+    cfg.timing = Some(TimingOptions::default());
+    let server = Server::start(cfg).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let aig = xsfq_benchmarks::by_name("int2float").unwrap();
+    // The reference: the same flow with the same timing knob, no daemon.
+    let timed_solo = SynthesisFlow::new()
+        .script_str(SCRIPT)
+        .unwrap()
+        .timing(TimingOptions::default())
+        .run(&aig)
+        .unwrap();
+    let mut solo_netlist = Vec::new();
+    write_verilog(timed_solo.netlist(), &mut solo_netlist).unwrap();
+
+    match submit(&mut client, "int2float", blif_bytes(&aig)) {
+        Response::Ok {
+            netlist, report, ..
+        } => {
+            assert_eq!(netlist, solo_netlist, "netlist differs from timed solo");
+            let report = String::from_utf8(report).unwrap();
+            assert!(
+                report.contains("\"timing\":{") && report.contains("\"balance\":\"full\""),
+                "timed verdict must carry the timing summary: {report}"
+            );
+            assert_eq!(
+                scrub_timings(&report),
+                scrub_timings(&timed_solo.report.to_json()),
+                "report differs from timed solo"
+            );
+        }
+        other => panic!("expected Ok, got {other:?}"),
+    }
+    server.shutdown();
+    let _ = fs::remove_dir_all(&state);
+}
