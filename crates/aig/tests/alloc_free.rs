@@ -17,6 +17,8 @@ static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 // `System` itself.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // Ordering: Relaxed — a pure event counter; the test reads it on
+        // the same thread that allocates, so no edge is needed.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         // SAFETY: same layout contract as our own caller's.
         unsafe { System.alloc(layout) }
@@ -29,6 +31,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // Ordering: Relaxed — same single-thread counter as in alloc.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         // SAFETY: as in `dealloc` — arguments are forwarded unchanged.
         unsafe { System.realloc(ptr, layout, new_size) }
@@ -39,6 +42,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 fn alloc_count<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    // Ordering: Relaxed — reads its own thread's bumps; the test harness
+    // may allocate on other threads concurrently, which is exactly why
+    // counts are compared as before/after deltas on this thread's work.
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let result = f();
     (ALLOCATIONS.load(Ordering::Relaxed) - before, result)

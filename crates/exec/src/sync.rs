@@ -1,0 +1,53 @@
+//! Synchronization facade: every concurrency primitive the executor touches
+//! is imported from here, never from `std` directly.
+//!
+//! In normal builds (the default) these are pure re-exports of the `std`
+//! types — zero cost, zero behavioural difference; the bench guard
+//! (`BENCH_10.json`, `flow/guarded_run` pair) and the bit-identical tier-1
+//! gates pin that. With `--features model` the same paths resolve to the
+//! [`xsfq_model`] instrumented runtime instead, which lets the `model_gate`
+//! test suite deterministically enumerate thread interleavings (including
+//! store-buffer reorderings of the non-SeqCst operations) around the very
+//! code that ships.
+//!
+//! The rule for executor code: `use crate::sync::…` for atomics, fences,
+//! `Mutex`/`Condvar`, `thread` and `Instant`. `Arc` and `Duration` stay on
+//! `std` (they carry no scheduling-visible behaviour).
+
+/// Std-backed primitives (normal builds).
+#[cfg(not(feature = "model"))]
+mod imp {
+    /// Atomic types and fences, as used by the deque and the pool.
+    pub mod atomic {
+        pub use std::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+    }
+    pub use std::sync::{Condvar, Mutex, MutexGuard};
+    /// Thread spawning for the pool workers.
+    pub mod thread {
+        pub use std::thread::{Builder, JoinHandle};
+    }
+    /// Monotonic time for cancellation deadlines.
+    pub mod time {
+        pub use std::time::Instant;
+    }
+}
+
+/// Model-runtime primitives (`--features model` builds).
+#[cfg(feature = "model")]
+mod imp {
+    /// Atomic types and fences, as used by the deque and the pool.
+    pub mod atomic {
+        pub use xsfq_model::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+    }
+    pub use xsfq_model::sync::{Condvar, Mutex, MutexGuard};
+    /// Thread spawning for the pool workers.
+    pub mod thread {
+        pub use xsfq_model::thread::{Builder, JoinHandle};
+    }
+    /// Logical time (monotonic along a modeled schedule).
+    pub mod time {
+        pub use xsfq_model::time::Instant;
+    }
+}
+
+pub use imp::*;

@@ -1,0 +1,66 @@
+//! A dynamically race-checked `UnsafeCell`, in the loom style: plain data
+//! accessed through `with`/`with_mut` closures. Every access is recorded
+//! against the vector-clock happens-before relation; two accesses that are
+//! unordered (and not both reads) abort the execution with a data-race
+//! report.
+
+use crate::rt::with_ctx;
+use std::sync::OnceLock;
+
+pub struct UnsafeCell<T: ?Sized> {
+    id: OnceLock<usize>,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: cross-thread access is dynamically checked — the runtime aborts
+// any execution in which two threads touch the cell without a
+// happens-before edge, so surviving accesses are data-race-free.
+unsafe impl<T: ?Sized + Send> Send for UnsafeCell<T> {}
+// SAFETY: as above.
+unsafe impl<T: ?Sized + Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    pub fn new(value: T) -> UnsafeCell<T> {
+        UnsafeCell {
+            id: OnceLock::new(),
+            data: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> UnsafeCell<T> {
+    fn loc(&self) -> usize {
+        *self.id.get_or_init(|| with_ctx(|rt, _| rt.register_cell()))
+    }
+
+    /// Shared (read) access. The closure receives the raw pointer; it must
+    /// not stash it past the call.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        let loc = self.loc();
+        with_ctx(|rt, tid| rt.cell_access(tid, loc, false));
+        f(self.data.get())
+    }
+
+    /// Exclusive (write) access, race-checked against all concurrent reads
+    /// and writes.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        let loc = self.loc();
+        with_ctx(|rt, tid| rt.cell_access(tid, loc, true));
+        f(self.data.get())
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        // SAFETY: &mut self guarantees exclusivity statically.
+        unsafe { &mut *self.data.get() }
+    }
+}
+
+impl<T: Default> Default for UnsafeCell<T> {
+    fn default() -> UnsafeCell<T> {
+        UnsafeCell::new(T::default())
+    }
+}

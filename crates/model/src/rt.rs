@@ -1,0 +1,1144 @@
+//! Execution runtime: the cooperative scheduler, the DFS schedule explorer,
+//! per-thread store buffers and the vector-clock race detector.
+//!
+//! Exactly one modeled thread runs at any instant: every visible operation
+//! (atomic access, fence, mutex/condvar op, spawn/join) first passes through
+//! [`Rt::enter`], which consults the exploration state and either lets the
+//! current thread continue or hands the token to another thread. All other
+//! modeled threads are parked on a real condvar inside `enter`, so modeled
+//! executions are fully serialized and therefore exactly replayable from the
+//! recorded choice sequence.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering as ROrd};
+use std::sync::{Arc, Condvar as RCondvar, Mutex as RMutex, MutexGuard as RGuard, PoisonError};
+
+/// Panic payload used to unwind modeled threads when an execution aborts
+/// (bug found, bound exceeded). Caught and swallowed by the thread wrappers;
+/// user-level `catch_unwind` that intercepts it will re-raise at the next
+/// model operation, so unwinding always makes progress.
+pub(crate) struct ModelAbort;
+
+/// A vector clock: `vc[t]` = the latest operation of thread `t` known to
+/// happen-before the clock's owner.
+pub(crate) type Vc = Vec<u32>;
+
+fn vc_join(a: &mut Vc, b: &Vc) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    for (i, &v) in b.iter().enumerate() {
+        if a[i] < v {
+            a[i] = v;
+        }
+    }
+}
+
+fn vc_covers(vc: &Vc, tid: usize, clock: u32) -> bool {
+    vc.get(tid).copied().unwrap_or(0) >= clock
+}
+
+/// One store sitting in a thread's (PSO-style) store buffer: issued but not
+/// yet visible to other threads.
+#[derive(Clone)]
+struct BufStore {
+    loc: usize,
+    value: u64,
+    /// Release clock carried by the store (from a `Release` store or an
+    /// earlier release fence): an acquiring load that reads it joins this.
+    msg: Option<Vc>,
+    /// Store-barrier group: a release fence increments the issuing thread's
+    /// group, and a store may not flush while an earlier-group store is
+    /// still buffered (pre-fence stores drain first).
+    group: u32,
+    /// `Release` stores may not flush while *any* earlier store is buffered.
+    release: bool,
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) enum Block {
+    Mutex(usize),
+    Condvar(usize),
+    Join(usize),
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) enum Status {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+struct ThreadSt {
+    status: Status,
+    vc: Vc,
+    /// Clocks of release messages read by `Relaxed` loads, pending an
+    /// acquire fence (C11 fence synchronization).
+    acq_pending: Vc,
+    /// Clock at the last release fence; subsequent relaxed stores carry it.
+    rel_fence: Option<Vc>,
+    group: u32,
+    buffer: Vec<BufStore>,
+    cv_woken: bool,
+    cv_timed_out: bool,
+    /// Set when a scheduling decision hands this thread the token while it
+    /// is not yet parked at its next operation: the op it eventually enters
+    /// was already selected, so it must not consume a fresh decision.
+    /// Keeps the choice-point structure independent of real OS timing.
+    granted: bool,
+    /// Outcome of a finished thread; `join` claims it. An unclaimed `Err`
+    /// payload at iteration end is reported as a bug.
+    outcome: Option<Result<(), Box<dyn Any + Send>>>,
+}
+
+impl ThreadSt {
+    fn new(vc: Vc) -> ThreadSt {
+        ThreadSt {
+            status: Status::Runnable,
+            vc,
+            acq_pending: Vec::new(),
+            rel_fence: None,
+            group: 0,
+            buffer: Vec::new(),
+            cv_woken: false,
+            cv_timed_out: false,
+            granted: false,
+            outcome: None,
+        }
+    }
+}
+
+struct AtomicSt {
+    value: u64,
+    /// Release clock of the visible store (None: relaxed store with no
+    /// earlier release fence, or the initial value).
+    msg: Option<Vc>,
+}
+
+struct CellSt {
+    writer: Option<(usize, u32)>,
+    reads: Vec<(usize, u32)>,
+}
+
+struct MutexSt {
+    owner: Option<usize>,
+    /// Release clock from the last unlock.
+    msg: Option<Vc>,
+}
+
+struct Waiter {
+    tid: usize,
+    timed: bool,
+}
+
+struct CondvarSt {
+    waiters: Vec<Waiter>,
+}
+
+/// One recorded scheduling decision: which of `options` alternatives was
+/// taken. The DFS explorer backtracks over this stack.
+#[derive(Copy, Clone)]
+struct Choice {
+    picked: u32,
+    options: u32,
+}
+
+#[derive(Clone, Debug)]
+enum Opt {
+    Run(usize),
+    Flush { tid: usize, idx: usize },
+    TimeoutWake { cv: usize, tid: usize },
+}
+
+pub(crate) struct State {
+    threads: Vec<ThreadSt>,
+    atomics: Vec<AtomicSt>,
+    cells: Vec<CellSt>,
+    mutexes: Vec<MutexSt>,
+    condvars: Vec<CondvarSt>,
+    active: usize,
+    credits: usize,
+    steps: u64,
+    done: bool,
+    abort: bool,
+    bug: Option<String>,
+    /// DFS choice stack: persists across iterations; `cursor` replays it.
+    schedule: Vec<Choice>,
+    cursor: usize,
+    tracing: bool,
+    trace: Vec<String>,
+    real_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Exploration bounds. See [`crate::Explorer`] for the public knobs.
+#[derive(Copy, Clone)]
+pub(crate) struct Opts {
+    pub preemption_bound: usize,
+    pub max_steps: u64,
+}
+
+pub(crate) struct Rt {
+    state: RMutex<State>,
+    cv: RCondvar,
+    opts: Opts,
+    /// Logical time mirror for `model::time::Instant` (1 ns per step);
+    /// readable without the state lock.
+    pub(crate) now: AtomicU64,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Rt>, usize)>> = const { std::cell::RefCell::new(None) };
+}
+
+pub(crate) fn set_ctx(rt: Option<(Arc<Rt>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = rt);
+}
+
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Arc<Rt>, usize) -> R) -> R {
+    CTX.with(|c| {
+        let ctx = c.borrow();
+        let (rt, tid) = ctx.as_ref().expect(
+            "xsfq-model primitive used outside a model execution \
+             (wrap the test body in xsfq_model::check)",
+        );
+        f(rt, *tid)
+    })
+}
+
+macro_rules! trace {
+    ($st:expr, $($arg:tt)*) => {
+        if $st.tracing {
+            let line = format!($($arg)*);
+            $st.trace.push(line);
+        }
+    };
+}
+
+impl Rt {
+    pub(crate) fn new(opts: Opts) -> Rt {
+        Rt {
+            state: RMutex::new(State {
+                threads: Vec::new(),
+                atomics: Vec::new(),
+                cells: Vec::new(),
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                active: 0,
+                credits: opts.preemption_bound,
+                steps: 0,
+                done: false,
+                abort: false,
+                bug: None,
+                schedule: Vec::new(),
+                cursor: 0,
+                tracing: false,
+                trace: Vec::new(),
+                real_handles: Vec::new(),
+            }),
+            cv: RCondvar::new(),
+            opts,
+            now: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> RGuard<'_, State> {
+        // The state mutex may be poisoned by a controlled panic (ModelAbort
+        // raised while diagnosing a bug); the state is still consistent.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn reset_iteration(&self, tracing: bool) {
+        let mut st = self.lock();
+        debug_assert!(st.real_handles.is_empty(), "handles joined before reset");
+        st.threads.clear();
+        st.threads.push(ThreadSt::new(vec![1]));
+        st.atomics.clear();
+        st.cells.clear();
+        st.mutexes.clear();
+        st.condvars.clear();
+        st.active = 0;
+        st.credits = self.opts.preemption_bound;
+        st.steps = 0;
+        st.done = false;
+        st.abort = false;
+        st.bug = None;
+        st.cursor = 0;
+        st.tracing = tracing;
+        st.trace.clear();
+        self.now.store(0, ROrd::Relaxed);
+    }
+
+    pub(crate) fn wait_done(&self) -> (Option<String>, Vec<std::thread::JoinHandle<()>>) {
+        let mut st = self.lock();
+        while !st.done {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        // Unclaimed panic payloads (a thread that died and was never
+        // joined) are bugs the schedule exposed.
+        if st.bug.is_none() {
+            let mut found = None;
+            for (tid, t) in st.threads.iter_mut().enumerate() {
+                if let Some(Err(payload)) = t.outcome.take() {
+                    if !payload.is::<ModelAbort>() && found.is_none() {
+                        found = Some(format!(
+                            "thread {tid} panicked and was never joined: {}",
+                            payload_msg(payload.as_ref())
+                        ));
+                    }
+                }
+            }
+            st.bug = found;
+        }
+        let handles = std::mem::take(&mut st.real_handles);
+        (st.bug.clone(), handles)
+    }
+
+    /// Advance the DFS: drop exhausted tail choices, bump the deepest
+    /// unexhausted one. Returns false when the whole tree is explored.
+    pub(crate) fn backtrack(&self) -> bool {
+        let mut st = self.lock();
+        let consumed = st.cursor;
+        st.schedule.truncate(consumed);
+        while let Some(c) = st.schedule.pop() {
+            if c.picked + 1 < c.options {
+                st.schedule.push(Choice {
+                    picked: c.picked + 1,
+                    options: c.options,
+                });
+                return true;
+            }
+        }
+        false
+    }
+
+    pub(crate) fn trace_lines(&self) -> Vec<String> {
+        self.lock().trace.clone()
+    }
+
+    /// Record a bug, abort the execution, and wake everyone so the modeled
+    /// threads unwind. Does not panic by itself — callers decide.
+    fn flag_bug(&self, st: &mut State, msg: String) {
+        if st.bug.is_none() {
+            trace!(st, "BUG: {msg}");
+            st.bug = Some(msg);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Raise `ModelAbort` unless this thread is already unwinding (never
+    /// panic inside a panic — degraded abort-mode ops handle the rest).
+    fn raise_abort(&self) -> ! {
+        if std::thread::panicking() {
+            unreachable!("raise_abort while unwinding");
+        }
+        std::panic::panic_any(ModelAbort);
+    }
+
+    /// Pick the next schedule step. Called with the lock held by the thread
+    /// that currently owns the token (or just blocked / finished). Applies
+    /// flush / timeout pseudo-actions inline and loops until a `Run` choice
+    /// transfers (or keeps) the token.
+    fn decide(&self, st: &mut State) {
+        loop {
+            if st.abort {
+                return;
+            }
+            let opts = self.enumerate(st);
+            if opts.is_empty() {
+                if st.threads.iter().all(|t| t.status == Status::Finished) {
+                    st.done = true;
+                    self.cv.notify_all();
+                    return;
+                }
+                let summary: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| format!("t{i}:{:?}", t.status))
+                    .collect();
+                self.flag_bug(
+                    st,
+                    format!("deadlock: no runnable thread [{}]", summary.join(" ")),
+                );
+                return;
+            }
+            let pick = self.dfs_pick(st, opts.len());
+            let cur = st.active;
+            let cur_runnable = st.threads[cur].status == Status::Runnable;
+            match opts[pick].clone() {
+                Opt::Run(t) => {
+                    if t != cur && cur_runnable {
+                        st.credits -= 1;
+                        trace!(st, "preempt t{cur} -> t{t}");
+                    } else if t != cur {
+                        trace!(st, "switch to t{t}");
+                    }
+                    if t != cur {
+                        // The op this decision selected runs without a
+                        // fresh decision, whether t is parked or still on
+                        // its way to its next enter().
+                        st.threads[t].granted = true;
+                    }
+                    st.active = t;
+                    self.cv.notify_all();
+                    return;
+                }
+                Opt::Flush { tid, idx } => {
+                    st.credits -= 1;
+                    self.apply_flush(st, tid, idx);
+                }
+                Opt::TimeoutWake { cv, tid } => {
+                    st.credits = st.credits.saturating_sub(1);
+                    let cvs = &mut st.condvars[cv];
+                    cvs.waiters.retain(|w| w.tid != tid);
+                    let t = &mut st.threads[tid];
+                    t.cv_woken = true;
+                    t.cv_timed_out = true;
+                    t.status = Status::Runnable;
+                    trace!(st, "t{tid} condvar c{cv} wait times out");
+                }
+            }
+        }
+    }
+
+    fn enumerate(&self, st: &State) -> Vec<Opt> {
+        let cur = st.active;
+        let cur_runnable = st.threads[cur].status == Status::Runnable;
+        let mut opts = Vec::new();
+        if cur_runnable {
+            opts.push(Opt::Run(cur));
+        }
+        let have_credit = st.credits > 0;
+        for (t, th) in st.threads.iter().enumerate() {
+            if t != cur && th.status == Status::Runnable && (have_credit || !cur_runnable) {
+                opts.push(Opt::Run(t));
+            }
+        }
+        if have_credit {
+            for (tid, th) in st.threads.iter().enumerate() {
+                for idx in eligible_flushes(&th.buffer) {
+                    opts.push(Opt::Flush { tid, idx });
+                }
+            }
+            for (cv, cvs) in st.condvars.iter().enumerate() {
+                for w in &cvs.waiters {
+                    if w.timed {
+                        opts.push(Opt::TimeoutWake { cv, tid: w.tid });
+                    }
+                }
+            }
+        }
+        if opts.is_empty() {
+            // Out of credits with everyone blocked: timed waits still fire
+            // for free (a real wait_timeout always eventually wakes), so
+            // only untimed blocking can deadlock.
+            for (cv, cvs) in st.condvars.iter().enumerate() {
+                for w in &cvs.waiters {
+                    if w.timed {
+                        opts.push(Opt::TimeoutWake { cv, tid: w.tid });
+                    }
+                }
+            }
+        }
+        opts
+    }
+
+    /// Consume one DFS choice: replay the recorded pick, or extend the
+    /// stack with alternative 0 (the "natural" continuation).
+    fn dfs_pick(&self, st: &mut State, options: usize) -> usize {
+        debug_assert!(options > 0);
+        if st.cursor < st.schedule.len() {
+            let c = st.schedule[st.cursor];
+            assert!(
+                c.options as usize == options,
+                "model execution diverged from the recorded schedule \
+                 (choice {} had {} options, now {options}): the checked \
+                 closure must be deterministic apart from scheduling",
+                st.cursor,
+                c.options,
+            );
+            st.cursor += 1;
+            c.picked as usize
+        } else {
+            st.schedule.push(Choice {
+                picked: 0,
+                options: options as u32,
+            });
+            st.cursor += 1;
+            0
+        }
+    }
+
+    fn apply_flush(&self, st: &mut State, tid: usize, idx: usize) {
+        let e = st.threads[tid].buffer.remove(idx);
+        trace!(st, "flush t{tid} a{}={}", e.loc, e.value);
+        let a = &mut st.atomics[e.loc];
+        a.value = e.value;
+        a.msg = e.msg;
+    }
+
+    /// Drain a thread's whole store buffer in issue order (always a legal
+    /// flush order). Used by SeqCst operations, RMWs, unlock and exit.
+    fn flush_all(&self, st: &mut State, tid: usize) {
+        while !st.threads[tid].buffer.is_empty() {
+            self.apply_flush(st, tid, 0);
+        }
+    }
+
+    /// The yield point at the head of every visible operation: waits for
+    /// the schedule token, consuming one scheduling decision if this thread
+    /// already holds it. Returns the state guard under which the operation
+    /// must complete, or `None` in degraded abort-mode (caller performs the
+    /// op sequentially-consistently without scheduling).
+    fn enter(&self, tid: usize) -> Option<RGuard<'_, State>> {
+        let mut st = self.lock();
+        if st.abort {
+            if std::thread::panicking() {
+                return None;
+            }
+            drop(st);
+            self.raise_abort();
+        }
+        if st.active == tid && st.threads[tid].status == Status::Runnable {
+            if st.threads[tid].granted {
+                st.threads[tid].granted = false;
+            } else {
+                self.decide(&mut st);
+            }
+        }
+        while !st.abort && st.active != tid {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.abort {
+            if std::thread::panicking() {
+                return None;
+            }
+            drop(st);
+            self.raise_abort();
+        }
+        st.threads[tid].granted = false;
+        st.steps += 1;
+        self.now.store(st.steps, ROrd::Relaxed);
+        if st.steps > self.opts.max_steps {
+            self.flag_bug(
+                &mut st,
+                format!(
+                    "execution exceeded {} steps (livelock, or raise \
+                     Explorer::max_steps)",
+                    self.opts.max_steps
+                ),
+            );
+            drop(st);
+            self.raise_abort();
+        }
+        let clock = st.threads[tid].vc[tid] + 1;
+        st.threads[tid].vc[tid] = clock;
+        Some(st)
+    }
+
+    /// Hand the token away while blocked; returns once re-scheduled (the
+    /// guard is re-acquired). Callers must have set their Blocked status.
+    fn block_here<'a>(
+        &'a self,
+        mut st: RGuard<'a, State>,
+        tid: usize,
+    ) -> Option<RGuard<'a, State>> {
+        self.decide(&mut st);
+        while !(st.abort || st.active == tid && st.threads[tid].status == Status::Runnable) {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.abort {
+            if std::thread::panicking() {
+                return None;
+            }
+            drop(st);
+            self.raise_abort();
+        }
+        st.threads[tid].granted = false;
+        Some(st)
+    }
+
+    // --- registration -----------------------------------------------------
+
+    pub(crate) fn register_atomic(&self, init: u64) -> usize {
+        let mut st = self.lock();
+        st.atomics.push(AtomicSt {
+            value: init,
+            msg: None,
+        });
+        st.atomics.len() - 1
+    }
+
+    pub(crate) fn register_cell(&self) -> usize {
+        let mut st = self.lock();
+        st.cells.push(CellSt {
+            writer: None,
+            reads: Vec::new(),
+        });
+        st.cells.len() - 1
+    }
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = self.lock();
+        st.mutexes.push(MutexSt {
+            owner: None,
+            msg: None,
+        });
+        st.mutexes.len() - 1
+    }
+
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut st = self.lock();
+        st.condvars.push(CondvarSt {
+            waiters: Vec::new(),
+        });
+        st.condvars.len() - 1
+    }
+
+    // --- atomics ----------------------------------------------------------
+
+    pub(crate) fn atomic_load(&self, tid: usize, loc: usize, ord: AtomicOrd) -> u64 {
+        let Some(mut st) = self.enter(tid) else {
+            return self.lock().atomics[loc].value; // abort-mode: SC read
+        };
+        // Store forwarding: a thread always sees its own latest store.
+        if let Some(e) = st.threads[tid].buffer.iter().rev().find(|e| e.loc == loc) {
+            let v = e.value;
+            trace!(st, "t{tid} load a{loc} -> {v} (forwarded)");
+            return v;
+        }
+        let value = st.atomics[loc].value;
+        let msg = st.atomics[loc].msg.clone();
+        if let Some(m) = msg {
+            if ord.acquires() {
+                vc_join(&mut st.threads[tid].vc, &m);
+            } else {
+                // A relaxed load defers the synchronization to a later
+                // acquire fence (C11 fence-based synchronization).
+                vc_join(&mut st.threads[tid].acq_pending, &m);
+            }
+        }
+        trace!(st, "t{tid} load a{loc} -> {value} ({ord:?})");
+        value
+    }
+
+    pub(crate) fn atomic_store(&self, tid: usize, loc: usize, value: u64, ord: AtomicOrd) {
+        let Some(mut st) = self.enter(tid) else {
+            self.lock().atomics[loc].value = value;
+            return;
+        };
+        trace!(st, "t{tid} store a{loc}={value} ({ord:?})");
+        if ord == AtomicOrd::SeqCst {
+            // SC stores drain the buffer and publish immediately: the
+            // store-buffer model approximates the SC total order by never
+            // letting SC operations be delayed.
+            self.flush_all(&mut st, tid);
+            let vc = st.threads[tid].vc.clone();
+            let a = &mut st.atomics[loc];
+            a.value = value;
+            a.msg = Some(vc);
+            return;
+        }
+        let th = &mut st.threads[tid];
+        let msg = if ord.releases() {
+            Some(th.vc.clone())
+        } else {
+            th.rel_fence.clone()
+        };
+        let entry = BufStore {
+            loc,
+            value,
+            msg,
+            group: th.group,
+            release: ord.releases(),
+        };
+        th.buffer.push(entry);
+        // Keep buffers bounded: the oldest store flushes once more than 16
+        // are pending (real store buffers are finite too).
+        if th.buffer.len() > 16 {
+            self.apply_flush(&mut st, tid, 0);
+        }
+    }
+
+    pub(crate) fn atomic_rmw(
+        &self,
+        tid: usize,
+        loc: usize,
+        ord: AtomicOrd,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        let Some(mut st) = self.enter(tid) else {
+            let mut g = self.lock();
+            let old = g.atomics[loc].value;
+            g.atomics[loc].value = f(old);
+            return old;
+        };
+        // RMWs act on the globally visible value: drain the issuing
+        // thread's buffer first (stronger than C11 for relaxed RMWs —
+        // documented in the crate docs).
+        self.flush_all(&mut st, tid);
+        let old = st.atomics[loc].value;
+        let msg = st.atomics[loc].msg.clone();
+        if let Some(m) = &msg {
+            if ord.acquires() {
+                vc_join(&mut st.threads[tid].vc, m);
+            } else {
+                vc_join(&mut st.threads[tid].acq_pending, m);
+            }
+        }
+        let new = f(old);
+        trace!(st, "t{tid} rmw a{loc}: {old} -> {new} ({ord:?})");
+        let vc = st.threads[tid].vc.clone();
+        let a = &mut st.atomics[loc];
+        a.value = new;
+        // An RMW continues the release sequence of the store it read.
+        a.msg = match (ord.releases(), msg) {
+            (true, Some(mut m)) => {
+                vc_join(&mut m, &vc);
+                Some(m)
+            }
+            (true, None) => Some(vc),
+            (false, m) => m,
+        };
+        old
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn atomic_cas(
+        &self,
+        tid: usize,
+        loc: usize,
+        current: u64,
+        new: u64,
+        succ: AtomicOrd,
+        fail: AtomicOrd,
+        weak: bool,
+    ) -> Result<u64, u64> {
+        let Some(mut st) = self.enter(tid) else {
+            let mut g = self.lock();
+            let old = g.atomics[loc].value;
+            if old == current {
+                g.atomics[loc].value = new;
+                return Ok(old);
+            }
+            return Err(old);
+        };
+        self.flush_all(&mut st, tid);
+        let old = st.atomics[loc].value;
+        let msg = st.atomics[loc].msg.clone();
+        let would_succeed = old == current;
+        // compare_exchange_weak may fail spuriously: an explored branch,
+        // charged against the preemption budget to keep retry loops finite.
+        let spurious = would_succeed && weak && st.credits > 0 && {
+            let pick = self.dfs_pick(&mut st, 2);
+            if pick == 1 {
+                st.credits -= 1;
+            }
+            pick == 1
+        };
+        if !would_succeed || spurious {
+            if let Some(m) = &msg {
+                if fail.acquires() {
+                    vc_join(&mut st.threads[tid].vc, m);
+                } else {
+                    vc_join(&mut st.threads[tid].acq_pending, m);
+                }
+            }
+            trace!(
+                st,
+                "t{tid} cas a{loc} {current}->{new} failed (old={old}{})",
+                if spurious { ", spurious" } else { "" }
+            );
+            return Err(old);
+        }
+        if let Some(m) = &msg {
+            if succ.acquires() {
+                vc_join(&mut st.threads[tid].vc, m);
+            } else {
+                vc_join(&mut st.threads[tid].acq_pending, m);
+            }
+        }
+        trace!(st, "t{tid} cas a{loc} {current}->{new} ok");
+        let vc = st.threads[tid].vc.clone();
+        let a = &mut st.atomics[loc];
+        a.value = new;
+        a.msg = match (succ.releases(), msg) {
+            (true, Some(mut m)) => {
+                vc_join(&mut m, &vc);
+                Some(m)
+            }
+            (true, None) => Some(vc),
+            (false, m) => m,
+        };
+        Ok(old)
+    }
+
+    pub(crate) fn fence(&self, tid: usize, ord: AtomicOrd) {
+        let Some(mut st) = self.enter(tid) else {
+            return;
+        };
+        trace!(st, "t{tid} fence ({ord:?})");
+        if ord == AtomicOrd::SeqCst {
+            self.flush_all(&mut st, tid);
+        }
+        if ord.acquires() || ord == AtomicOrd::SeqCst {
+            let pending = std::mem::take(&mut st.threads[tid].acq_pending);
+            vc_join(&mut st.threads[tid].vc, &pending);
+        }
+        if ord.releases() || ord == AtomicOrd::SeqCst {
+            let th = &mut st.threads[tid];
+            th.rel_fence = Some(th.vc.clone());
+            th.group += 1;
+        }
+    }
+
+    // --- tracked cells (race detection) -----------------------------------
+
+    pub(crate) fn cell_access(&self, tid: usize, cell: usize, write: bool) {
+        let mut st = self.lock();
+        if st.abort {
+            return;
+        }
+        let clock = st.threads[tid].vc[tid] + 1;
+        st.threads[tid].vc[tid] = clock;
+        let vc = st.threads[tid].vc.clone();
+        let c = &mut st.cells[cell];
+        if let Some((w, wc)) = c.writer {
+            if w != tid && !vc_covers(&vc, w, wc) {
+                let msg = format!(
+                    "data race on cell {cell}: {} by t{tid} not ordered \
+                     after write by t{w}",
+                    if write { "write" } else { "read" }
+                );
+                self.flag_bug(&mut st, msg);
+                drop(st);
+                self.raise_abort();
+            }
+        }
+        if write {
+            let racy_read = c
+                .reads
+                .iter()
+                .find(|&&(r, rc)| r != tid && !vc_covers(&vc, r, rc))
+                .copied();
+            if let Some((r, _)) = racy_read {
+                let msg = format!(
+                    "data race on cell {cell}: write by t{tid} not ordered \
+                     after read by t{r}"
+                );
+                self.flag_bug(&mut st, msg);
+                drop(st);
+                self.raise_abort();
+            }
+            c.writer = Some((tid, clock));
+            c.reads.clear();
+        } else {
+            c.reads.push((tid, clock));
+        }
+    }
+
+    // --- mutex / condvar --------------------------------------------------
+
+    pub(crate) fn mutex_lock(&self, tid: usize, id: usize) {
+        let Some(mut st) = self.enter(tid) else {
+            // Abort-mode: real blocking on the runtime condvar keeps
+            // mutual exclusion while everything unwinds.
+            let mut g = self.lock();
+            while st_owner(&g, id).is_some() {
+                g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+            g.mutexes[id].owner = Some(tid);
+            return;
+        };
+        loop {
+            if st.mutexes[id].owner.is_none() {
+                st.mutexes[id].owner = Some(tid);
+                let msg = st.mutexes[id].msg.clone();
+                if let Some(m) = msg {
+                    vc_join(&mut st.threads[tid].vc, &m);
+                }
+                trace!(st, "t{tid} lock m{id}");
+                return;
+            }
+            trace!(st, "t{tid} blocks on m{id}");
+            st.threads[tid].status = Status::Blocked(Block::Mutex(id));
+            match self.block_here(st, tid) {
+                Some(g) => st = g,
+                None => return,
+            }
+        }
+    }
+
+    pub(crate) fn mutex_unlock(&self, tid: usize, id: usize) {
+        let Some(mut st) = self.enter(tid) else {
+            let mut g = self.lock();
+            g.mutexes[id].owner = None;
+            self.cv.notify_all();
+            return;
+        };
+        trace!(st, "t{tid} unlock m{id}");
+        // Unlock is a release with a full drain: everything the critical
+        // section wrote is visible to the next holder.
+        self.flush_all(&mut st, tid);
+        let vc = st.threads[tid].vc.clone();
+        st.mutexes[id].owner = None;
+        st.mutexes[id].msg = Some(vc);
+        for th in st.threads.iter_mut() {
+            if th.status == Status::Blocked(Block::Mutex(id)) {
+                th.status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Condvar wait: unlock, park, re-lock once notified (or timed out).
+    /// Returns whether the wake was a timeout.
+    pub(crate) fn condvar_wait(&self, tid: usize, cv: usize, mutex: usize, timed: bool) -> bool {
+        let Some(mut st) = self.enter(tid) else {
+            // Abort-mode: spurious wakeup (legal for condvars) — release
+            // and immediately re-acquire.
+            let mut g = self.lock();
+            g.mutexes[mutex].owner = None;
+            self.cv.notify_all();
+            while st_owner(&g, mutex).is_some() {
+                g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+            g.mutexes[mutex].owner = Some(tid);
+            return false;
+        };
+        trace!(st, "t{tid} waits on c{cv} (m{mutex})");
+        self.flush_all(&mut st, tid);
+        let vc = st.threads[tid].vc.clone();
+        st.mutexes[mutex].owner = None;
+        st.mutexes[mutex].msg = Some(vc);
+        for th in st.threads.iter_mut() {
+            if th.status == Status::Blocked(Block::Mutex(mutex)) {
+                th.status = Status::Runnable;
+            }
+        }
+        st.condvars[cv].waiters.push(Waiter { tid, timed });
+        st.threads[tid].cv_woken = false;
+        st.threads[tid].cv_timed_out = false;
+        st.threads[tid].status = Status::Blocked(Block::Condvar(cv));
+        self.decide(&mut st);
+        while !(st.abort || st.active == tid && st.threads[tid].cv_woken) {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.abort {
+            if !std::thread::panicking() {
+                drop(st);
+                self.raise_abort();
+            }
+            return false;
+        }
+        let timed_out = st.threads[tid].cv_timed_out;
+        st.threads[tid].cv_woken = false;
+        st.threads[tid].cv_timed_out = false;
+        st.threads[tid].granted = false;
+        trace!(st, "t{tid} woke on c{cv}");
+        drop(st);
+        self.mutex_lock(tid, mutex);
+        timed_out
+    }
+
+    pub(crate) fn condvar_notify(&self, tid: usize, cv: usize, all: bool) {
+        let Some(mut st) = self.enter(tid) else {
+            self.cv.notify_all();
+            return;
+        };
+        if st.condvars[cv].waiters.is_empty() {
+            trace!(st, "t{tid} notify c{cv} (no waiters)");
+            return;
+        }
+        let wake: Vec<usize> = if all {
+            st.condvars[cv].waiters.drain(..).map(|w| w.tid).collect()
+        } else {
+            // Which waiter notify_one wakes is unspecified: a choice point.
+            let n = st.condvars[cv].waiters.len();
+            let pick = if n > 1 { self.dfs_pick(&mut st, n) } else { 0 };
+            vec![st.condvars[cv].waiters.remove(pick).tid]
+        };
+        for w in wake {
+            trace!(st, "t{tid} notifies t{w} on c{cv}");
+            let th = &mut st.threads[w];
+            th.cv_woken = true;
+            th.status = Status::Runnable;
+        }
+    }
+
+    // --- threads ----------------------------------------------------------
+
+    /// Register a child thread; returns its tid. The real OS thread is
+    /// spawned by the caller and its handle parked via `adopt_handle`.
+    pub(crate) fn register_thread(&self, parent: usize) -> usize {
+        let mut st = match self.enter(parent) {
+            Some(st) => st,
+            None => self.lock(),
+        };
+        // Spawning is a full release edge (real thread creation crosses a
+        // syscall barrier): the child must observe every store the parent
+        // issued before the spawn, so drain the parent's buffer.
+        self.flush_all(&mut st, parent);
+        let tid = st.threads.len();
+        let mut vc = st.threads[parent].vc.clone();
+        if vc.len() <= tid {
+            vc.resize(tid + 1, 0);
+        }
+        vc[tid] = 1;
+        st.threads.push(ThreadSt::new(vc));
+        trace!(st, "t{parent} spawns t{tid}");
+        tid
+    }
+
+    pub(crate) fn adopt_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.lock().real_handles.push(handle);
+    }
+
+    pub(crate) fn thread_finished(&self, tid: usize, outcome: Result<(), Box<dyn Any + Send>>) {
+        let aborted = matches!(&outcome, Err(p) if p.is::<ModelAbort>());
+        if !aborted {
+            // Thread exit is itself a scheduling point: buffered stores may
+            // flush lazily (or be observed still-pending by other threads)
+            // before the exit's final drain publishes them. Without this,
+            // a thread whose last ops are two relaxed stores could never
+            // exhibit their reordering. ModelAbort raised at this point is
+            // swallowed — we still record the finish below.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(mut st) = self.enter(tid) {
+                    self.flush_all(&mut st, tid);
+                }
+            }));
+        }
+        let mut st = self.lock();
+        st.threads[tid].buffer.clear();
+        let is_panic = outcome.is_err();
+        let is_abort = matches!(&outcome, Err(p) if p.is::<ModelAbort>());
+        st.threads[tid].outcome = Some(outcome);
+        st.threads[tid].status = Status::Finished;
+        trace!(
+            st,
+            "t{tid} finished{}",
+            if is_abort {
+                " (abort unwind)"
+            } else if is_panic {
+                " (panicked)"
+            } else {
+                ""
+            }
+        );
+        for th in st.threads.iter_mut() {
+            if th.status == Status::Blocked(Block::Join(tid)) {
+                th.status = Status::Runnable;
+            }
+        }
+        if st.abort {
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                st.done = true;
+            }
+            self.cv.notify_all();
+            return;
+        }
+        if st.active == tid {
+            self.decide(&mut st);
+        }
+    }
+
+    /// Block until `target` finishes; returns its outcome payload.
+    pub(crate) fn join_thread(&self, tid: usize, target: usize) -> Result<(), Box<dyn Any + Send>> {
+        let Some(mut st) = self.enter(tid) else {
+            let mut g = self.lock();
+            while g.threads[target].status != Status::Finished {
+                g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+            return g.threads[target].outcome.take().unwrap_or(Ok(()));
+        };
+        while st.threads[target].status != Status::Finished {
+            trace!(st, "t{tid} joins t{target}");
+            st.threads[tid].status = Status::Blocked(Block::Join(target));
+            match self.block_here(st, tid) {
+                Some(g) => st = g,
+                None => return Ok(()),
+            }
+        }
+        let target_vc = st.threads[target].vc.clone();
+        vc_join(&mut st.threads[tid].vc, &target_vc);
+        st.threads[target].outcome.take().unwrap_or(Ok(()))
+    }
+
+    /// A pure scheduling point (`thread::yield_now`).
+    pub(crate) fn yield_now(&self, tid: usize) {
+        let _ = self.enter(tid);
+    }
+}
+
+fn st_owner(st: &State, id: usize) -> Option<usize> {
+    st.mutexes[id].owner
+}
+
+/// Flushable buffer entries: the first pending store per location, subject
+/// to release-store and release-fence (group) barriers.
+fn eligible_flushes(buffer: &[BufStore]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, e) in buffer.iter().enumerate() {
+        if buffer[..i].iter().any(|p| p.loc == e.loc) {
+            continue; // per-location FIFO (coherence)
+        }
+        if e.release && i != 0 {
+            continue; // a release store drains everything before it
+        }
+        if buffer[..i].iter().any(|p| p.group < e.group) {
+            continue; // pre-fence stores flush first
+        }
+        out.push(i);
+    }
+    out
+}
+
+pub(crate) fn payload_msg(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// The subset of `std::sync::atomic::Ordering` semantics the runtime
+/// models, derived from the real enum at each call site.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub(crate) enum AtomicOrd {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+}
+
+impl AtomicOrd {
+    pub(crate) fn from_std(o: std::sync::atomic::Ordering) -> AtomicOrd {
+        use std::sync::atomic::Ordering::*;
+        match o {
+            Relaxed => AtomicOrd::Relaxed,
+            Acquire => AtomicOrd::Acquire,
+            Release => AtomicOrd::Release,
+            AcqRel => AtomicOrd::AcqRel,
+            SeqCst => AtomicOrd::SeqCst,
+            _ => AtomicOrd::SeqCst,
+        }
+    }
+
+    fn acquires(self) -> bool {
+        matches!(
+            self,
+            AtomicOrd::Acquire | AtomicOrd::AcqRel | AtomicOrd::SeqCst
+        )
+    }
+
+    fn releases(self) -> bool {
+        matches!(
+            self,
+            AtomicOrd::Release | AtomicOrd::AcqRel | AtomicOrd::SeqCst
+        )
+    }
+}

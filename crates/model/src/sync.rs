@@ -1,0 +1,352 @@
+//! Modeled replacements for `std::sync` primitives. Same signatures as the
+//! std types (so a facade can swap them in under `cfg(feature = "model")`),
+//! but every operation routes through the [`crate::rt`] scheduler.
+//!
+//! Objects register themselves with the active execution lazily, on first
+//! use, so construction works both inside and outside modeled code.
+
+use crate::rt::{with_ctx, AtomicOrd};
+use std::sync::{LockResult, OnceLock};
+
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use super::*;
+
+    /// Modeled `std::sync::atomic::fence`.
+    pub fn fence(order: Ordering) {
+        with_ctx(|rt, tid| rt.fence(tid, AtomicOrd::from_std(order)));
+    }
+
+    macro_rules! model_atomic {
+        ($name:ident, $int:ty) => {
+            pub struct $name {
+                id: OnceLock<usize>,
+                init: $int,
+            }
+
+            impl $name {
+                pub fn new(v: $int) -> $name {
+                    $name {
+                        id: OnceLock::new(),
+                        init: v,
+                    }
+                }
+
+                fn loc(&self) -> usize {
+                    *self
+                        .id
+                        .get_or_init(|| with_ctx(|rt, _| rt.register_atomic(self.init as u64)))
+                }
+
+                pub fn load(&self, order: Ordering) -> $int {
+                    let loc = self.loc();
+                    with_ctx(|rt, tid| rt.atomic_load(tid, loc, AtomicOrd::from_std(order))) as $int
+                }
+
+                pub fn store(&self, val: $int, order: Ordering) {
+                    let loc = self.loc();
+                    with_ctx(|rt, tid| {
+                        rt.atomic_store(tid, loc, val as u64, AtomicOrd::from_std(order))
+                    });
+                }
+
+                pub fn swap(&self, val: $int, order: Ordering) -> $int {
+                    let loc = self.loc();
+                    with_ctx(|rt, tid| {
+                        rt.atomic_rmw(tid, loc, AtomicOrd::from_std(order), |_| val as u64)
+                    }) as $int
+                }
+
+                pub fn fetch_add(&self, val: $int, order: Ordering) -> $int {
+                    let loc = self.loc();
+                    with_ctx(|rt, tid| {
+                        rt.atomic_rmw(tid, loc, AtomicOrd::from_std(order), |old| {
+                            (old as $int).wrapping_add(val) as u64
+                        })
+                    }) as $int
+                }
+
+                pub fn fetch_sub(&self, val: $int, order: Ordering) -> $int {
+                    let loc = self.loc();
+                    with_ctx(|rt, tid| {
+                        rt.atomic_rmw(tid, loc, AtomicOrd::from_std(order), |old| {
+                            (old as $int).wrapping_sub(val) as u64
+                        })
+                    }) as $int
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    let loc = self.loc();
+                    with_ctx(|rt, tid| {
+                        rt.atomic_cas(
+                            tid,
+                            loc,
+                            current as u64,
+                            new as u64,
+                            AtomicOrd::from_std(success),
+                            AtomicOrd::from_std(failure),
+                            false,
+                        )
+                    })
+                    .map(|v| v as $int)
+                    .map_err(|v| v as $int)
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    let loc = self.loc();
+                    with_ctx(|rt, tid| {
+                        rt.atomic_cas(
+                            tid,
+                            loc,
+                            current as u64,
+                            new as u64,
+                            AtomicOrd::from_std(success),
+                            AtomicOrd::from_std(failure),
+                            true,
+                        )
+                    })
+                    .map(|v| v as $int)
+                    .map_err(|v| v as $int)
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> $name {
+                    $name::new(0 as $int)
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    f.debug_struct(stringify!($name)).finish_non_exhaustive()
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicUsize, usize);
+    model_atomic!(AtomicIsize, isize);
+    model_atomic!(AtomicU64, u64);
+    model_atomic!(AtomicU32, u32);
+
+    pub struct AtomicBool {
+        inner: AtomicUsize,
+    }
+
+    impl AtomicBool {
+        pub fn new(v: bool) -> AtomicBool {
+            AtomicBool {
+                inner: AtomicUsize::new(v as usize),
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            self.inner.load(order) != 0
+        }
+
+        pub fn store(&self, val: bool, order: Ordering) {
+            self.inner.store(val as usize, order);
+        }
+
+        pub fn swap(&self, val: bool, order: Ordering) -> bool {
+            self.inner.swap(val as usize, order) != 0
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            self.inner
+                .compare_exchange(current as usize, new as usize, success, failure)
+                .map(|v| v != 0)
+                .map_err(|v| v != 0)
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> AtomicBool {
+            AtomicBool::new(false)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("AtomicBool").finish_non_exhaustive()
+        }
+    }
+}
+
+/// Modeled `std::sync::Mutex`. Lock acquisition order is explored by the
+/// scheduler; the protected data lives in a plain `UnsafeCell` guarded by
+/// the modeled ownership.
+pub struct Mutex<T: ?Sized> {
+    id: OnceLock<usize>,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: the modeled runtime serializes guard access — a MutexGuard only
+// exists while rt records this thread as the owner, so &mut access through
+// the UnsafeCell is exclusive.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+// SAFETY: as above; shared references only travel with modeled ownership.
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            id: OnceLock::new(),
+            data: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn loc(&self) -> usize {
+        *self
+            .id
+            .get_or_init(|| with_ctx(|rt, _| rt.register_mutex()))
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let loc = self.loc();
+        with_ctx(|rt, tid| rt.mutex_lock(tid, loc));
+        Ok(MutexGuard { lock: self })
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.data.get_mut())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: modeled ownership — rt granted this thread the mutex and
+        // won't grant it again until the guard drops (or a condvar wait
+        // releases it, which consumes the guard).
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in Deref — exclusive by modeled ownership.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let loc = self.lock.loc();
+        with_ctx(|rt, tid| rt.mutex_unlock(tid, loc));
+    }
+}
+
+/// Result of a modeled `Condvar::wait_timeout`, mirroring std's.
+#[derive(Copy, Clone, Debug)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Modeled `std::sync::Condvar`. Timeouts are schedule choice points, not
+/// timed waits: the explorer considers both "a wakeup arrives first" and
+/// "the timeout fires first" branches.
+pub struct Condvar {
+    id: OnceLock<usize>,
+}
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar {
+            id: OnceLock::new(),
+        }
+    }
+
+    fn loc(&self) -> usize {
+        *self
+            .id
+            .get_or_init(|| with_ctx(|rt, _| rt.register_condvar()))
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let cv = self.loc();
+        let lock = guard.lock;
+        let mutex = lock.loc();
+        // The wait op releases and re-acquires the mutex itself: skip the
+        // guard's Drop (which would count a second unlock).
+        std::mem::forget(guard);
+        with_ctx(|rt, tid| rt.condvar_wait(tid, cv, mutex, false));
+        Ok(MutexGuard { lock })
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let cv = self.loc();
+        let lock = guard.lock;
+        let mutex = lock.loc();
+        std::mem::forget(guard);
+        let timed_out = with_ctx(|rt, tid| rt.condvar_wait(tid, cv, mutex, true));
+        Ok((MutexGuard { lock }, WaitTimeoutResult { timed_out }))
+    }
+
+    pub fn notify_one(&self) {
+        let cv = self.loc();
+        with_ctx(|rt, tid| rt.condvar_notify(tid, cv, false));
+    }
+
+    pub fn notify_all(&self) {
+        let cv = self.loc();
+        with_ctx(|rt, tid| rt.condvar_notify(tid, cv, true));
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,113 @@
+//! Modeled `std::thread`. Spawned closures run on real OS threads, but the
+//! runtime only lets one modeled thread execute between choice points, so
+//! the interleaving is fully controlled.
+
+use crate::rt::{set_ctx, with_ctx, ModelAbort};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as RMutex, PoisonError};
+
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<RMutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (as a modeled scheduling point) until the thread finishes.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        let outcome = with_ctx(|rt, tid| rt.join_thread(tid, self.tid));
+        match outcome {
+            Ok(()) => {
+                let v = self
+                    .result
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take();
+                match v {
+                    Some(v) => Ok(v),
+                    // Result missing without a panic payload: the execution
+                    // is aborting; keep unwinding instead of fabricating.
+                    None => Err(Box::new(ModelAbort)),
+                }
+            }
+            Err(payload) => Err(payload),
+        }
+    }
+
+    pub fn is_finished(&self) -> bool {
+        // Conservative: treat as still running; callers poll via join.
+        false
+    }
+}
+
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder { name: None }
+    }
+
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Ok(spawn_inner(self.name, f))
+    }
+}
+
+impl Default for Builder {
+    fn default() -> Builder {
+        Builder::new()
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    spawn_inner(None, f)
+}
+
+fn spawn_inner<F, T>(name: Option<String>, f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    with_ctx(|rt, parent| {
+        let tid = rt.register_thread(parent);
+        let result = Arc::new(RMutex::new(None));
+        let rt2 = rt.clone();
+        let res2 = Arc::clone(&result);
+        let real = std::thread::Builder::new()
+            .name(name.unwrap_or_else(|| format!("model-t{tid}")))
+            .spawn(move || {
+                set_ctx(Some((rt2.clone(), tid)));
+                let out = catch_unwind(AssertUnwindSafe(f));
+                set_ctx(None);
+                match out {
+                    Ok(v) => {
+                        *res2.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+                        rt2.thread_finished(tid, Ok(()));
+                    }
+                    Err(payload) => rt2.thread_finished(tid, Err(payload)),
+                }
+            })
+            .expect("spawn real thread for modeled thread");
+        rt.adopt_handle(real);
+        JoinHandle { tid, result }
+    })
+}
+
+/// A pure scheduling point.
+pub fn yield_now() {
+    with_ctx(|rt, tid| rt.yield_now(tid));
+}

@@ -1,0 +1,68 @@
+//! Logical time for modeled executions. `Instant::now` reads the runtime's
+//! step counter (one nanosecond per modeled operation), so clocks advance
+//! monotonically and deterministically along a schedule. Durations never
+//! gate anything by themselves — `Condvar::wait_timeout` expiry is a
+//! schedule choice, not a clock comparison.
+
+use std::time::Duration;
+
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Instant {
+    nanos: u64,
+}
+
+impl Instant {
+    pub fn now() -> Instant {
+        let nanos = crate::rt::with_ctx(|rt, _| {
+            // Ordering: Relaxed — a monotonically published step counter;
+            // a stale read only makes the clock read slightly early, which
+            // the schedule explorer treats the same as running earlier.
+            rt.now.load(std::sync::atomic::Ordering::Relaxed)
+        });
+        Instant { nanos }
+    }
+
+    pub fn elapsed(&self) -> Duration {
+        Instant::now().saturating_duration_since(*self)
+    }
+
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        self.saturating_duration_since(earlier)
+    }
+
+    pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+        Duration::from_nanos(self.nanos.saturating_sub(earlier.nanos))
+    }
+
+    pub fn checked_duration_since(&self, earlier: Instant) -> Option<Duration> {
+        self.nanos
+            .checked_sub(earlier.nanos)
+            .map(Duration::from_nanos)
+    }
+
+    pub fn checked_add(&self, dur: Duration) -> Option<Instant> {
+        let add = u64::try_from(dur.as_nanos()).ok()?;
+        self.nanos.checked_add(add).map(|nanos| Instant { nanos })
+    }
+}
+
+impl std::ops::Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, dur: Duration) -> Instant {
+        self.checked_add(dur)
+            .expect("overflow when adding duration to instant")
+    }
+}
+
+impl std::ops::AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, dur: Duration) {
+        *self = *self + dur;
+    }
+}
+
+impl std::ops::Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, other: Instant) -> Duration {
+        self.saturating_duration_since(other)
+    }
+}

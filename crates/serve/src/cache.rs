@@ -71,6 +71,8 @@ impl ResultCache {
     /// Look up a result, refreshing its recency on a hit.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<u8>>> {
         if self.budget == 0 {
+            // Ordering: Relaxed — hit/miss counters are telemetry only;
+            // readers tolerate momentary skew and no data rides on them.
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
@@ -80,10 +82,12 @@ impl ResultCache {
         match s.map.get_mut(key) {
             Some(e) => {
                 e.stamp = stamp;
+                // Ordering: Relaxed — telemetry counter, as above.
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(&e.bytes))
             }
             None => {
+                // Ordering: Relaxed — telemetry counter, as above.
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -132,6 +136,9 @@ impl ResultCache {
     pub fn stats(&self) -> (u64, u64, usize, usize) {
         let s = self.state.lock().unwrap();
         (
+            // Ordering: Relaxed — telemetry snapshot; a count racing in
+            // from a concurrent lookup may or may not be included, and
+            // either answer is a correct stats frame.
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
             s.map.len(),

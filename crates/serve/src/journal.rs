@@ -166,6 +166,9 @@ impl Journal {
 
     /// Allocate the next job id.
     pub fn next_id(&self) -> u64 {
+        // Ordering: Relaxed — the RMW's atomicity alone guarantees unique
+        // ids; an id only becomes meaningful through the journal append
+        // that follows, whose lock orders it against every observer.
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 

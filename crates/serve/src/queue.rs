@@ -16,8 +16,10 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::{Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use crate::sync::time::Instant;
+use crate::sync::{Condvar, Mutex};
 
 use crate::job::Job;
 
@@ -143,7 +145,10 @@ impl JobQueue {
     }
 }
 
-#[cfg(test)]
+// Unit tests drive the queue outside a model schedule, so they only make
+// sense against the std primitives; tests/model_gate.rs covers the model
+// configuration.
+#[cfg(all(test, not(feature = "model")))]
 mod tests {
     use super::*;
     use crate::job::{Job, JobSink};

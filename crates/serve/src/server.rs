@@ -313,10 +313,16 @@ fn admit(sh: &Arc<Shared>, request: SubmitRequest, sink: JobSink, recovered: Opt
     };
     match pushed {
         Ok(()) => {
+            // Ordering: Relaxed — stats counters are monotonic telemetry;
+            // any cross-thread invariant (e.g. "counter bumped before the
+            // journal's D record is observable") rides on the journal's
+            // lock, never on the counters' own ordering. Pinned by the
+            // serve model_gate's PR-7 regression pair.
             sh.stats.accepted.fetch_add(1, Ordering::Relaxed);
             Admit::Queued
         }
         Err(job) => {
+            // Ordering: Relaxed — telemetry, see above.
             sh.stats.shed.fetch_add(1, Ordering::Relaxed);
             let _ = sh.journal.record_done(job.id, "shed");
             Admit::Busy(busy_hint_ms(sh.queue.ready_len()))
@@ -360,6 +366,10 @@ fn deliver(sink: &JobSink, kind: u8, body: &[u8]) {
 /// anyone who observes the durable `D` record (or reacts to the response)
 /// already sees the updated stats.
 fn finish_ok(sh: &Shared, job: &Job, body: &[u8]) {
+    // Ordering: Relaxed — the counter-before-journal *program* order is
+    // what carries the invariant (observers of the durable D record see
+    // the bump via the journal's lock); the counter itself publishes
+    // nothing. The serve model_gate PR-7 regression pins this shape.
     sh.stats.completed.fetch_add(1, Ordering::Relaxed);
     let _ = sh.journal.record_done(job.id, "ok");
     deliver(&job.sink, KIND_OK, body);
@@ -367,6 +377,7 @@ fn finish_ok(sh: &Shared, job: &Job, body: &[u8]) {
 
 /// Settle a failed job the same way.
 fn finish_err(sh: &Shared, job: &Job, kind: &str, verdict: &str) {
+    // Ordering: Relaxed — same counter-before-journal shape as finish_ok.
     sh.stats.failed.fetch_add(1, Ordering::Relaxed);
     let _ = sh.journal.record_done(job.id, "err");
     deliver(
@@ -457,6 +468,7 @@ fn process(sh: &Arc<Shared>, pool: &ThreadPool, arenas: &mut PassArenas, mut job
                 let backoff = sh
                     .retry_base
                     .saturating_mul(1u32 << (job.attempt - 1).min(16));
+                // Ordering: Relaxed — telemetry counter (see admit).
                 sh.stats.retries.fetch_add(1, Ordering::Relaxed);
                 match sh.queue.push_retry(job, backoff) {
                     Ok(()) => return,
@@ -499,6 +511,7 @@ fn worker_loop(sh: Arc<Shared>) {
             arenas = PassArenas::default();
             let detail = panic_message(payload.as_ref());
             let v = verdict_json("panicked", &name, None, attempt, 0, &detail);
+            // Ordering: Relaxed — counter-before-journal, as finish_err.
             sh.stats.failed.fetch_add(1, Ordering::Relaxed);
             let _ = sh.journal.record_done(id, "err");
             deliver(
@@ -527,6 +540,9 @@ fn stats_json(sh: &Shared) -> String {
          \"failed\":{},\"shed\":{},\"retries\":{},\"recovered\":{},\
          \"queue_len\":{},\"draining\":{},\"cache\":{{\"hits\":{hits},\
          \"misses\":{misses},\"entries\":{entries},\"bytes\":{bytes}}}}}",
+        // Ordering: Relaxed — stats snapshot; counts racing in from jobs
+        // settling concurrently may land on either side of the frame, and
+        // either answer is correct telemetry.
         sh.stats.accepted.load(Ordering::Relaxed),
         sh.stats.completed.load(Ordering::Relaxed),
         sh.stats.failed.load(Ordering::Relaxed),
@@ -760,6 +776,7 @@ impl Server {
                 Some(base) => JobSink::Dir { base },
                 None => JobSink::Discard,
             };
+            // Ordering: Relaxed — telemetry counter (see admit).
             shared.stats.recovered.fetch_add(1, Ordering::Relaxed);
             let (id, name) = (r.id, r.request.name.clone());
             match admit(&shared, r.request, sink.clone(), Some(r.id)) {
@@ -774,6 +791,8 @@ impl Server {
                 // is re-rejected at every startup and its spool file is
                 // never reclaimed.
                 Admit::Rejected { msg, diags } => {
+                    // Ordering: Relaxed — counter-before-journal, as
+                    // finish_err.
                     shared.stats.failed.fetch_add(1, Ordering::Relaxed);
                     let _ = shared.journal.record_done(id, "err");
                     let v = verdict_json_diags("rejected", &name, None, 0, 0, &msg, &diags);

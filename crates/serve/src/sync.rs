@@ -1,0 +1,35 @@
+//! Serve-local synchronization facade for the admission queue.
+//!
+//! Mirrors `crates/exec/src/sync.rs` in miniature: normal builds re-export
+//! the `std` primitives unchanged (zero cost, zero behavioural difference),
+//! while `--features model` resolves the same paths to the [`xsfq_model`]
+//! instrumented runtime so `tests/model_gate.rs` can deterministically
+//! enumerate the queue's lock/wait/notify interleavings.
+//!
+//! Scope is deliberately `queue.rs` only. The rest of the daemon keeps
+//! `std` directly — in particular this crate's `model` feature does *not*
+//! enable `xsfq-exec/model`, because the daemon hands `std::time::Instant`
+//! deadlines to the executor's cancel tokens and modeling that boundary
+//! would change the public API the core crates compile against.
+
+/// Std-backed primitives (normal builds).
+#[cfg(not(feature = "model"))]
+mod imp {
+    pub use std::sync::{Condvar, Mutex};
+    /// Monotonic time for retry due-instants.
+    pub mod time {
+        pub use std::time::Instant;
+    }
+}
+
+/// Model-runtime primitives (`--features model` builds).
+#[cfg(feature = "model")]
+mod imp {
+    pub use xsfq_model::sync::{Condvar, Mutex};
+    /// Logical time (monotonic along a modeled schedule).
+    pub mod time {
+        pub use xsfq_model::time::Instant;
+    }
+}
+
+pub use imp::*;

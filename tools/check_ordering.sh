@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Memory-ordering audit gate: every non-SeqCst atomic ordering literal
+# (`Ordering::Relaxed` / `Acquire` / `Release` / `AcqRel`) in first-party
+# crates must be justified by a `// Ordering:` comment on the same line or
+# within the preceding few lines. SeqCst is the safe default and needs no
+# justification; anything weaker is an optimization that must say which
+# edge it pairs with (or why no edge is needed). Scans crates/ only —
+# vendored code is out of scope.
+#
+# The scanner negative-tests itself on every run: a built-in fixture with
+# one unannotated weak ordering must be flagged, and an annotated one must
+# pass, otherwise the gate refuses to report success.
+#
+# Usage: tools/check_ordering.sh [repo-root]   (exit 1 on violations)
+set -u
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+window=8
+fail=0
+
+scan() { # scan <file>  -> prints "line: code" per violation
+    awk -v window="$window" '
+        BEGIN { last_just = -1000000 }
+        {
+            line = $0
+            sub(/^[ \t]+/, "", line)
+            # Comment and doc lines never *are* atomic operations; they
+            # may carry the justification.
+            is_comment = (line ~ /^\/\//)
+            if ($0 ~ /\/\/[\/!]? *Ordering:/) last_just = NR
+            if (is_comment) next
+            if ($0 ~ /Ordering::(Relaxed|Acquire|Release|AcqRel)/) {
+                if (NR - last_just > window) {
+                    printf "%d: %s\n", NR, $0
+                }
+            }
+        }
+    ' "$1"
+}
+
+# --- scanner self-test (negative + positive fixture) -----------------------
+selftest_dir=$(mktemp -d)
+trap 'rm -rf "$selftest_dir"' EXIT
+cat > "$selftest_dir/bad.rs" <<'EOF'
+fn bump(c: &AtomicUsize) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+EOF
+cat > "$selftest_dir/good.rs" <<'EOF'
+fn bump(c: &AtomicUsize) {
+    // Ordering: Relaxed — counter only, publishes no data.
+    c.fetch_add(1, Ordering::Relaxed);
+    c.load(Ordering::SeqCst);
+}
+EOF
+if [ -z "$(scan "$selftest_dir/bad.rs")" ]; then
+    echo "check_ordering: SELF-TEST FAILED — unannotated weak ordering not flagged" >&2
+    exit 2
+fi
+if [ -n "$(scan "$selftest_dir/good.rs")" ]; then
+    echo "check_ordering: SELF-TEST FAILED — annotated ordering wrongly flagged" >&2
+    exit 2
+fi
+
+# --- the audit -------------------------------------------------------------
+while IFS= read -r file; do
+    violations=$(scan "$file")
+    if [ -n "$violations" ]; then
+        echo "unjustified weak ordering in $file:"
+        echo "$violations"
+        fail=1
+    fi
+done < <(find "$root/crates" -name '*.rs' -type f | sort)
+
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "error: non-SeqCst atomic ordering without an Ordering justification."
+    echo "Add a \`// Ordering: ...\` comment within $window lines before the op"
+    echo "naming the edge it pairs with (or why no edge is needed)."
+    exit 1
+fi
+echo "check_ordering: every non-SeqCst atomic ordering is justified."
